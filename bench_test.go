@@ -1,0 +1,309 @@
+// Package irred's top-level benchmarks regenerate the paper's exhibits:
+// one benchmark per figure/table (Fig 4, 5, 6, 7 and the text tables
+// T1-T3), each reporting the simulated execution time per timestep and the
+// speedup over the sequential baseline as custom metrics, plus
+// micro-benchmarks for the substrates (LightInspector, the native engine,
+// the cache model, the event engine).
+//
+// The full paper-scale tables are produced by cmd/irredbench; these
+// benchmarks run the same code paths at benchmark-friendly durations.
+package irred
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"irred/internal/bench"
+	"irred/internal/earth"
+	"irred/internal/inspector"
+	"irred/internal/kernels"
+	"irred/internal/machine"
+	"irred/internal/mesh"
+	"irred/internal/moldyn"
+	"irred/internal/rts"
+	"irred/internal/sim"
+	"irred/internal/sparse"
+)
+
+// Dataset caches: benchmarks must not regenerate large inputs per run.
+var (
+	onceW, onceA, onceB    sync.Once
+	classW, classA, classB *sparse.CSR
+	onceE2K, onceE10K      sync.Once
+	euler2K, euler10K      *kernels.Euler
+	onceM2K, onceM10K      sync.Once
+	moldyn2K, moldyn10K    *kernels.Moldyn
+)
+
+func getClassW() *sparse.CSR {
+	onceW.Do(func() { classW = sparse.Generate(sparse.ClassW, 1) })
+	return classW
+}
+func getClassA() *sparse.CSR {
+	onceA.Do(func() { classA = sparse.Generate(sparse.ClassA, 1) })
+	return classA
+}
+func getClassB() *sparse.CSR {
+	onceB.Do(func() { classB = sparse.Generate(sparse.ClassB, 1) })
+	return classB
+}
+func getEuler2K() *kernels.Euler {
+	onceE2K.Do(func() {
+		n, e := mesh.Paper2K()
+		euler2K = kernels.NewEuler(mesh.Generate(n, e, 1), 1)
+	})
+	return euler2K
+}
+func getEuler10K() *kernels.Euler {
+	onceE10K.Do(func() {
+		n, e := mesh.Paper10K()
+		euler10K = kernels.NewEuler(mesh.Generate(n, e, 1), 1)
+	})
+	return euler10K
+}
+func getMoldyn2K() *kernels.Moldyn {
+	onceM2K.Do(func() { moldyn2K = kernels.NewMoldyn(moldyn.Paper2K(1)) })
+	return moldyn2K
+}
+func getMoldyn10K() *kernels.Moldyn {
+	onceM10K.Do(func() { moldyn10K = kernels.NewMoldyn(moldyn.Paper10K(1)) })
+	return moldyn10K
+}
+
+// simFigure benchmarks one (loop, steps) configuration on the simulated
+// machine and reports the paper-facing metrics.
+func simFigure(b *testing.B, mk func(p, k int, d inspector.Dist) *rts.Loop, p, k int, d inspector.Dist, steps int) {
+	b.Helper()
+	cm := machine.MANNA()
+	var lastSpeedup, lastPerStep float64
+	for i := 0; i < b.N; i++ {
+		l := mk(p, k, d)
+		seq, _ := rts.RunSequentialSim(l, rts.SimOptions{Steps: steps})
+		res, err := rts.RunSim(l, rts.SimOptions{Steps: steps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastSpeedup = float64(seq) / float64(res.Cycles)
+		lastPerStep = cm.Seconds(res.PerStep)
+	}
+	b.ReportMetric(lastSpeedup, "speedup")
+	b.ReportMetric(lastPerStep*1e3, "simms/step")
+}
+
+// --- Figure 4: mvm classes W and A, k in {1,2,4} ---
+
+func BenchmarkFig4ClassW(b *testing.B) {
+	mv := kernels.NewMVM(getClassW())
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d/P=32", k), func(b *testing.B) {
+			simFigure(b, mv.Loop, 32, k, inspector.Block, 10)
+		})
+	}
+}
+
+func BenchmarkFig4ClassA(b *testing.B) {
+	mv := kernels.NewMVM(getClassA())
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d/P=32", k), func(b *testing.B) {
+			simFigure(b, mv.Loop, 32, k, inspector.Block, 10)
+		})
+	}
+}
+
+// --- Figure 5: mvm class B (n=75,000, nnz=13.7M) on 64 processors ---
+
+func BenchmarkFig5ClassB(b *testing.B) {
+	if testing.Short() {
+		b.Skip("class B is the paper's large dataset; skipped with -short")
+	}
+	mv := kernels.NewMVM(getClassB())
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d/P=64", k), func(b *testing.B) {
+			simFigure(b, mv.Loop, 64, k, inspector.Block, 5)
+		})
+	}
+}
+
+// --- Figures 6 and 7: euler and moldyn under 1c/2c/4c/2b ---
+
+func eulerStrats() []bench.StrategyDef { return bench.EulerStrategies() }
+
+func BenchmarkFig6Euler2K(b *testing.B) {
+	eu := getEuler2K()
+	for _, s := range eulerStrats() {
+		b.Run(s.Name+"/P=32", func(b *testing.B) {
+			simFigure(b, eu.Loop, 32, s.K, s.Dist, 20)
+		})
+	}
+}
+
+func BenchmarkFig6Euler10K(b *testing.B) {
+	eu := getEuler10K()
+	for _, s := range eulerStrats() {
+		b.Run(s.Name+"/P=32", func(b *testing.B) {
+			simFigure(b, eu.Loop, 32, s.K, s.Dist, 20)
+		})
+	}
+}
+
+func BenchmarkFig7Moldyn2K(b *testing.B) {
+	md := getMoldyn2K()
+	for _, s := range eulerStrats() {
+		b.Run(s.Name+"/P=32", func(b *testing.B) {
+			simFigure(b, md.Loop, 32, s.K, s.Dist, 20)
+		})
+	}
+}
+
+func BenchmarkFig7Moldyn10K(b *testing.B) {
+	md := getMoldyn10K()
+	for _, s := range eulerStrats() {
+		b.Run(s.Name+"/P=32", func(b *testing.B) {
+			simFigure(b, md.Loop, 32, s.K, s.Dist, 20)
+		})
+	}
+}
+
+// --- T1-T3: the 2-processor overhead points from the Section 5 text ---
+
+func BenchmarkT2Euler2Proc(b *testing.B) {
+	eu := getEuler2K()
+	simFigure(b, eu.Loop, 2, 2, inspector.Cyclic, 20)
+}
+
+func BenchmarkT3Moldyn2Proc(b *testing.B) {
+	md := getMoldyn10K()
+	simFigure(b, md.Loop, 2, 2, inspector.Cyclic, 10)
+}
+
+func BenchmarkT1MVM2Proc(b *testing.B) {
+	mv := kernels.NewMVM(getClassW())
+	simFigure(b, mv.Loop, 2, 2, inspector.Block, 10)
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationK(b *testing.B) {
+	eu := getEuler2K()
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d/P=32", k), func(b *testing.B) {
+			simFigure(b, eu.Loop, 32, k, inspector.Cyclic, 20)
+		})
+	}
+}
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.AblationAdaptive(bench.Options{Steps: 10, Seed: 1}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkLightInspector measures the runtime preprocessing itself: the
+// paper's point is that it is a cheap, local pass.
+func BenchmarkLightInspector(b *testing.B) {
+	eu := getEuler2K()
+	l := eu.Loop(16, 2, inspector.Cyclic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inspector.Light(l.Cfg, i%16, l.Ind...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(l.Cfg.NumIters), "iters")
+}
+
+func BenchmarkClassicInspector(b *testing.B) {
+	eu := getEuler2K()
+	l := eu.Loop(16, 2, inspector.Cyclic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inspector.ClassicInspect(l.Cfg, l.Ind...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeEuler measures real goroutine execution of one timestep.
+func BenchmarkNativeEuler(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			eu := getEuler2K()
+			nat, _, err := eu.NewNative(p, 2, inspector.Cyclic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nat.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNativeMoldyn(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			md := getMoldyn2K()
+			nat, _, _, err := md.NewNative(p, 2, inspector.Cyclic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nat.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCacheModel(b *testing.B) {
+	c := machine.NewCache(16<<10, 32, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*56) & 0xfffff)
+	}
+}
+
+func BenchmarkEventEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		for j := 0; j < 100; j++ {
+			e.Schedule(sim.Time(j), func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkEarthFiberChain(b *testing.B) {
+	// A chain of 1000 dependent fibers: measures the machine model's
+	// dispatch overhead.
+	for i := 0; i < b.N; i++ {
+		m := earth.New(1, machine.MANNA(), machine.MANNANet())
+		n := m.Node(0)
+		fibers := make([]*earth.Fiber, 1000)
+		slots := make([]*earth.Slot, 1000)
+		for j := 999; j >= 0; j-- {
+			j := j
+			fibers[j] = n.NewFiber(10, func(ctx *earth.Ctx) {
+				if j+1 < 1000 {
+					ctx.Sync(slots[j+1])
+				}
+			})
+			slots[j] = n.NewSlot(1, fibers[j])
+		}
+		m.Eng.Schedule(0, func() {})
+		// Kick off the chain.
+		kick := n.NewFiber(0, func(ctx *earth.Ctx) { ctx.Sync(slots[0]) })
+		n.NewSlot(0, kick)
+		m.Run()
+	}
+}

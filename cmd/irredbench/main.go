@@ -1,0 +1,164 @@
+// Command irredbench regenerates the paper's evaluation: every figure
+// (4, 5, 6, 7), the speedup tables embedded in the Section 5 text
+// (T1-T3), and the repository's ablations. Output is the plain-text table
+// set recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	irredbench                   # everything except the large class B run
+//	irredbench -exp fig6-2k      # one experiment
+//	irredbench -exp fig5         # the class B run (needs ~1 GB, minutes)
+//	irredbench -steps 20         # faster, shorter runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"irred/internal/bench"
+	"irred/internal/sparse"
+)
+
+func main() {
+	exp := flag.String("exp", "default", "experiment: all | default | fig4w | fig4a | fig5 | fig6-2k | fig6-10k | fig7-2k | fig7-10k | t1 | t2 | t3 | ablations")
+	steps := flag.Int("steps", 100, "timesteps per configuration")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	opt := bench.Options{Steps: *steps, Seed: *seed}
+	which := strings.ToLower(*exp)
+	run := func(name string) bool {
+		return which == name || which == "all" || (which == "default" && name != "fig5")
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "irredbench:", err)
+		os.Exit(1)
+	}
+	emitCSV := func(f *bench.Figure) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, f.ID+".csv")
+		if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if run("fig4w") || which == "t1" {
+		f, err := bench.Fig4(sparse.ClassW, opt)
+		if err != nil {
+			fail(err)
+		}
+		if which != "t1" {
+			fmt.Println(f.Render())
+			fmt.Println(f.Plot(16))
+		}
+		fmt.Println(bench.MVMTable(f, "W"))
+		emitCSV(f)
+	}
+	if run("fig4a") {
+		f, err := bench.Fig4(sparse.ClassA, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+		fmt.Println(bench.MVMTable(f, "A"))
+		emitCSV(f)
+	}
+	if which == "fig5" || which == "all" {
+		f, err := bench.Fig5(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+		emitCSV(f)
+	}
+	if run("fig6-2k") || which == "t2" {
+		f, err := bench.Fig6(false, opt)
+		if err != nil {
+			fail(err)
+		}
+		if which != "t2" {
+			fmt.Println(f.Render())
+			fmt.Println(f.Plot(16))
+		}
+		fmt.Println(bench.SpeedupTable(f, bench.PaperEuler2K))
+		emitCSV(f)
+	}
+	if run("fig6-10k") || which == "t2" {
+		f, err := bench.Fig6(true, opt)
+		if err != nil {
+			fail(err)
+		}
+		if which != "t2" {
+			fmt.Println(f.Render())
+			fmt.Println(f.Plot(16))
+		}
+		fmt.Println(bench.SpeedupTable(f, bench.PaperEuler10K))
+		emitCSV(f)
+	}
+	if run("fig7-2k") || which == "t3" {
+		f, err := bench.Fig7(false, opt)
+		if err != nil {
+			fail(err)
+		}
+		if which != "t3" {
+			fmt.Println(f.Render())
+		}
+		fmt.Println(bench.SpeedupTable(f, bench.PaperMoldyn2K))
+		emitCSV(f)
+	}
+	if run("fig7-10k") || which == "t3" {
+		f, err := bench.Fig7(true, opt)
+		if err != nil {
+			fail(err)
+		}
+		if which != "t3" {
+			fmt.Println(f.Render())
+		}
+		fmt.Println(bench.SpeedupTable(f, bench.PaperMoldyn10K))
+		emitCSV(f)
+	}
+	if run("ablations") {
+		f, err := bench.AblationK(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+		_, txt, err := bench.AblationAdaptive(opt, 16)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+		txt, err = bench.AblationInspector(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+		txt, err = bench.AblationEdgeOrder(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+		txt, err = bench.AblationPartition(opt, 16)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+		txt, err = bench.AblationMachine(opt, 16)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+		txt, err = bench.AblationIncremental(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(txt)
+	}
+}

@@ -1,0 +1,248 @@
+// Command irredrun executes one of the paper's kernels under a chosen
+// strategy, either on the simulated EARTH machine (reporting simulated
+// MANNA seconds, like the paper) or natively on goroutines (reporting wall
+// clock and verifying against the sequential kernel).
+//
+// Examples:
+//
+//	irredrun -kernel euler -dataset 2k -p 32 -k 2 -dist cyclic
+//	irredrun -kernel mvm -dataset W -p 16 -k 2
+//	irredrun -kernel moldyn -dataset 10k -p 8 -k 4 -engine native -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"irred/internal/earth"
+	"irred/internal/inspector"
+	"irred/internal/kernels"
+	"irred/internal/machine"
+	"irred/internal/mesh"
+	"irred/internal/moldyn"
+	"irred/internal/rts"
+	"irred/internal/sim"
+	"irred/internal/sparse"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "irredrun: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	kernel := flag.String("kernel", "euler", "kernel: euler | moldyn | mvm")
+	dataset := flag.String("dataset", "2k", "dataset: 2k | 10k (euler, moldyn); S | W | A | B (mvm)")
+	p := flag.Int("p", 8, "processors")
+	k := flag.Int("k", 2, "unrolling factor (phases per processor = k*p)")
+	distName := flag.String("dist", "cyclic", "iteration distribution: block | cyclic")
+	steps := flag.Int("steps", 100, "timesteps")
+	engine := flag.String("engine", "sim", "engine: sim (modelled EARTH) | native (goroutines)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	trace := flag.Bool("trace", false, "print a Gantt chart of EU occupancy (sim engine)")
+	flag.Parse()
+
+	var dist inspector.Dist
+	switch strings.ToLower(*distName) {
+	case "block":
+		dist = inspector.Block
+	case "cyclic":
+		dist = inspector.Cyclic
+	default:
+		fail("unknown distribution %q", *distName)
+	}
+
+	switch *engine {
+	case "sim":
+		runSim(*kernel, *dataset, *p, *k, dist, *steps, *seed, *trace)
+	case "native":
+		runNative(*kernel, *dataset, *p, *k, dist, *steps, *seed)
+	default:
+		fail("unknown engine %q", *engine)
+	}
+}
+
+func buildLoop(kernel, dataset string, p, k int, dist inspector.Dist, seed int64) (*rts.Loop, string) {
+	switch kernel {
+	case "euler":
+		var nodes, edges int
+		switch strings.ToLower(dataset) {
+		case "2k":
+			nodes, edges = mesh.Paper2K()
+		case "10k":
+			nodes, edges = mesh.Paper10K()
+		default:
+			fail("euler datasets: 2k, 10k")
+		}
+		m := mesh.Generate(nodes, edges, seed)
+		return kernels.NewEuler(m, seed).Loop(p, k, dist),
+			fmt.Sprintf("euler %s (%d nodes, %d edges)", dataset, nodes, edges)
+	case "moldyn":
+		var sys *moldyn.System
+		switch strings.ToLower(dataset) {
+		case "2k":
+			sys = moldyn.Paper2K(seed)
+		case "10k":
+			sys = moldyn.Paper10K(seed)
+		default:
+			fail("moldyn datasets: 2k, 10k")
+		}
+		return kernels.NewMoldyn(sys).Loop(p, k, dist),
+			fmt.Sprintf("moldyn %s (%d molecules, %d interactions)", dataset, sys.N, sys.NumInteractions())
+	case "mvm":
+		var class sparse.Class
+		switch strings.ToUpper(dataset) {
+		case "S":
+			class = sparse.ClassS
+		case "W":
+			class = sparse.ClassW
+		case "A":
+			class = sparse.ClassA
+		case "B":
+			class = sparse.ClassB
+		default:
+			fail("mvm datasets: S, W, A, B")
+		}
+		a := sparse.Generate(class, uint64(seed))
+		return kernels.NewMVM(a).Loop(p, k, dist),
+			fmt.Sprintf("mvm class %s (n=%d, nnz=%d)", class.Name, class.N, class.NNZ)
+	default:
+		fail("unknown kernel %q", kernel)
+	}
+	return nil, ""
+}
+
+func runSim(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64, trace bool) {
+	l, desc := buildLoop(kernel, dataset, p, k, dist, seed)
+	cm := machine.MANNA()
+	fmt.Printf("%s on simulated EARTH/MANNA: P=%d k=%d %s, %d timesteps\n", desc, p, k, dist, steps)
+
+	opt := rts.SimOptions{Steps: steps}
+	var tr *earth.Trace
+	if trace {
+		tr = &earth.Trace{}
+		opt.Trace = tr
+	}
+	seqC, seqS := rts.RunSequentialSim(l, opt)
+	res, err := rts.RunSim(l, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("sequential:     %10.2fs simulated\n", seqS)
+	fmt.Printf("parallel:       %10.2fs simulated (%.2fx speedup)\n", res.Seconds, float64(seqC)/float64(res.Cycles))
+	fmt.Printf("per step:       %10.4fs\n", cm.Seconds(res.PerStep))
+	fmt.Printf("inspector:      %10.4fs (run once)\n", cm.Seconds(res.InspectorCycles))
+	fmt.Printf("traffic:        %10.0f messages/step, %.0f bytes/step\n", res.MsgsPerStep, res.BytesPerStep)
+	fmt.Printf("phase balance:  max %d iters/phase vs %.1f average\n", res.MaxPhaseIters, res.AvgPhaseIters)
+	fmt.Printf("EU utilization: %10.1f%%  (SU: %.1f%%)\n", 100*res.EUUtilization, 100*res.SUUtilization)
+	if tr != nil {
+		// Render the simulated window (a few timesteps): '#' = EU busy.
+		var end sim.Time
+		for _, f := range tr.Fibers {
+			if f.End > end {
+				end = f.End
+			}
+		}
+		fmt.Printf("\nEU occupancy over the simulated window (%d fibers, %d messages):\n",
+			len(tr.Fibers), len(tr.Msgs))
+		fmt.Print(tr.Gantt(p, end, 100))
+	}
+}
+
+func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64) {
+	fmt.Printf("native run: P=%d goroutines, k=%d, %s, %d timesteps\n", p, k, dist, steps)
+	switch kernel {
+	case "euler":
+		var nodes, edges int
+		if strings.ToLower(dataset) == "10k" {
+			nodes, edges = mesh.Paper10K()
+		} else {
+			nodes, edges = mesh.Paper2K()
+		}
+		m := mesh.Generate(nodes, edges, seed)
+		eu := kernels.NewEuler(m, seed)
+
+		t0 := time.Now()
+		want := eu.RunSequential(steps)
+		seqDur := time.Since(t0)
+
+		nat, q, err := eu.NewNative(p, k, dist)
+		if err != nil {
+			fail("%v", err)
+		}
+		t0 = time.Now()
+		if err := nat.Run(steps); err != nil {
+			fail("%v", err)
+		}
+		parDur := time.Since(t0)
+		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
+		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(q, want))
+	case "moldyn":
+		var sys *moldyn.System
+		if strings.ToLower(dataset) == "10k" {
+			sys = moldyn.Paper10K(seed)
+		} else {
+			sys = moldyn.Paper2K(seed)
+		}
+		md := kernels.NewMoldyn(sys)
+		t0 := time.Now()
+		wantPos, _ := md.RunSequential(steps)
+		seqDur := time.Since(t0)
+		nat, pos, _, err := md.NewNative(p, k, dist)
+		if err != nil {
+			fail("%v", err)
+		}
+		t0 = time.Now()
+		if err := nat.Run(steps); err != nil {
+			fail("%v", err)
+		}
+		parDur := time.Since(t0)
+		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
+		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(pos, wantPos))
+	case "mvm":
+		var class sparse.Class
+		switch strings.ToUpper(dataset) {
+		case "W":
+			class = sparse.ClassW
+		case "A":
+			class = sparse.ClassA
+		case "B":
+			class = sparse.ClassB
+		default:
+			class = sparse.ClassS
+		}
+		a := sparse.Generate(class, uint64(seed))
+		mv := kernels.NewMVM(a)
+		t0 := time.Now()
+		want := mv.RunSequential(steps)
+		seqDur := time.Since(t0)
+		nat, err := mv.NewNative(p, k, dist)
+		if err != nil {
+			fail("%v", err)
+		}
+		t0 = time.Now()
+		if err := nat.Run(steps); err != nil {
+			fail("%v", err)
+		}
+		parDur := time.Since(t0)
+		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
+		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(nat.X, want))
+	default:
+		fail("unknown kernel %q", kernel)
+	}
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i]-b[i]) / (1 + math.Abs(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module irred
+
+go 1.22

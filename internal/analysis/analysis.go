@@ -1,0 +1,366 @@
+// Package analysis implements the compiler analysis of Section 4 of the
+// paper: extraction of reduction array sections and indirection array
+// sections from irregular loops, classification of statements, legality
+// checks (single level of indirection, indirection in a single dimension,
+// reductions only through associative/commutative updates), and the
+// construction of reference groups (Definition 1) that drive loop fission.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"irred/internal/lang"
+)
+
+// IndRef identifies one indirection array section: the paper's
+// IA(1, num_edges, 1, col) in triplet notation — a whole column of a
+// (possibly 2-D) integer array swept by the loop index.
+type IndRef struct {
+	Array string
+	Col   int // second-subscript literal; -1 for 1-D indirection arrays
+}
+
+func (r IndRef) String() string {
+	if r.Col < 0 {
+		return r.Array + "(*)"
+	}
+	return fmt.Sprintf("%s(*,%d)", r.Array, r.Col)
+}
+
+// Triplet renders the section in the paper's triplet notation over the
+// given loop extent.
+func (r IndRef) Triplet(extent string) string {
+	if r.Col < 0 {
+		return fmt.Sprintf("%s[0:%s:1]", r.Array, extent)
+	}
+	return fmt.Sprintf("%s[0:%s:1, %d]", r.Array, extent, r.Col)
+}
+
+// Reduction is one irregular reduction statement: Array[Ind] op= RHS.
+type Reduction struct {
+	StmtIndex int // position in the loop body
+	Array     string
+	Ind       IndRef
+	Negate    bool // true for -=
+	RHS       lang.Expr
+}
+
+// Read is an irregular read on the right-hand side: Array[Ind] consumed by
+// some statement (the paper's C(IA(i,1))) — data that must be available
+// wherever the iteration executes.
+type Read struct {
+	Array string
+	Ind   IndRef
+}
+
+// RefGroup is a reference group per Definition 1: the set of reduction
+// array sections accessed through the same set of indirection array
+// sections. One LightInspector serves one group.
+type RefGroup struct {
+	Inds   []IndRef // sorted set of indirection sections
+	Arrays []string // reduction arrays in the group (sorted)
+	Stmts  []int    // body statement indices of the group's reductions
+}
+
+// Key canonically identifies the indirection set.
+func (g *RefGroup) Key() string {
+	parts := make([]string, len(g.Inds))
+	for i, r := range g.Inds {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// LoopInfo is the analysis result for one loop.
+type LoopInfo struct {
+	Loop       *lang.Loop
+	Extent     string      // loop extent rendered (hi expression)
+	Reductions []Reduction // irregular reduction statements, body order
+	Reads      []Read      // distinct irregular RHS reads
+	IterReads  []string    // distinct arrays read at [i] (iteration-aligned)
+	ScalarDefs []int       // body indices of scalar definitions
+	RegWrites  []int       // body indices of regular (a[i]) writes
+	Groups     []RefGroup  // reference groups, deterministic order
+}
+
+// NeedsFission reports whether the loop updates more than one reference
+// group and so must be split before code generation.
+func (li *LoopInfo) NeedsFission() bool { return len(li.Groups) > 1 }
+
+// Result is the whole-program analysis.
+type Result struct {
+	Program *lang.Program
+	Loops   []*LoopInfo
+}
+
+// Analyze performs the Section 4 analysis on every loop of the program.
+func Analyze(prog *lang.Program) (*Result, error) {
+	res := &Result{Program: prog}
+	for _, l := range prog.Loops {
+		li, err := analyzeLoop(prog, l)
+		if err != nil {
+			return nil, err
+		}
+		res.Loops = append(res.Loops, li)
+	}
+	return res, nil
+}
+
+func analyzeLoop(prog *lang.Program, l *lang.Loop) (*LoopInfo, error) {
+	li := &LoopInfo{Loop: l, Extent: l.Hi.String()}
+	scalars := map[string]bool{}
+	readSet := map[Read]bool{}
+	iterReadSet := map[string]bool{}
+
+	for idx, st := range l.Body {
+		switch {
+		case st.Scalar != "":
+			if prog.Array(st.Scalar) != nil {
+				return nil, fmt.Errorf("irl:%s: %q is an array; subscript required", st.Pos, st.Scalar)
+			}
+			if st.Op != lang.OpSet {
+				return nil, fmt.Errorf("irl:%s: scalar %q must use '='", st.Pos, st.Scalar)
+			}
+			scalars[st.Scalar] = true
+			li.ScalarDefs = append(li.ScalarDefs, idx)
+		default:
+			kind, ind, err := classifyIndex(prog, l, st.Target)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case idxRegular:
+				li.RegWrites = append(li.RegWrites, idx)
+			case idxIndirect:
+				if st.Op == lang.OpSet {
+					return nil, fmt.Errorf("irl:%s: irregular write to %q must be a reduction (+= or -=)", st.Pos, st.Target.Array)
+				}
+				li.Reductions = append(li.Reductions, Reduction{
+					StmtIndex: idx,
+					Array:     st.Target.Array,
+					Ind:       ind,
+					Negate:    st.Op == lang.OpSub,
+					RHS:       st.RHS,
+				})
+			}
+		}
+		// Scan the RHS for irregular reads, iteration-aligned reads, and
+		// legality violations.
+		if err := scanRHS(prog, l, st.RHS, readSet, iterReadSet); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(li.Reductions) == 0 && len(li.RegWrites) == 0 {
+		return nil, fmt.Errorf("irl:%s: loop has no array updates", l.Pos)
+	}
+
+	// No loop-carried dependence beyond the reductions: the RHS of any
+	// statement must not read an array that the loop reduces into.
+	reduced := map[string]bool{}
+	for _, r := range li.Reductions {
+		reduced[r.Array] = true
+	}
+	for _, st := range l.Body {
+		var bad *lang.IndexExpr
+		lang.Walk(st.RHS, func(e lang.Expr) {
+			if ix, ok := e.(*lang.IndexExpr); ok && reduced[ix.Array] && bad == nil {
+				bad = ix
+			}
+		})
+		if bad != nil {
+			return nil, fmt.Errorf("irl:%s: %q is a reduction array and may not be read in the loop", bad.Pos, bad.Array)
+		}
+	}
+
+	for r := range readSet {
+		li.Reads = append(li.Reads, r)
+	}
+	sort.Slice(li.Reads, func(a, b int) bool {
+		if li.Reads[a].Array != li.Reads[b].Array {
+			return li.Reads[a].Array < li.Reads[b].Array
+		}
+		return li.Reads[a].Ind.String() < li.Reads[b].Ind.String()
+	})
+	for a := range iterReadSet {
+		li.IterReads = append(li.IterReads, a)
+	}
+	sort.Strings(li.IterReads)
+
+	li.Groups = buildGroups(li.Reductions)
+	return li, nil
+}
+
+type idxKind int
+
+const (
+	idxRegular  idxKind = iota // a[i] or a[i, const]
+	idxIndirect                // a[ind[i]] or a[ind[i, const]]
+)
+
+// classifyIndex validates an array subscript and classifies it. It enforces
+// the paper's restrictions: at most one level of indirection, and
+// indirection in at most one dimension.
+func classifyIndex(prog *lang.Program, l *lang.Loop, ix *lang.IndexExpr) (idxKind, IndRef, error) {
+	decl := prog.Array(ix.Array)
+	if decl == nil {
+		return 0, IndRef{}, fmt.Errorf("irl:%s: undeclared array %q", ix.Pos, ix.Array)
+	}
+	if len(ix.Index) != len(decl.Dims) {
+		return 0, IndRef{}, fmt.Errorf("irl:%s: array %q has %d dimensions, indexed with %d", ix.Pos, ix.Array, len(decl.Dims), len(ix.Index))
+	}
+	var indirect []IndRef
+	for _, sub := range ix.Index {
+		switch s := sub.(type) {
+		case *lang.Ident:
+			if s.Name != l.Var {
+				return 0, IndRef{}, fmt.Errorf("irl:%s: subscript %q is not the loop variable", s.Pos, s.Name)
+			}
+		case *lang.Num:
+			// constant subscript: fine
+		case *lang.IndexExpr:
+			ind, err := indirectionRef(prog, l, s)
+			if err != nil {
+				return 0, IndRef{}, err
+			}
+			indirect = append(indirect, ind)
+		default:
+			return 0, IndRef{}, fmt.Errorf("irl:%s: unsupported subscript %s", sub.Position(), sub)
+		}
+	}
+	switch len(indirect) {
+	case 0:
+		return idxRegular, IndRef{}, nil
+	case 1:
+		return idxIndirect, indirect[0], nil
+	default:
+		return 0, IndRef{}, fmt.Errorf("irl:%s: array %q accessed through indirection in multiple dimensions (unsupported, Section 4)", ix.Pos, ix.Array)
+	}
+}
+
+// indirectionRef validates an inner reference ind[i] / ind[i, const] and
+// returns its section identity. A nested indirection (ind[ja[i]]) violates
+// the single-level restriction.
+func indirectionRef(prog *lang.Program, l *lang.Loop, ix *lang.IndexExpr) (IndRef, error) {
+	decl := prog.Array(ix.Array)
+	if decl == nil {
+		return IndRef{}, fmt.Errorf("irl:%s: undeclared array %q", ix.Pos, ix.Array)
+	}
+	if !decl.Int {
+		return IndRef{}, fmt.Errorf("irl:%s: indirection array %q must be declared int", ix.Pos, ix.Array)
+	}
+	if len(ix.Index) != len(decl.Dims) {
+		return IndRef{}, fmt.Errorf("irl:%s: array %q has %d dimensions, indexed with %d", ix.Pos, ix.Array, len(decl.Dims), len(ix.Index))
+	}
+	first, ok := ix.Index[0].(*lang.Ident)
+	if !ok {
+		if _, nested := ix.Index[0].(*lang.IndexExpr); nested {
+			return IndRef{}, fmt.Errorf("irl:%s: multiple levels of indirection in %s; apply source-to-source splitting first (Section 4)", ix.Pos, ix)
+		}
+		return IndRef{}, fmt.Errorf("irl:%s: indirection subscript must be the loop variable", ix.Pos)
+	}
+	if first.Name != l.Var {
+		return IndRef{}, fmt.Errorf("irl:%s: indirection subscript %q is not the loop variable %q", ix.Pos, first.Name, l.Var)
+	}
+	ref := IndRef{Array: ix.Array, Col: -1}
+	if len(ix.Index) == 2 {
+		c, ok := ix.Index[1].(*lang.Num)
+		if !ok || float64(int(c.Val)) != c.Val {
+			return IndRef{}, fmt.Errorf("irl:%s: second indirection subscript must be an integer literal", ix.Pos)
+		}
+		ref.Col = int(c.Val)
+	}
+	return ref, nil
+}
+
+// scanRHS records irregular and iteration-aligned reads and rejects
+// illegal references on the right-hand side.
+func scanRHS(prog *lang.Program, l *lang.Loop, rhs lang.Expr, reads map[Read]bool, iterReads map[string]bool) error {
+	var firstErr error
+	lang.Walk(rhs, func(e lang.Expr) {
+		ix, ok := e.(*lang.IndexExpr)
+		if !ok || firstErr != nil {
+			return
+		}
+		decl := prog.Array(ix.Array)
+		if decl != nil && decl.Int {
+			// The indirection array itself; validated at its use site.
+			return
+		}
+		kind, ind, err := classifyIndex(prog, l, ix)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if kind == idxIndirect {
+			reads[Read{Array: ix.Array, Ind: ind}] = true
+		} else {
+			iterReads[ix.Array] = true
+		}
+	})
+	return firstErr
+}
+
+// buildGroups implements Definition 1: reduction arrays are grouped by the
+// set of indirection sections through which they are updated; a group's
+// statements are all reductions into its arrays.
+func buildGroups(reds []Reduction) []RefGroup {
+	// Indirection set per reduction array.
+	indsOf := map[string]map[IndRef]bool{}
+	for _, r := range reds {
+		if indsOf[r.Array] == nil {
+			indsOf[r.Array] = map[IndRef]bool{}
+		}
+		indsOf[r.Array][r.Ind] = true
+	}
+	keyOf := func(arr string) string {
+		var parts []string
+		for r := range indsOf[arr] {
+			parts = append(parts, r.String())
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "+")
+	}
+	groups := map[string]*RefGroup{}
+	var order []string
+	for _, r := range reds {
+		k := keyOf(r.Array)
+		g := groups[k]
+		if g == nil {
+			g = &RefGroup{}
+			set := map[IndRef]bool{}
+			for ref := range indsOf[r.Array] {
+				set[ref] = true
+			}
+			for ref := range set {
+				g.Inds = append(g.Inds, ref)
+			}
+			sort.Slice(g.Inds, func(a, b int) bool { return g.Inds[a].String() < g.Inds[b].String() })
+			groups[k] = g
+			order = append(order, k)
+		} else {
+			// Merge this array's indirection sections (arrays that share a
+			// key have identical sets by construction).
+		}
+		found := false
+		for _, a := range g.Arrays {
+			if a == r.Array {
+				found = true
+				break
+			}
+		}
+		if !found {
+			g.Arrays = append(g.Arrays, r.Array)
+		}
+		g.Stmts = append(g.Stmts, r.StmtIndex)
+	}
+	out := make([]RefGroup, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		sort.Strings(g.Arrays)
+		out = append(out, *g)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"irred/internal/lang"
+)
+
+const figure1 = `
+param num_edges, num_nodes
+array ia[num_edges, 2] int
+array x[num_nodes]
+array y[num_edges]
+array c[num_nodes]
+loop i = 0, num_edges {
+    x[ia[i, 0]] += y[i] * c[ia[i, 0]]
+    x[ia[i, 1]] += y[i] * c[ia[i, 1]]
+}
+`
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(prog)
+	return err
+}
+
+func TestFigure1Analysis(t *testing.T) {
+	res := analyze(t, figure1)
+	li := res.Loops[0]
+	if len(li.Reductions) != 2 {
+		t.Fatalf("reductions = %d", len(li.Reductions))
+	}
+	r0 := li.Reductions[0]
+	if r0.Array != "x" || r0.Ind != (IndRef{Array: "ia", Col: 0}) || r0.Negate {
+		t.Fatalf("reduction 0: %+v", r0)
+	}
+	if li.Reductions[1].Ind.Col != 1 {
+		t.Fatalf("reduction 1 column: %+v", li.Reductions[1])
+	}
+	// The RHS reads c through both indirection sections.
+	if len(li.Reads) != 2 || li.Reads[0].Array != "c" {
+		t.Fatalf("reads = %+v", li.Reads)
+	}
+	if len(li.IterReads) != 1 || li.IterReads[0] != "y" {
+		t.Fatalf("iter reads = %v", li.IterReads)
+	}
+	// x via {ia.0, ia.1}: one reference group, no fission.
+	if len(li.Groups) != 1 || li.NeedsFission() {
+		t.Fatalf("groups = %+v", li.Groups)
+	}
+	g := li.Groups[0]
+	if g.Key() != "ia(*,0)+ia(*,1)" {
+		t.Fatalf("group key = %q", g.Key())
+	}
+	if len(g.Stmts) != 2 {
+		t.Fatalf("group stmts = %v", g.Stmts)
+	}
+}
+
+func TestTwoReferenceGroups(t *testing.T) {
+	res := analyze(t, `
+param n, m
+array ia[n, 2] int
+array ja[n] int
+array x[m]
+array z[m]
+array y[n]
+loop i = 0, n {
+    x[ia[i, 0]] += y[i]
+    x[ia[i, 1]] += y[i]
+    z[ja[i]] += y[i] * 2
+}
+`)
+	li := res.Loops[0]
+	if len(li.Groups) != 2 || !li.NeedsFission() {
+		t.Fatalf("groups = %+v", li.Groups)
+	}
+	if li.Groups[0].Arrays[0] != "x" || li.Groups[1].Arrays[0] != "z" {
+		t.Fatalf("group arrays wrong: %+v", li.Groups)
+	}
+	if li.Groups[1].Key() != "ja(*)" {
+		t.Fatalf("1-D indirection key = %q", li.Groups[1].Key())
+	}
+}
+
+func TestSharedIndirectionSetOneGroup(t *testing.T) {
+	// Two arrays accessed via the same set of sections: same group
+	// (Definition 1) — one LightInspector serves both.
+	res := analyze(t, `
+param n, m
+array ia[n, 2] int
+array x[m]
+array z[m]
+loop i = 0, n {
+    x[ia[i, 0]] += 1
+    x[ia[i, 1]] += 1
+    z[ia[i, 0]] += 2
+    z[ia[i, 1]] -= 2
+}
+`)
+	li := res.Loops[0]
+	if len(li.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(li.Groups))
+	}
+	if len(li.Groups[0].Arrays) != 2 {
+		t.Fatalf("group arrays = %v", li.Groups[0].Arrays)
+	}
+}
+
+func TestNegateDetection(t *testing.T) {
+	res := analyze(t, `
+param n, m
+array ia[n] int
+array x[m]
+loop i = 0, n { x[ia[i]] -= 3 }
+`)
+	if !res.Loops[0].Reductions[0].Negate {
+		t.Fatal("-= not recorded")
+	}
+}
+
+func TestRejectIrregularSet(t *testing.T) {
+	err := analyzeErr(t, `
+param n, m
+array ia[n] int
+array x[m]
+loop i = 0, n { x[ia[i]] = 1 }
+`)
+	if err == nil || !strings.Contains(err.Error(), "reduction") {
+		t.Fatalf("irregular '=' accepted: %v", err)
+	}
+}
+
+func TestRejectMultiLevelIndirection(t *testing.T) {
+	err := analyzeErr(t, `
+param n, m
+array ia[n] int
+array ja[n] int
+array x[m]
+loop i = 0, n { x[ia[ja[i]]] += 1 }
+`)
+	if err == nil || !strings.Contains(err.Error(), "levels of indirection") {
+		t.Fatalf("nested indirection accepted: %v", err)
+	}
+}
+
+func TestRejectMultiDimIndirection(t *testing.T) {
+	err := analyzeErr(t, `
+param n, m
+array ia[n] int
+array x[m, 2]
+loop i = 0, n { x[ia[i], ia[i]] += 1 }
+`)
+	if err == nil || !strings.Contains(err.Error(), "multiple dimensions") {
+		t.Fatalf("multi-dim indirection accepted: %v", err)
+	}
+}
+
+func TestRejectReadingReductionArray(t *testing.T) {
+	err := analyzeErr(t, `
+param n, m
+array ia[n] int
+array x[m]
+loop i = 0, n { x[ia[i]] += x[ia[i]] }
+`)
+	if err == nil || !strings.Contains(err.Error(), "may not be read") {
+		t.Fatalf("loop-carried dependence accepted: %v", err)
+	}
+}
+
+func TestRejectFloatIndirection(t *testing.T) {
+	err := analyzeErr(t, `
+param n, m
+array ia[n]
+array x[m]
+loop i = 0, n { x[ia[i]] += 1 }
+`)
+	if err == nil || !strings.Contains(err.Error(), "int") {
+		t.Fatalf("float indirection accepted: %v", err)
+	}
+}
+
+func TestRejectNonLoopVarSubscript(t *testing.T) {
+	err := analyzeErr(t, `
+param n
+array a[n]
+loop i = 0, n {
+    t = 1
+    a[t] = 2
+}
+`)
+	if err == nil {
+		t.Fatal("computed scalar subscript accepted")
+	}
+}
+
+func TestRegularLoopAccepted(t *testing.T) {
+	res := analyze(t, `
+param n
+array a[n]
+array b[n]
+loop i = 0, n { a[i] = b[i] * 2 }
+`)
+	li := res.Loops[0]
+	if len(li.Reductions) != 0 || len(li.RegWrites) != 1 {
+		t.Fatalf("regular loop misclassified: %+v", li)
+	}
+}
+
+func TestTripletNotation(t *testing.T) {
+	r := IndRef{Array: "ia", Col: 1}
+	if got := r.Triplet("num_edges"); got != "ia[0:num_edges:1, 1]" {
+		t.Fatalf("triplet = %q", got)
+	}
+	r1 := IndRef{Array: "ja", Col: -1}
+	if got := r1.Triplet("n"); got != "ja[0:n:1]" {
+		t.Fatalf("1-D triplet = %q", got)
+	}
+}

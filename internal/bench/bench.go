@@ -1,0 +1,218 @@
+// Package bench regenerates every data-bearing exhibit of the paper's
+// evaluation (Section 5): Figures 4 and 5 (mvm on NAS CG classes W, A, B),
+// Figures 6 and 7 (euler and moldyn under the 1c/2c/4c/2b strategies), the
+// speedup tables embedded in the text (T1–T3), and the ablations the
+// design calls for (k sweep, adaptive reductions, inspector cost).
+//
+// Experiments run on the simulated EARTH machine, so any processor count
+// the paper used (up to 64) runs on a laptop; timings are simulated seconds
+// under the 50 MHz MANNA clock, like the authors' simulator reported.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"irred/internal/inspector"
+	"irred/internal/rts"
+	"irred/internal/sim"
+)
+
+// StrategyDef names a (k, distribution) pair the paper evaluates.
+type StrategyDef struct {
+	Name string
+	K    int
+	Dist inspector.Dist
+}
+
+// The paper's strategy variants.
+var (
+	Strat1C = StrategyDef{"1c", 1, inspector.Cyclic}
+	Strat2C = StrategyDef{"2c", 2, inspector.Cyclic}
+	Strat4C = StrategyDef{"4c", 4, inspector.Cyclic}
+	Strat2B = StrategyDef{"2b", 2, inspector.Block}
+)
+
+// KStrategies are the mvm variants (k sweep, block rows).
+func KStrategies() []StrategyDef {
+	return []StrategyDef{
+		{"k=1", 1, inspector.Block},
+		{"k=2", 2, inspector.Block},
+		{"k=4", 4, inspector.Block},
+	}
+}
+
+// EulerStrategies returns the four variants reported for euler and moldyn.
+func EulerStrategies() []StrategyDef {
+	return []StrategyDef{Strat1C, Strat2C, Strat4C, Strat2B}
+}
+
+// Point is one measured configuration.
+type Point struct {
+	P       int
+	Cycles  sim.Time
+	Seconds float64
+	Speedup float64 // absolute, vs the sequential baseline
+}
+
+// Series is one strategy across processor counts.
+type Series struct {
+	Def    StrategyDef
+	Points []Point
+}
+
+// At returns the point for processor count p, or nil.
+func (s *Series) At(p int) *Point {
+	for i := range s.Points {
+		if s.Points[i].P == p {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// RelativeSpeedup reports speedup going from `from` to `to` processors —
+// the paper's headline metric for euler and moldyn.
+func (s *Series) RelativeSpeedup(from, to int) float64 {
+	a, b := s.At(from), s.At(to)
+	if a == nil || b == nil || b.Seconds == 0 {
+		return 0
+	}
+	return a.Seconds / b.Seconds
+}
+
+// Figure is one regenerated exhibit.
+type Figure struct {
+	ID    string // e.g. "fig4w"
+	Title string
+	// SeqSeconds is the sequential baseline (simulated), and PaperSeq the
+	// paper's measured sequential seconds where reported.
+	SeqSeconds float64
+	PaperSeq   float64
+	Steps      int
+	Series     []Series
+	Notes      []string
+}
+
+// Options control experiment size.
+type Options struct {
+	Steps int   // timesteps (paper: 100)
+	Seed  int64 // dataset seed
+	Procs []int // processor counts; default per figure
+}
+
+func (o *Options) fill(defProcs []int) {
+	if o.Steps <= 0 {
+		o.Steps = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = defProcs
+	}
+}
+
+// runFigure drives one figure: it builds the loop per configuration,
+// simulates it, and assembles speedups against the sequential walk.
+func runFigure(id, title string, opt Options, defProcs []int,
+	strats []StrategyDef, mk func(p, k int, d inspector.Dist) *rts.Loop) (*Figure, error) {
+	opt.fill(defProcs)
+	f := &Figure{ID: id, Title: title, Steps: opt.Steps}
+
+	seqLoop := mk(1, 1, inspector.Block)
+	seqCycles, seqSeconds := rts.RunSequentialSim(seqLoop, rts.SimOptions{Steps: opt.Steps})
+	f.SeqSeconds = seqSeconds
+
+	for _, sd := range strats {
+		ser := Series{Def: sd}
+		for _, p := range opt.Procs {
+			l := mk(p, sd.K, sd.Dist)
+			res, err := rts.RunSim(l, rts.SimOptions{Steps: opt.Steps})
+			if err != nil {
+				return nil, fmt.Errorf("%s %s P=%d: %w", id, sd.Name, p, err)
+			}
+			ser.Points = append(ser.Points, Point{
+				P:       p,
+				Cycles:  res.Cycles,
+				Seconds: res.Seconds,
+				Speedup: float64(seqCycles) / float64(res.Cycles),
+			})
+		}
+		f.Series = append(f.Series, ser)
+	}
+	return f, nil
+}
+
+// Render formats the figure as a fixed-width table of simulated seconds
+// with speedups in parentheses.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "sequential: %.2fs simulated", f.SeqSeconds)
+	if f.PaperSeq > 0 {
+		fmt.Fprintf(&b, " (paper: %.2fs)", f.PaperSeq)
+	}
+	fmt.Fprintf(&b, ", %d timesteps\n", f.Steps)
+
+	fmt.Fprintf(&b, "%6s", "P")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %18s", s.Def.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			p := f.Series[0].Points[i].P
+			fmt.Fprintf(&b, "%6d", p)
+			for _, s := range f.Series {
+				pt := s.At(p)
+				if pt == nil {
+					fmt.Fprintf(&b, " %18s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, "   %8.2fs (%5.2f)", pt.Seconds, pt.Speedup)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values (P, then one
+// seconds+speedup pair per series) for external plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("P")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s_seconds,%s_speedup", s.Def.Name, s.Def.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].Points {
+			p := f.Series[0].Points[i].P
+			fmt.Fprintf(&b, "%d", p)
+			for _, s := range f.Series {
+				if pt := s.At(p); pt != nil {
+					fmt.Fprintf(&b, ",%.4f,%.3f", pt.Seconds, pt.Speedup)
+				} else {
+					b.WriteString(",,")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SeriesByName finds a series, or nil.
+func (f *Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Def.Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

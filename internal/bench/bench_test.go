@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"irred/internal/sparse"
+)
+
+// Small, fast options for tests.
+var testOpt = Options{Steps: 6, Seed: 1, Procs: []int{1, 2, 8}}
+
+func TestFig4SmallClass(t *testing.T) {
+	// A reduced class keeps the test fast while exercising the full path.
+	f, err := Fig4(sparse.Class{Name: "W", N: 1000, NNZ: 20000}, testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s points = %d", s.Def.Name, len(s.Points))
+		}
+		if got := s.At(8); got == nil || got.Speedup <= 1 {
+			t.Fatalf("%s: no speedup at 8 processors: %+v", s.Def.Name, got)
+		}
+	}
+	out := f.Render()
+	for _, want := range []string{"FIG4W", "k=1", "k=2", "k=4", "sequential"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6SmallAndSpeedupTable(t *testing.T) {
+	opt := Options{Steps: 6, Seed: 1, Procs: []int{2, 8, 32}}
+	f, err := Fig6(false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	// Sanity: 32 processors beat 2 for every strategy.
+	for _, s := range f.Series {
+		if rel := s.RelativeSpeedup(2, 32); rel <= 1 {
+			t.Fatalf("%s: relative speedup 2->32 = %v", s.Def.Name, rel)
+		}
+	}
+	tbl := SpeedupTable(f, PaperEuler2K)
+	for _, want := range []string{"1c", "2c", "4c", "2b", "9.28", "rel 2->32"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table lacks %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	opt := Options{Steps: 4, Seed: 1, Procs: []int{2, 8}}
+	f, err := Fig7(false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SeqSeconds <= 0 {
+		t.Fatal("no sequential baseline")
+	}
+	for _, s := range f.Series {
+		if s.At(8).Seconds >= s.At(2).Seconds {
+			t.Fatalf("%s: 8 processors slower than 2", s.Def.Name)
+		}
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	f, err := AblationK(Options{Steps: 4, Seed: 1, Procs: []int{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+}
+
+func TestAblationAdaptive(t *testing.T) {
+	rows, txt, err := AblationAdaptive(Options{Steps: 4, Seed: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || !strings.Contains(txt, "ABLATION-ADAPTIVE") {
+		t.Fatal("adaptive ablation empty")
+	}
+	// Effective per-step cost must fall as the adaptation period grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LightPerStep > rows[i-1].LightPerStep {
+			t.Fatalf("light per-step not monotone: %+v", rows)
+		}
+		if rows[i].ClassicPerStep > rows[i-1].ClassicPerStep {
+			t.Fatalf("classic per-step not monotone: %+v", rows)
+		}
+	}
+	// The light inspector must amortize better: its advantage is largest
+	// at period 1.
+	if rows[0].LightOverClassic >= rows[len(rows)-1].LightOverClassic {
+		// ratio should grow (light loses relative ground) as adaptation
+		// becomes rare.
+		t.Fatalf("adaptive advantage shape wrong: %+v", rows)
+	}
+}
+
+func TestAblationInspector(t *testing.T) {
+	txt, err := AblationInspector(Options{Steps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"euler2K", "moldyn2K", "mvmS"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("inspector ablation lacks %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestAblationEdgeOrder(t *testing.T) {
+	txt, err := AblationEdgeOrder(Options{Steps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "natural") || !strings.Contains(txt, "shuffled") {
+		t.Fatalf("edge-order ablation incomplete:\n%s", txt)
+	}
+}
+
+func TestMVMTableRendering(t *testing.T) {
+	f, err := Fig4(sparse.Class{Name: "W", N: 500, NNZ: 6000}, Options{Steps: 4, Seed: 1, Procs: []int{2, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := MVMTable(f, "W")
+	if !strings.Contains(tbl, "24.55") {
+		t.Fatalf("paper value missing:\n%s", tbl)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f, err := Fig4(sparse.Class{Name: "W", N: 400, NNZ: 4000}, Options{Steps: 4, Seed: 1, Procs: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv rows = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "P,k=1_seconds,k=1_speedup") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2,") || !strings.HasPrefix(lines[2], "4,") {
+		t.Fatalf("csv body:\n%s", csv)
+	}
+}
+
+func TestFigurePlot(t *testing.T) {
+	f, err := Fig6(false, Options{Steps: 4, Seed: 1, Procs: []int{2, 8, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Plot(12)
+	if !strings.Contains(p, "legend:") || !strings.Contains(p, "2c") {
+		t.Fatalf("plot missing legend:\n%s", p)
+	}
+	lines := strings.Split(strings.TrimSpace(p), "\n")
+	// Title + 12 grid rows + axis + legend.
+	if len(lines) != 15 {
+		t.Fatalf("plot has %d lines:\n%s", len(lines), p)
+	}
+	marks := 0
+	for _, g := range []string{"*", "o", "+", "x", "&"} {
+		marks += strings.Count(p, g)
+	}
+	if marks < 6 {
+		t.Fatalf("plot has %d marks, want >= 6 (3 procs x 4 series with overlaps)\n%s", marks, p)
+	}
+}
+
+func TestAblationMachine(t *testing.T) {
+	txt, err := AblationMachine(Options{Steps: 4, Seed: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "MANNA") || !strings.Contains(txt, "modern") {
+		t.Fatalf("machine ablation incomplete:\n%s", txt)
+	}
+}
+
+func TestAblationIncremental(t *testing.T) {
+	txt, err := AblationIncremental(Options{Steps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "re-verified") {
+		t.Fatalf("incremental ablation did not verify:\n%s", txt)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Def: Strat2C, Points: []Point{{P: 2, Seconds: 4}, {P: 8, Seconds: 1}}}
+	if s.At(3) != nil {
+		t.Fatal("At(3) found a point")
+	}
+	if got := s.RelativeSpeedup(2, 8); got != 4 {
+		t.Fatalf("relative speedup = %v", got)
+	}
+	if got := s.RelativeSpeedup(2, 32); got != 0 {
+		t.Fatalf("missing point speedup = %v, want 0", got)
+	}
+	f := &Figure{Series: []Series{s}}
+	if f.SeriesByName("2c") == nil || f.SeriesByName("zz") != nil {
+		t.Fatal("SeriesByName lookup wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+
+	"irred/internal/inspector"
+	"irred/internal/kernels"
+	"irred/internal/mesh"
+	"irred/internal/moldyn"
+	"irred/internal/rts"
+	"irred/internal/sparse"
+)
+
+// Fig4 regenerates one panel of the paper's Figure 4: mvm execution times
+// for a NAS CG class across k ∈ {1,2,4}. Pass sparse.ClassW or ClassA (and
+// see Fig5 for class B).
+func Fig4(class sparse.Class, opt Options) (*Figure, error) {
+	a := sparse.Generate(class, uint64(opt.Seed))
+	mv := kernels.NewMVM(a)
+	paperSeq := map[string]float64{"W": 41.38, "A": 154.55}[class.Name]
+	f, err := runFigure(
+		"fig4"+class.Name,
+		fmt.Sprintf("mvm class %s (n=%d, nnz=%d), execution time vs processors", class.Name, class.N, class.NNZ),
+		opt, []int{1, 2, 4, 8, 16, 32}, KStrategies(),
+		func(p, k int, d inspector.Dist) *rts.Loop { return mv.Loop(p, k, d) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	f.PaperSeq = paperSeq
+	f.Notes = append(f.Notes,
+		"paper @32P speedups — class W: k1 21.61, k2 24.55, k4 23.42; class A: k1 28.41, k2 30.65, k4 30.21",
+		"paper reports slightly superlinear speedups on 4-16 processors (cache effects)")
+	return f, nil
+}
+
+// Fig5 regenerates Figure 5: mvm class B on 4-64 processors. The paper
+// could not run class B sequentially (memory), so relative speedups are
+// computed against the best 4-processor version (k=2), as the paper does.
+func Fig5(opt Options) (*Figure, error) {
+	a := sparse.Generate(sparse.ClassB, uint64(opt.Seed))
+	mv := kernels.NewMVM(a)
+	f, err := runFigure(
+		"fig5",
+		fmt.Sprintf("mvm class B (n=%d, nnz=%d), execution time vs processors", sparse.ClassB.N, sparse.ClassB.NNZ),
+		opt, []int{4, 8, 16, 32, 64}, KStrategies(),
+		func(p, k int, d inspector.Dist) *rts.Loop { return mv.Loop(p, k, d) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	if ref := f.SeriesByName("k=2"); ref != nil && ref.At(4) != nil {
+		base := ref.At(4).Seconds
+		for si := range f.Series {
+			for pi := range f.Series[si].Points {
+				pt := &f.Series[si].Points[pi]
+				pt.Speedup = base / pt.Seconds * 1.0
+			}
+		}
+		f.Notes = append(f.Notes, "speedups are relative to the best 4-processor version (k=2), as in the paper")
+	}
+	return f, nil
+}
+
+// Fig6 regenerates one panel of Figure 6: euler on the 2K or 10K mesh
+// under the 1c/2c/4c/2b strategies.
+func Fig6(large bool, opt Options) (*Figure, error) {
+	nodes, edges := mesh.Paper2K()
+	name, paperSeq := "2K", 7.84
+	paperRel := "paper relative speedups 2->32: 1c 7.12, 2c 9.28, 4c 8.49, 2b 6.78"
+	if large {
+		nodes, edges = mesh.Paper10K()
+		name, paperSeq = "10K", 29.07
+		paperRel = "paper relative speedups 2->32: 1c 7.62, 2c 10.36, 4c 9.95, 2b 6.94"
+	}
+	opt.fill(nil)
+	m := mesh.Generate(nodes, edges, opt.Seed)
+	eu := kernels.NewEuler(m, opt.Seed)
+	f, err := runFigure(
+		"fig6-"+name,
+		fmt.Sprintf("euler %s mesh (%d nodes, %d edges), execution time vs processors", name, nodes, edges),
+		opt, []int{1, 2, 4, 8, 16, 32}, EulerStrategies(),
+		func(p, k int, d inspector.Dist) *rts.Loop { return eu.Loop(p, k, d) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	f.PaperSeq = paperSeq
+	f.Notes = append(f.Notes, paperRel)
+	return f, nil
+}
+
+// Fig7 regenerates one panel of Figure 7: moldyn on the 2K or 10K dataset.
+func Fig7(large bool, opt Options) (*Figure, error) {
+	opt.fill(nil)
+	var sys *moldyn.System
+	name, paperSeq := "2K", 10.80
+	paperRel := "paper relative speedups 2->32: 1c 7.50, 2c 9.70, 4c 8.70, 2b 6.50"
+	if large {
+		sys = moldyn.Paper10K(opt.Seed)
+		name, paperSeq = "10K", 28.98
+		paperRel = "paper relative speedups 2->32: 1c 8.42, 2c 10.76, 4c 10.51, 2b 9.15"
+	} else {
+		sys = moldyn.Paper2K(opt.Seed)
+	}
+	md := kernels.NewMoldyn(sys)
+	f, err := runFigure(
+		"fig7-"+name,
+		fmt.Sprintf("moldyn %s (%d molecules, %d interactions), execution time vs processors", name, sys.N, sys.NumInteractions()),
+		opt, []int{1, 2, 4, 8, 16, 32}, EulerStrategies(),
+		func(p, k int, d inspector.Dist) *rts.Loop { return md.Loop(p, k, d) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	f.PaperSeq = paperSeq
+	f.Notes = append(f.Notes, paperRel)
+	return f, nil
+}

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPartition(t *testing.T) {
+	txt, err := AblationPartition(Options{Steps: 4, Seed: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase strategy (no partitioning)", "RCB", "cut edges"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("partition ablation lacks %q:\n%s", want, txt)
+		}
+	}
+}

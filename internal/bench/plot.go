@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure's speedup curves as an ASCII chart (speedup vs
+// processors, one glyph per series), so irredbench output shows the
+// *shape* the paper's figures show, not just the numbers.
+func (f *Figure) Plot(height int) string {
+	if len(f.Series) == 0 || height < 4 {
+		return ""
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Collect the P axis (columns) and the speedup range.
+	var procs []int
+	for _, pt := range f.Series[0].Points {
+		procs = append(procs, pt.P)
+	}
+	maxSp := 1.0
+	for _, s := range f.Series {
+		for _, pt := range s.Points {
+			if pt.Speedup > maxSp {
+				maxSp = pt.Speedup
+			}
+		}
+	}
+	top := math.Ceil(maxSp)
+
+	const colW = 7
+	width := len(procs) * colW
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(sp float64) int {
+		r := height - 1 - int(sp/top*float64(height-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := func(pi int) int { return pi*colW + colW/2 }
+
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for pi, p := range procs {
+			pt := s.At(p)
+			if pt == nil {
+				continue
+			}
+			r, c := rowOf(pt.Speedup), colOf(pi)
+			if grid[r][c] == ' ' {
+				grid[r][c] = g
+			} else {
+				// Overlapping points: mark the collision.
+				grid[r][c] = '&'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — speedup vs processors (top = %.0fx)\n", strings.ToUpper(f.ID), top)
+	for r := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.0fx", top)
+		case height - 1:
+			label = "    0x"
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, grid[r])
+	}
+	b.WriteString("       ")
+	for _, p := range procs {
+		fmt.Fprintf(&b, "%*d", colW, p)
+	}
+	b.WriteString("   (P)\n       legend:")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c=%s", glyphs[si%len(glyphs)], s.Def.Name)
+	}
+	b.WriteString("  &=overlap\n")
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperRel holds the paper's reported numbers for one strategy of a
+// euler/moldyn panel: the 2-processor absolute speedup and the relative
+// speedup going from 2 to 32 processors.
+type PaperRel struct {
+	Name     string
+	TwoP     float64
+	Rel2to32 float64
+}
+
+// Paper-reported values (Section 5.4 text).
+var (
+	PaperEuler2K   = []PaperRel{{"1c", 1.10, 7.12}, {"2c", 1.20, 9.28}, {"4c", 1.17, 8.49}, {"2b", 1.24, 6.78}}
+	PaperEuler10K  = []PaperRel{{"1c", 1.11, 7.62}, {"2c", 1.12, 10.36}, {"4c", 0.95, 9.95}, {"2b", 1.16, 6.94}}
+	PaperMoldyn2K  = []PaperRel{{"1c", 1.30, 7.50}, {"2c", 1.19, 9.70}, {"4c", 1.15, 8.70}, {"2b", 1.11, 6.50}}
+	PaperMoldyn10K = []PaperRel{{"1c", 0.82, 8.42}, {"2c", 0.57, 10.76}, {"4c", 0.57, 10.51}, {"2b", 0.56, 9.15}}
+)
+
+// SpeedupTable renders the paper's Section 5.4 text numbers against the
+// measured figure: per strategy, the 2-processor absolute speedup and the
+// 2→32 relative speedup, beside the paper's values.
+func SpeedupTable(f *Figure, paper []PaperRel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — speedup summary (measured vs paper)\n", strings.ToUpper(f.ID))
+	fmt.Fprintf(&b, "%6s %14s %14s %16s %16s\n", "strat", "speedup@2P", "paper@2P", "rel 2->32", "paper 2->32")
+	for _, s := range f.Series {
+		var pv PaperRel
+		for _, p := range paper {
+			if p.Name == s.Def.Name {
+				pv = p
+			}
+		}
+		two := s.At(2)
+		twoV := 0.0
+		if two != nil {
+			twoV = two.Speedup
+		}
+		fmt.Fprintf(&b, "%6s %14.2f %14.2f %16.2f %16.2f\n",
+			s.Def.Name, twoV, pv.TwoP, s.RelativeSpeedup(2, 32), pv.Rel2to32)
+	}
+	return b.String()
+}
+
+// PaperMVM32 holds the paper's @32P mvm speedups per class.
+var PaperMVM32 = map[string]map[string]float64{
+	"W": {"k=1": 21.61, "k=2": 24.55, "k=4": 23.42},
+	"A": {"k=1": 28.41, "k=2": 30.65, "k=4": 30.21},
+}
+
+// MVMTable renders T1: mvm speedups at 2 and 32 processors against the
+// paper's values for the class ("W" or "A").
+func MVMTable(f *Figure, class string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — mvm class %s speedup summary (measured vs paper)\n", strings.ToUpper(f.ID), class)
+	fmt.Fprintf(&b, "%6s %14s %14s %14s\n", "strat", "speedup@2P", "speedup@32P", "paper@32P")
+	for _, s := range f.Series {
+		two, thirty := s.At(2), s.At(32)
+		tv, th := 0.0, 0.0
+		if two != nil {
+			tv = two.Speedup
+		}
+		if thirty != nil {
+			th = thirty.Speedup
+		}
+		fmt.Fprintf(&b, "%6s %14.2f %14.2f %14.2f\n", s.Def.Name, tv, th, PaperMVM32[class][s.Def.Name])
+	}
+	b.WriteString("paper @2P: 1.97-1.98 (class W), 1.94-1.95 (class A)\n")
+	return b.String()
+}

@@ -1,0 +1,341 @@
+// Package codegen lowers analyzed, fissioned IRL loops to the phase
+// runtime. Compile drives the whole pipeline of the paper's Section 4:
+// parse -> extract sections -> build reference groups -> loop fission ->
+// per-loop plans. A Plan can be wired onto the rts engines for execution
+// and rendered as a Threaded-C-style listing (the EARTH-C compiler's
+// target language).
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"irred/internal/analysis"
+	"irred/internal/inspector"
+	"irred/internal/interp"
+	"irred/internal/lang"
+	"irred/internal/rts"
+	"irred/internal/transform"
+)
+
+// PlanKind distinguishes irregular (phase-executed) loops from regular
+// loops that need no runtime preprocessing.
+type PlanKind int
+
+const (
+	// Irregular plans run under the paper's execution strategy.
+	Irregular PlanKind = iota
+	// Regular plans (prologues, residual element loops) are embarrassingly
+	// parallel and run directly.
+	Regular
+)
+
+// Plan is the executable form of one post-fission loop.
+type Plan struct {
+	Kind PlanKind
+	Loop *lang.Loop
+	Info *analysis.LoopInfo // analysis of this loop (single reference group)
+	Prog *lang.Program      // the fissioned program (declarations)
+	Name string             // stable name for listings: loop0, loop0_g1, ...
+}
+
+// Unit is a fully compiled IRL program.
+type Unit struct {
+	Source    *lang.Program
+	Analysis  *analysis.Result
+	Fissioned *lang.Program
+	Results   []*transform.FissionResult
+	Plans     []*Plan
+}
+
+// Compile runs the whole pipeline on IRL source text.
+func Compile(src string) (*Unit, error) { return compile(src, false) }
+
+// CompileOptimized additionally runs common-subexpression elimination on
+// every loop before analysis.
+func CompileOptimized(src string) (*Unit, error) { return compile(src, true) }
+
+func compile(src string, optimize bool) (*Unit, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if optimize {
+		prog, _ = transform.CSEProgram(prog)
+	}
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	fissioned, frs, err := transform.Fission(res)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Source: prog, Analysis: res, Fissioned: fissioned, Results: frs}
+
+	for li, fr := range frs {
+		if fr.Prologue != nil {
+			pi, err := reanalyze(fissioned, fr.Prologue)
+			if err != nil {
+				return nil, err
+			}
+			u.Plans = append(u.Plans, &Plan{
+				Kind: Regular, Loop: fr.Prologue, Info: pi, Prog: fissioned,
+				Name: fmt.Sprintf("loop%d_pro", li),
+			})
+		}
+		for gi, fl := range fr.Loops {
+			info, err := reanalyze(fissioned, fl.Loop)
+			if err != nil {
+				return nil, err
+			}
+			if len(info.Groups) > 1 {
+				return nil, fmt.Errorf("codegen: loop %d still has %d reference groups after fission", li, len(info.Groups))
+			}
+			kind := Regular
+			if len(info.Reductions) > 0 {
+				kind = Irregular
+			}
+			name := fmt.Sprintf("loop%d", li)
+			if len(fr.Loops) > 1 {
+				name = fmt.Sprintf("loop%d_g%d", li, gi)
+			}
+			u.Plans = append(u.Plans, &Plan{Kind: kind, Loop: fl.Loop, Info: info, Prog: fissioned, Name: name})
+		}
+	}
+	return u, nil
+}
+
+func reanalyze(prog *lang.Program, l *lang.Loop) (*analysis.LoopInfo, error) {
+	tmp := &lang.Program{Params: prog.Params, Arrays: prog.Arrays, Loops: []*lang.Loop{l}}
+	res, err := analysis.Analyze(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return res.Loops[0], nil
+}
+
+// ReductionArrays lists the distinct reduction arrays of the plan, sorted.
+func (p *Plan) ReductionArrays() []string {
+	set := map[string]bool{}
+	for _, r := range p.Info.Reductions {
+		set[r.Array] = true
+	}
+	var out []string
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildLoop wires an irregular plan onto the runtime for a machine of
+// `procs` processors with unrolling factor k: it extracts the indirection
+// columns from the environment, estimates the kernel cost from the loop
+// body, and returns the rts loop plus the contribution hook that evaluates
+// the body per iteration.
+//
+// Multiple reduction arrays in one group are packed as components of the
+// rotated array; component c of element e holds array c's element e.
+func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*rts.Loop, rts.ContribFunc, error) {
+	if p.Kind != Irregular {
+		return nil, nil, fmt.Errorf("codegen: %s is a regular loop", p.Name)
+	}
+	lo, hi, err := loopBounds(env, p.Loop)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lo != 0 {
+		return nil, nil, fmt.Errorf("codegen: %s: loops must start at 0 (got %d)", p.Name, lo)
+	}
+	arrays := p.ReductionArrays()
+	compOf := map[string]int{}
+	for c, a := range arrays {
+		compOf[a] = c
+	}
+	nElems, err := env.Size(arrays[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, a := range arrays[1:] {
+		n, err := env.Size(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n != nElems {
+			return nil, nil, fmt.Errorf("codegen: %s: reduction arrays %s and %s differ in extent", p.Name, arrays[0], a)
+		}
+	}
+
+	reds := p.Info.Reductions
+	ind := make([][]int32, len(reds))
+	for r, red := range reds {
+		col, err := indColumn(env, red.Ind, hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		ind[r] = col
+	}
+
+	loop := &rts.Loop{
+		Cfg: inspector.Config{
+			P: procs, K: k,
+			NumIters: hi,
+			NumElems: nElems,
+			Dist:     dist,
+		},
+		Mode: rts.Reduce,
+		Ind:  ind,
+		Cost: p.EstimateCost(len(arrays)),
+	}
+
+	exprs := make([]lang.Expr, len(reds))
+	signs := make([]float64, len(reds))
+	for r, red := range reds {
+		exprs[r] = red.RHS
+		signs[r] = 1
+		if red.Negate {
+			signs[r] = -1
+		}
+	}
+	// Compile the body to bytecode once; each simulated processor gets an
+	// independent evaluator (private register/stack state) plus a private
+	// scratch buffer.
+	code, err := env.CompileIter(p.Loop, exprs)
+	if err != nil {
+		return nil, nil, err
+	}
+	comp := len(arrays)
+	type evalState struct {
+		code *interp.Code
+		vals []float64
+	}
+	states := make([]evalState, procs)
+	for q := range states {
+		states[q] = evalState{code: code.Clone(), vals: make([]float64, len(reds))}
+	}
+	contribs := func(proc, i int, out []float64) {
+		st := &states[proc]
+		st.code.Eval(i, st.vals)
+		for j := range out {
+			out[j] = 0
+		}
+		for r, red := range reds {
+			out[r*comp+compOf[red.Array]] = signs[r] * st.vals[r]
+		}
+	}
+	return loop, contribs, nil
+}
+
+// Scatter unpacks the runtime's rotated array back into the environment's
+// reduction arrays after a run.
+func (p *Plan) Scatter(env *interp.Env, x []float64) error {
+	arrays := p.ReductionArrays()
+	comp := len(arrays)
+	for c, a := range arrays {
+		data, ok := env.Floats[a]
+		if !ok {
+			return fmt.Errorf("codegen: array %q unbound", a)
+		}
+		for e := range data {
+			data[e] = x[e*comp+c]
+		}
+	}
+	return nil
+}
+
+// EstimateCost derives a simulator cost description from the loop body.
+func (p *Plan) EstimateCost(comp int) rts.KernelCost {
+	flops := 0
+	for _, st := range p.Loop.Body {
+		lang.Walk(st.RHS, func(e lang.Expr) {
+			switch e.(type) {
+			case *lang.BinExpr, *lang.UnExpr:
+				flops++
+			case *lang.CallExpr:
+				flops += 8 // sqrt-class builtin
+			}
+		})
+	}
+	return rts.KernelCost{
+		Flops:      flops,
+		IntOps:     2 * len(p.Info.Reductions),
+		IterArrays: len(p.Info.IterReads),
+		NodeArrays: len(p.Info.Reads),
+		Comp:       comp,
+		BcastComp:  len(p.Info.Reads), // replicated reads refreshed per step
+	}
+}
+
+func loopBounds(env *interp.Env, l *lang.Loop) (int, int, error) {
+	loE, err := evalConst(env, l.Lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	hiE, err := evalConst(env, l.Hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return loE, hiE, nil
+}
+
+func evalConst(env *interp.Env, e lang.Expr) (int, error) {
+	switch x := e.(type) {
+	case *lang.Num:
+		return int(x.Val), nil
+	case *lang.Ident:
+		if v, ok := env.Params[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("codegen: unbound parameter %q", x.Name)
+	default:
+		return 0, fmt.Errorf("codegen: loop bound %s is not constant", e)
+	}
+}
+
+// indColumn extracts the flattened indirection column ind[i] or
+// ind[i, col] for i in [0, n).
+func indColumn(env *interp.Env, ref analysis.IndRef, n int) ([]int32, error) {
+	data, ok := env.Ints[ref.Array]
+	if !ok {
+		return nil, fmt.Errorf("codegen: indirection array %q unbound", ref.Array)
+	}
+	decl := env.Prog.Array(ref.Array)
+	if ref.Col < 0 {
+		if len(data) < n {
+			return nil, fmt.Errorf("codegen: indirection %q shorter than loop", ref.Array)
+		}
+		return data[:n], nil
+	}
+	ncols, err := env.Size(ref.Array)
+	if err != nil {
+		return nil, err
+	}
+	_ = ncols
+	width := 0
+	if len(decl.Dims) == 2 {
+		w, err := envExtent(env, decl.Dims[1])
+		if err != nil {
+			return nil, err
+		}
+		width = w
+	}
+	if width == 0 || ref.Col >= width {
+		return nil, fmt.Errorf("codegen: column %d out of range for %q", ref.Col, ref.Array)
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = data[i*width+ref.Col]
+	}
+	return out, nil
+}
+
+func envExtent(env *interp.Env, x lang.Extent) (int, error) {
+	if x.Param == "" {
+		return x.Lit, nil
+	}
+	if v, ok := env.Params[x.Param]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("codegen: parameter %q unbound", x.Param)
+}

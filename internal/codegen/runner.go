@@ -1,0 +1,108 @@
+package codegen
+
+import (
+	"fmt"
+
+	"irred/internal/inspector"
+	"irred/internal/interp"
+	"irred/internal/rts"
+)
+
+// Runner executes a whole compiled program — prologues, irregular reduction
+// loops on the phase runtime, and regular loops — repeatedly against one
+// environment, the way a timestep loop drives the paper's kernels. The
+// LightInspector schedules and the bytecode for every irregular plan are
+// built once and reused across steps, matching the paper's methodology
+// (inspector executed once per run).
+type Runner struct {
+	Unit  *Unit
+	Env   *interp.Env
+	procs int
+
+	plans []runnerPlan
+}
+
+type runnerPlan struct {
+	plan   *Plan
+	native *rts.Native
+}
+
+// NewRunner prepares every plan for repeated execution at the given
+// machine shape. The environment must already have all source arrays
+// bound (Alloc'd).
+func (u *Unit) NewRunner(env *interp.Env, procs, k int, dist inspector.Dist) (*Runner, error) {
+	if procs <= 0 || k <= 0 {
+		return nil, fmt.Errorf("codegen: runner needs procs >= 1 and k >= 1")
+	}
+	r := &Runner{Unit: u, Env: env, procs: procs}
+	for _, p := range u.Plans {
+		rp := runnerPlan{plan: p}
+		if p.Kind == Irregular {
+			loop, contribs, err := p.BuildLoop(env, procs, k, dist)
+			if err != nil {
+				return nil, err
+			}
+			nat, err := rts.NewNative(loop)
+			if err != nil {
+				return nil, err
+			}
+			nat.Contribs = contribs
+			rp.native = nat
+		}
+		r.plans = append(r.plans, rp)
+	}
+	return r, nil
+}
+
+// Step executes the whole program once: each plan in order, irregular
+// loops on the phase runtime (accumulating into the environment's
+// reduction arrays), regular loops via the interpreter.
+func (r *Runner) Step() error {
+	for _, rp := range r.plans {
+		if rp.native == nil {
+			if err := r.Env.RunLoop(rp.plan.Loop); err != nil {
+				return err
+			}
+			continue
+		}
+		// Load current reduction-array contents, sweep, write back.
+		if err := rp.plan.Pack(r.Env, rp.native.X); err != nil {
+			return err
+		}
+		if err := rp.native.Run(1); err != nil {
+			return err
+		}
+		if err := rp.plan.Scatter(r.Env, rp.native.X); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes steps timesteps.
+func (r *Runner) Run(steps int) error {
+	for s := 0; s < steps; s++ {
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pack loads the environment's reduction arrays into the runtime's rotated
+// array (the inverse of Scatter), so a sweep accumulates on top of the
+// current values.
+func (p *Plan) Pack(env *interp.Env, x []float64) error {
+	arrays := p.ReductionArrays()
+	comp := len(arrays)
+	for c, a := range arrays {
+		data, ok := env.Floats[a]
+		if !ok {
+			return fmt.Errorf("codegen: array %q unbound", a)
+		}
+		for e := range data {
+			x[e*comp+c] = data[e]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+// Package earth models the EARTH (Efficient Architecture for Running
+// Threads) abstract machine of Hum, Theobald and Gao on top of the
+// deterministic event engine in package sim.
+//
+// An EARTH multiprocessor consists of nodes, each with an Execution Unit
+// (EU) that runs non-preemptive fibers to completion and a Synchronization
+// Unit (SU) that processes EARTH operations — synchronization signals, data
+// transfers, and fiber spawns — and determines when fibers become ready.
+// Fibers declare their data and control dependences through sync slots:
+// counted dataflow-style join points. A fiber is eligible to run as soon as
+// its slot's count reaches zero; there are no global barriers.
+//
+// The reproduction uses the paper's manna-dual configuration: the EU and SU
+// are separate engines per node, so synchronization and communication
+// processing overlap with fiber execution — the property the paper's
+// execution strategy relies on to hide communication latency.
+package earth
+
+import (
+	"fmt"
+
+	"irred/internal/machine"
+	"irred/internal/sim"
+)
+
+// Machine is a simulated EARTH multiprocessor.
+type Machine struct {
+	Eng  *sim.Engine
+	Cost machine.CostModel
+	Net  machine.Network
+
+	nodes []*Node
+	trace *Trace
+}
+
+// New builds a machine with p nodes using the given cost and network models.
+func New(p int, cost machine.CostModel, net machine.Network) *Machine {
+	if p <= 0 {
+		panic("earth: machine needs at least one node")
+	}
+	m := &Machine{Eng: sim.NewEngine(), Cost: cost, Net: net}
+	m.nodes = make([]*Node, p)
+	for i := range m.nodes {
+		m.nodes[i] = &Node{
+			ID:  i,
+			m:   m,
+			EU:  sim.NewServer(m.Eng),
+			SU:  sim.NewServer(m.Eng),
+			NIC: sim.NewServer(m.Eng),
+		}
+	}
+	return m
+}
+
+// P reports the number of nodes.
+func (m *Machine) P() int { return len(m.nodes) }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+
+// Run executes the event calendar to exhaustion and returns the final
+// virtual time in cycles.
+func (m *Machine) Run() sim.Time { return m.Eng.Run() }
+
+// Seconds converts cycles to seconds under this machine's clock.
+func (m *Machine) Seconds(t sim.Time) float64 { return m.Cost.Seconds(t) }
+
+// Node is one EARTH node: an EU running fibers, an SU handling EARTH
+// operations, and a network interface serializing outgoing messages.
+type Node struct {
+	ID  int
+	m   *Machine
+	EU  *sim.Server
+	SU  *sim.Server
+	NIC *sim.Server
+
+	// Statistics.
+	FibersRun uint64
+	MsgsSent  uint64
+	BytesSent uint64
+	SyncsSent uint64
+}
+
+// Machine returns the machine this node belongs to.
+func (n *Node) Machine() *Machine { return n.m }
+
+// Fiber is a non-preemptive unit of work. Cost is the EU occupancy in
+// cycles; Body runs at fiber completion and issues EARTH operations (and may
+// create further fibers and slots). A fiber runs when the slot naming it
+// reaches zero, or when spawned directly.
+type Fiber struct {
+	node *Node
+	cost sim.Time
+	body func(ctx *Ctx)
+	ran  bool
+
+	// Label names the fiber in traces; optional.
+	Label string
+}
+
+// NewFiber declares a fiber on node n occupying the EU for cost cycles.
+// body may be nil.
+func (n *Node) NewFiber(cost sim.Time, body func(ctx *Ctx)) *Fiber {
+	if cost < 0 {
+		panic("earth: negative fiber cost")
+	}
+	return &Fiber{node: n, cost: cost, body: body}
+}
+
+// Slot is a counted dataflow synchronization point: when its count reaches
+// zero the attached fiber is enqueued on its node's EU. Slots are one-shot;
+// the runtime creates a fresh slot per join. Decrements are processed by the
+// owning node's SU.
+type Slot struct {
+	node  *Node
+	count int
+	fiber *Fiber
+	fired bool
+}
+
+// NewSlot creates a slot on node n that releases fiber after count signals.
+// A count of zero enqueues the fiber immediately (through the SU, like any
+// other synchronization event).
+func (n *Node) NewSlot(count int, fiber *Fiber) *Slot {
+	if count < 0 {
+		panic("earth: negative slot count")
+	}
+	if fiber.node != n {
+		panic("earth: slot and fiber must live on the same node")
+	}
+	s := &Slot{node: n, count: count, fiber: fiber}
+	if count == 0 {
+		n.suSignal(s)
+	}
+	return s
+}
+
+// suSignal models the SU processing one synchronization event for slot s.
+func (n *Node) suSignal(s *Slot) {
+	n.SU.Submit(n.m.Cost.SyncOp, func() {
+		if s.fired {
+			panic("earth: signal to an already-fired slot")
+		}
+		if s.count > 0 {
+			s.count--
+		}
+		if s.count == 0 {
+			s.fired = true
+			n.dispatch(s.fiber)
+		}
+	})
+}
+
+// dispatch enqueues a ready fiber on the EU.
+func (n *Node) dispatch(f *Fiber) {
+	if f.ran {
+		panic("earth: fiber dispatched twice")
+	}
+	f.ran = true
+	n.FibersRun++
+	occupancy := n.m.Cost.FiberSwitch + f.cost
+	n.EU.Submit(occupancy, func() {
+		n.m.recordFiber(n.ID, n.m.Eng.Now()-occupancy, n.m.Eng.Now(), f.Label)
+		if f.body != nil {
+			f.body(&Ctx{node: n})
+		}
+	})
+}
+
+// Ctx is passed to a fiber body; it issues EARTH operations on behalf of the
+// completing fiber.
+type Ctx struct {
+	node *Node
+}
+
+// Node reports the node the fiber ran on.
+func (c *Ctx) Node() *Node { return c.node }
+
+// Time reports the current virtual time.
+func (c *Ctx) Time() sim.Time { return c.node.m.Eng.Now() }
+
+// Spawn makes fiber ready immediately (a spawn operation through the SU of
+// the fiber's own node; remote spawns cost a sync message first).
+func (c *Ctx) Spawn(f *Fiber) {
+	s := &Slot{node: f.node, count: 1, fiber: f}
+	c.Sync(s)
+}
+
+// Sync sends a synchronization signal to slot s, decrementing its count.
+// Local signals go straight to this node's SU; remote signals cross the
+// network as a small control message.
+func (c *Ctx) Sync(s *Slot) {
+	if s.node == c.node {
+		c.node.suSignal(s)
+		return
+	}
+	c.node.SyncsSent++
+	c.transfer(s.node, syncMsgBytes, func() { s.node.suSignal(s) })
+}
+
+// syncMsgBytes is the wire size of a control-only EARTH operation.
+const syncMsgBytes = 16
+
+// Send models a DATA_SYNC / BLKMOV_SYNC: a payload of bytes moves to dst's
+// memory; when it lands, onDeliver (may be nil) runs on the destination and
+// slot (may be nil) receives one signal. Sending to the local node skips the
+// network but still exercises the SU.
+func (c *Ctx) Send(dst *Node, bytes int, slot *Slot, onDeliver func()) {
+	if slot != nil && slot.node != dst {
+		panic("earth: data-sync slot must live on the destination node")
+	}
+	deliver := func() {
+		if onDeliver != nil {
+			onDeliver()
+		}
+		if slot != nil {
+			dst.suSignal(slot)
+		}
+	}
+	if dst == c.node {
+		c.node.SU.Submit(c.node.m.Cost.SyncOp, deliver)
+		return
+	}
+	c.node.MsgsSent++
+	c.node.BytesSent += uint64(bytes)
+	c.transfer(dst, bytes, deliver)
+}
+
+// transfer moves bytes to dst: NIC occupancy, switch latency, then SU
+// processing at the destination.
+func (c *Ctx) transfer(dst *Node, bytes int, arrived func()) {
+	m := c.node.m
+	m.recordMsg(c.node.ID, dst.ID, m.Eng.Now(), bytes)
+	c.node.NIC.Submit(m.Net.XmitCycles(bytes), func() {
+		m.Eng.Schedule(m.Net.Latency, func() {
+			dst.SU.Submit(m.Net.RecvOverhead, arrived)
+		})
+	})
+}
+
+// String identifies the node in traces.
+func (n *Node) String() string { return fmt.Sprintf("node%d", n.ID) }
+
+// RepeatingSlot is a sync slot with a reset count, the EARTH ISA's device
+// for loop synchronization: each time the count reaches zero the slot
+// dispatches a fresh fiber from spawn and re-arms itself with the original
+// count. Unlike one-shot slots it accepts signals indefinitely.
+type RepeatingSlot struct {
+	node  *Node
+	reset int
+	count int
+	spawn func() *Fiber
+	Fires uint64
+}
+
+// NewRepeatingSlot creates a slot that dispatches spawn() every `count`
+// signals. count must be positive.
+func (n *Node) NewRepeatingSlot(count int, spawn func() *Fiber) *RepeatingSlot {
+	if count <= 0 {
+		panic("earth: repeating slot needs count >= 1")
+	}
+	if spawn == nil {
+		panic("earth: repeating slot needs a fiber factory")
+	}
+	return &RepeatingSlot{node: n, reset: count, count: count, spawn: spawn}
+}
+
+// Signal sends one synchronization signal to the slot from a fiber on any
+// node (remote signals cross the network like Sync).
+func (c *Ctx) Signal(s *RepeatingSlot) {
+	deliver := func() {
+		s.count--
+		if s.count == 0 {
+			s.count = s.reset
+			s.Fires++
+			f := s.spawn()
+			if f.node != s.node {
+				panic("earth: repeating slot fiber must live on the slot's node")
+			}
+			s.node.dispatch(f)
+		}
+	}
+	if s.node == c.node {
+		c.node.SU.Submit(c.node.m.Cost.SyncOp, deliver)
+		return
+	}
+	c.node.SyncsSent++
+	c.transfer(s.node, syncMsgBytes, func() {
+		s.node.SU.Submit(s.node.m.Cost.SyncOp, deliver)
+	})
+}

@@ -1,0 +1,64 @@
+package earth
+
+// Additional EARTH operations beyond Sync/Send: split-phase remote reads
+// and fetch-and-add style synchronization, matching the operation set of
+// the EARTH instruction manual (GET_SYNC, INCR_SYNC). Both are split-phase:
+// the issuing fiber terminates and a successor fiber is released by a sync
+// slot when the operation completes — non-preemptive fibers never wait.
+
+// GetSync models GET_SYNC: read `bytes` from src's memory into the local
+// node. The request crosses the network, src's SU serves it (a memory read,
+// no EU involvement — the defining EARTH property), and the response
+// carries the payload back; onDone runs at the issuing node and slot (on
+// the issuing node, may be nil) receives a signal.
+func (c *Ctx) GetSync(src *Node, bytes int, slot *Slot, onDone func()) {
+	if slot != nil && slot.node != c.node {
+		panic("earth: GET_SYNC completion slot must live on the issuing node")
+	}
+	home := c.node
+	finish := func() {
+		if onDone != nil {
+			onDone()
+		}
+		if slot != nil {
+			home.suSignal(slot)
+		}
+	}
+	if src == c.node {
+		c.node.SU.Submit(c.node.m.Cost.SyncOp, finish)
+		return
+	}
+	// Request: a small control message to src.
+	c.node.SyncsSent++
+	c.transfer(src, syncMsgBytes, func() {
+		// Response: src's SU sends the payload back.
+		src.MsgsSent++
+		src.BytesSent += uint64(bytes)
+		srcCtx := &Ctx{node: src}
+		srcCtx.transfer(home, bytes, finish)
+	})
+}
+
+// IncrSync models INCR_SYNC: an atomic remote increment served by the
+// destination's SU (again without involving its EU), signalling slot (on
+// the destination, may be nil) when applied. apply performs the actual
+// mutation at the destination.
+func (c *Ctx) IncrSync(dst *Node, slot *Slot, apply func()) {
+	if slot != nil && slot.node != dst {
+		panic("earth: INCR_SYNC slot must live on the destination node")
+	}
+	done := func() {
+		if apply != nil {
+			apply()
+		}
+		if slot != nil {
+			dst.suSignal(slot)
+		}
+	}
+	if dst == c.node {
+		c.node.SU.Submit(c.node.m.Cost.SyncOp, done)
+		return
+	}
+	c.node.SyncsSent++
+	c.transfer(dst, syncMsgBytes, done)
+}

@@ -1,0 +1,209 @@
+package earth
+
+import (
+	"strings"
+	"testing"
+
+	"irred/internal/sim"
+)
+
+func TestGetSyncRoundTrip(t *testing.T) {
+	m := newTestMachine(2)
+	a, b := m.Node(0), m.Node(1)
+	var doneAt sim.Time
+	consumer := a.NewFiber(0, func(ctx *Ctx) { doneAt = ctx.Time() })
+	slot := a.NewSlot(1, consumer)
+	const bytes = 2048
+	req := a.NewFiber(10, func(ctx *Ctx) { ctx.GetSync(b, bytes, slot, nil) })
+	a.NewSlot(0, req)
+	m.Run()
+	if doneAt == 0 {
+		t.Fatal("GET_SYNC never completed")
+	}
+	// Round trip: request (small) out + response (payload) back, two
+	// latencies, two receive overheads at least.
+	minRT := m.Net.XmitCycles(16) + m.Net.XmitCycles(bytes) + 2*m.Net.Latency + 2*m.Net.RecvOverhead
+	if doneAt < minRT {
+		t.Fatalf("GET_SYNC done at %d, below minimum round trip %d", doneAt, minRT)
+	}
+	// The payload leg is charged to the source node.
+	if b.MsgsSent != 1 || b.BytesSent != bytes {
+		t.Fatalf("source sent %d msgs / %d bytes", b.MsgsSent, b.BytesSent)
+	}
+}
+
+func TestGetSyncDoesNotUseRemoteEU(t *testing.T) {
+	// The defining EARTH property: a remote read is served by the SU; the
+	// remote EU never runs a fiber for it.
+	m := newTestMachine(2)
+	a, b := m.Node(0), m.Node(1)
+	done := a.NewFiber(0, nil)
+	slot := a.NewSlot(1, done)
+	req := a.NewFiber(1, func(ctx *Ctx) { ctx.GetSync(b, 4096, slot, nil) })
+	a.NewSlot(0, req)
+	m.Run()
+	if b.FibersRun != 0 {
+		t.Fatalf("remote EU ran %d fibers for a GET_SYNC", b.FibersRun)
+	}
+	if b.EU.Busy != 0 {
+		t.Fatalf("remote EU busy %d cycles", b.EU.Busy)
+	}
+}
+
+func TestLocalGetSync(t *testing.T) {
+	m := newTestMachine(1)
+	n := m.Node(0)
+	ran := false
+	f := n.NewFiber(0, func(ctx *Ctx) { ran = true })
+	slot := n.NewSlot(1, f)
+	g := n.NewFiber(1, func(ctx *Ctx) { ctx.GetSync(n, 100, slot, nil) })
+	n.NewSlot(0, g)
+	m.Run()
+	if !ran {
+		t.Fatal("local GET_SYNC did not complete")
+	}
+	if n.MsgsSent != 0 {
+		t.Fatal("local GET_SYNC used the network")
+	}
+}
+
+func TestIncrSyncAppliesRemotely(t *testing.T) {
+	m := newTestMachine(2)
+	a, b := m.Node(0), m.Node(1)
+	counter := 0
+	consumer := b.NewFiber(0, nil)
+	slot := b.NewSlot(2, consumer)
+	send := a.NewFiber(1, func(ctx *Ctx) {
+		ctx.IncrSync(b, slot, func() { counter++ })
+		ctx.IncrSync(b, slot, func() { counter += 10 })
+	})
+	a.NewSlot(0, send)
+	m.Run()
+	if counter != 11 {
+		t.Fatalf("counter = %d, want 11", counter)
+	}
+}
+
+func TestGetSyncSlotOnWrongNodePanics(t *testing.T) {
+	m := newTestMachine(2)
+	a, b := m.Node(0), m.Node(1)
+	f := b.NewFiber(0, nil)
+	slot := b.NewSlot(1, f)
+	g := a.NewFiber(1, func(ctx *Ctx) { ctx.GetSync(b, 8, slot, nil) })
+	a.NewSlot(0, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misplaced GET_SYNC slot accepted")
+		}
+	}()
+	m.Run()
+}
+
+func TestTraceRecordsFibersAndMessages(t *testing.T) {
+	m := newTestMachine(2)
+	tr := &Trace{}
+	m.SetTrace(tr)
+	a, b := m.Node(0), m.Node(1)
+	cons := b.NewFiber(50, nil)
+	cons.Label = "consumer"
+	slot := b.NewSlot(1, cons)
+	prod := a.NewFiber(100, func(ctx *Ctx) { ctx.Send(b, 1000, slot, nil) })
+	prod.Label = "producer"
+	a.NewSlot(0, prod)
+	end := m.Run()
+
+	if len(tr.Fibers) != 2 {
+		t.Fatalf("traced %d fibers, want 2", len(tr.Fibers))
+	}
+	spans := tr.SortedFibers()
+	if spans[0].Label != "producer" || spans[1].Label != "consumer" {
+		t.Fatalf("span order: %+v", spans)
+	}
+	if spans[0].End-spans[0].Start != m.Cost.FiberSwitch+100 {
+		t.Fatalf("producer span length %d", spans[0].End-spans[0].Start)
+	}
+	if len(tr.Msgs) != 1 || tr.Msgs[0].Bytes != 1000 || tr.Msgs[0].From != 0 || tr.Msgs[0].To != 1 {
+		t.Fatalf("msgs: %+v", tr.Msgs)
+	}
+	if tr.Busy(0) != m.Cost.FiberSwitch+100 {
+		t.Fatalf("Busy(0) = %d", tr.Busy(0))
+	}
+
+	g := tr.Gantt(2, end, 40)
+	if !strings.Contains(g, "node0") || !strings.Contains(g, "#") {
+		t.Fatalf("gantt malformed:\n%s", g)
+	}
+	// Node 0 busy early, node 1 busy late.
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if !strings.Contains(lines[0][:15], "#") {
+		t.Fatalf("node0 row idle at start:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	tr := &Trace{}
+	if g := tr.Gantt(1, 0, 10); g != "" {
+		t.Fatalf("empty gantt = %q", g)
+	}
+}
+
+func TestRepeatingSlotReArms(t *testing.T) {
+	m := newTestMachine(2)
+	a, b := m.Node(0), m.Node(1)
+	var runs int
+	slot := b.NewRepeatingSlot(2, func() *Fiber {
+		return b.NewFiber(5, func(ctx *Ctx) { runs++ })
+	})
+	// Six signals from a remote producer: the slot must fire three times.
+	prod := a.NewFiber(1, func(ctx *Ctx) {
+		for i := 0; i < 6; i++ {
+			ctx.Signal(slot)
+		}
+	})
+	a.NewSlot(0, prod)
+	m.Run()
+	if runs != 3 || slot.Fires != 3 {
+		t.Fatalf("runs = %d, fires = %d; want 3/3", runs, slot.Fires)
+	}
+}
+
+func TestRepeatingSlotLocalPipeline(t *testing.T) {
+	// A self-sustaining loop: each firing signals the slot again until a
+	// budget is spent — the EARTH idiom for a sequential loop of fibers.
+	m := newTestMachine(1)
+	n := m.Node(0)
+	var iters int
+	var slot *RepeatingSlot
+	slot = n.NewRepeatingSlot(1, func() *Fiber {
+		return n.NewFiber(10, func(ctx *Ctx) {
+			iters++
+			if iters < 50 {
+				ctx.Signal(slot)
+			}
+		})
+	})
+	kick := n.NewFiber(0, func(ctx *Ctx) { ctx.Signal(slot) })
+	n.NewSlot(0, kick)
+	m.Run()
+	if iters != 50 {
+		t.Fatalf("loop ran %d iterations, want 50", iters)
+	}
+}
+
+func TestRepeatingSlotBadArgsPanic(t *testing.T) {
+	m := newTestMachine(1)
+	n := m.Node(0)
+	for _, fn := range []func(){
+		func() { n.NewRepeatingSlot(0, func() *Fiber { return n.NewFiber(0, nil) }) },
+		func() { n.NewRepeatingSlot(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for bad repeating slot")
+				}
+			}()
+			fn()
+		}()
+	}
+}

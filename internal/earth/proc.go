@@ -1,0 +1,68 @@
+package earth
+
+import "irred/internal/sim"
+
+// EARTH programs are a two-level hierarchy: threaded procedures and, within
+// them, fibers. A procedure is invoked — possibly on a remote node — with a
+// fresh frame; its fibers share the frame and synchronize through slots;
+// when the procedure completes it signals its caller. TOKEN/INVOKE and
+// END_THREADED are the operations behind function-call parallelism on
+// EARTH (the classic demonstration being the parallel Fibonacci tree).
+//
+// Frames here are deliberately thin: Go closures carry the actual state,
+// so a Frame only tracks the executing node and the caller's completion
+// slot. The machine charges the invoke token (a control message for remote
+// invocations plus SU processing) and the completion signal.
+
+// Frame is one activation of a threaded procedure.
+type Frame struct {
+	node *Node
+	done *Slot // caller's completion slot; may live on any node
+}
+
+// Node reports the node the procedure instance runs on.
+func (f *Frame) Node() *Node { return f.node }
+
+// Return ends the procedure: it signals the caller's completion slot
+// (crossing the network when the caller is remote). Call it from the
+// procedure's final fiber.
+func (f *Frame) Return(ctx *Ctx) {
+	if f.done == nil {
+		return
+	}
+	ctx.Sync(f.done)
+}
+
+// Invoke starts a threaded procedure on dst: a token travels to dst (free
+// for local invocations beyond SU processing), where the procedure's first
+// fiber — with EU cost `cost` — runs body with a fresh frame. done (may be
+// nil) is signalled when the procedure Returns.
+func (c *Ctx) Invoke(dst *Node, cost sim.Time, body func(ctx *Ctx, f *Frame), done *Slot) {
+	frame := &Frame{node: dst, done: done}
+	first := dst.NewFiber(cost, func(ctx *Ctx) {
+		if body != nil {
+			body(ctx, frame)
+		}
+	})
+	first.Label = "proc"
+	slot := &Slot{node: dst, count: 1, fiber: first}
+	if dst == c.node {
+		c.node.suSignal(slot)
+		return
+	}
+	c.node.SyncsSent++
+	c.transfer(dst, syncMsgBytes, func() { dst.suSignal(slot) })
+}
+
+// InvokeRoot starts a procedure from outside any fiber (program setup):
+// the token is processed by dst's SU at time zero.
+func (m *Machine) InvokeRoot(dst *Node, cost sim.Time, body func(ctx *Ctx, f *Frame), done *Slot) {
+	frame := &Frame{node: dst, done: done}
+	first := dst.NewFiber(cost, func(ctx *Ctx) {
+		if body != nil {
+			body(ctx, frame)
+		}
+	})
+	first.Label = "proc"
+	dst.NewSlot(0, first)
+}

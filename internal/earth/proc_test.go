@@ -1,0 +1,103 @@
+package earth
+
+import (
+	"testing"
+
+	"irred/internal/sim"
+)
+
+// fibOnEarth computes Fibonacci with a tree of threaded procedures spread
+// round-robin over the machine — the classic EARTH demonstration program.
+// Each instance either returns a leaf value or invokes two children and
+// joins their results with a two-count slot.
+func fibOnEarth(t *testing.T, p int, n int) (int64, sim.Time) {
+	t.Helper()
+	m := newTestMachine(p)
+	var result int64
+	next := 0
+	pick := func() *Node {
+		next = (next + 1) % p
+		return m.Node(next)
+	}
+
+	var fib func(ctx *Ctx, f *Frame, n int, out *int64)
+	fib = func(ctx *Ctx, f *Frame, n int, out *int64) {
+		if n < 2 {
+			*out = int64(n)
+			f.Return(ctx)
+			return
+		}
+		var a, b int64
+		node := f.Node()
+		joinFiber := node.NewFiber(5, func(ctx *Ctx) {
+			*out = a + b
+			f.Return(ctx)
+		})
+		join := node.NewSlot(2, joinFiber)
+		la, lb := pick(), pick()
+		na, nb := n-1, n-2
+		ctx.Invoke(la, 10, func(ctx *Ctx, cf *Frame) { fib(ctx, cf, na, &a) }, join)
+		ctx.Invoke(lb, 10, func(ctx *Ctx, cf *Frame) { fib(ctx, cf, nb, &b) }, join)
+	}
+
+	root := m.Node(0)
+	doneFiber := root.NewFiber(0, nil)
+	done := root.NewSlot(1, doneFiber)
+	m.InvokeRoot(root, 10, func(ctx *Ctx, f *Frame) { fib(ctx, f, n, &result) }, done)
+	end := m.Run()
+	return result, end
+}
+
+func TestThreadedFib(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for _, p := range []int{1, 2, 4} {
+		for n := 0; n <= 10; n++ {
+			got, _ := fibOnEarth(t, p, n)
+			if got != want[n] {
+				t.Fatalf("P=%d: fib(%d) = %d, want %d", p, n, got, want[n])
+			}
+		}
+	}
+}
+
+func TestThreadedFibParallelFaster(t *testing.T) {
+	_, t1 := fibOnEarth(t, 1, 12)
+	_, t8 := fibOnEarth(t, 8, 12)
+	if t8 >= t1 {
+		t.Fatalf("8-node fib (%d cycles) not faster than 1-node (%d cycles)", t8, t1)
+	}
+}
+
+func TestThreadedFibDeterministic(t *testing.T) {
+	_, a := fibOnEarth(t, 4, 10)
+	_, b := fibOnEarth(t, 4, 10)
+	if a != b {
+		t.Fatalf("fib end times differ: %d vs %d", a, b)
+	}
+}
+
+func TestInvokeLocalNoNetwork(t *testing.T) {
+	m := newTestMachine(1)
+	n := m.Node(0)
+	ran := false
+	m.InvokeRoot(n, 1, func(ctx *Ctx, f *Frame) {
+		ctx.Invoke(n, 1, func(ctx *Ctx, cf *Frame) {
+			ran = true
+			cf.Return(ctx)
+		}, nil)
+		f.Return(ctx)
+	}, nil)
+	m.Run()
+	if !ran {
+		t.Fatal("local invoke did not run")
+	}
+	if n.MsgsSent != 0 {
+		t.Fatal("local invoke used the network")
+	}
+}
+
+func TestReturnWithoutDoneIsNoop(t *testing.T) {
+	m := newTestMachine(1)
+	m.InvokeRoot(m.Node(0), 1, func(ctx *Ctx, f *Frame) { f.Return(ctx) }, nil)
+	m.Run() // must not panic
+}

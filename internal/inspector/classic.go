@@ -1,0 +1,231 @@
+package inspector
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classic implements the conventional inspector/executor paradigm of Saltz
+// et al. — the paper's point of comparison. Reduction elements live with a
+// fixed block owner; each processor's inspector scans its iterations,
+// discovers off-processor references (ghosts), and builds a communication
+// schedule saying which elements travel between which processor pairs.
+//
+// Unlike the LightInspector, building the schedule inherently requires
+// interprocessor communication (the request lists must be exchanged), and
+// the volume of the per-timestep gather/scatter depends on the contents of
+// the indirection arrays. Both costs are surfaced so the simulator can
+// charge them — including re-inspection on every mutation in the adaptive
+// ablation.
+
+// GhostRef rewrites one off-processor reference: iteration local index j,
+// reference r, ghost slot g.
+type ghostKey struct {
+	elem int32
+}
+
+// ClassicProc is the executor program for one processor.
+type ClassicProc struct {
+	Proc int
+	// ElemLo, ElemHi is the owned block of reduction elements.
+	ElemLo, ElemHi int
+	// Iters are the global iteration numbers this processor executes.
+	Iters []int32
+	// Ind holds rewritten indirection values per reference: owned elements
+	// keep global numbering; ghosts are numbered NumElems+g where g indexes
+	// Ghosts.
+	Ind [][]int32
+	// Ghosts lists the global element of each ghost slot, grouped by owner
+	// (ascending owner, then ascending element).
+	Ghosts []int32
+	// SendTo[q] lists ghost slots whose accumulated values are sent to
+	// processor q in the scatter-reduce (and whose fresh values are
+	// received from q in a gather). SendTo[Proc] is empty.
+	SendTo [][]int32
+}
+
+// ClassicSchedule is the inspector/executor program for all processors.
+type ClassicSchedule struct {
+	Cfg   Config
+	Procs []*ClassicProc
+	// InspectorExchangedBytes is the total wire traffic needed to build the
+	// schedule (request-list exchange), charged to the inspector itself.
+	InspectorExchangedBytes int
+}
+
+// ElemRange reports the block of elements owned by processor p under the
+// classic owner-computes partition.
+func classicElemRange(cfg Config, p int) (lo, hi int) {
+	base := cfg.NumElems / cfg.P
+	rem := cfg.NumElems % cfg.P
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func classicOwnerOfElem(cfg Config, e int) int {
+	base := cfg.NumElems / cfg.P
+	rem := cfg.NumElems % cfg.P
+	cut := rem * (base + 1)
+	if e < cut {
+		return e / (base + 1)
+	}
+	if base == 0 {
+		return cfg.P - 1
+	}
+	return rem + (e-cut)/base
+}
+
+// ClassicInspect builds the full inspector/executor schedule. ind has one
+// indirection array per reduction reference, each of length cfg.NumIters
+// with values in [0, cfg.NumElems).
+func ClassicInspect(cfg Config, ind ...[]int32) (*ClassicSchedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ind) == 0 {
+		return nil, fmt.Errorf("inspector: need at least one indirection array")
+	}
+	for r, a := range ind {
+		if len(a) != cfg.NumIters {
+			return nil, fmt.Errorf("inspector: indirection array %d has %d entries, want %d", r, len(a), cfg.NumIters)
+		}
+		for i, e := range a {
+			if int(e) < 0 || int(e) >= cfg.NumElems {
+				return nil, fmt.Errorf("inspector: indirection %d value %d at iteration %d out of range", r, e, i)
+			}
+		}
+	}
+
+	cs := &ClassicSchedule{Cfg: cfg, Procs: make([]*ClassicProc, cfg.P)}
+	for p := 0; p < cfg.P; p++ {
+		lo, hi := classicElemRange(cfg, p)
+		cp := &ClassicProc{Proc: p, ElemLo: lo, ElemHi: hi, SendTo: make([][]int32, cfg.P)}
+
+		// Collect local iterations and discover ghosts.
+		ghostSlot := map[ghostKey]int32{}
+		cfg.Iters(p, func(i int) { cp.Iters = append(cp.Iters, int32(i)) })
+		cp.Ind = make([][]int32, len(ind))
+		for r := range ind {
+			cp.Ind[r] = make([]int32, len(cp.Iters))
+		}
+		// First pass: find the distinct off-processor elements, then order
+		// them by (owner, element) for deterministic schedules.
+		var distinct []int32
+		for _, it := range cp.Iters {
+			for r := range ind {
+				e := ind[r][it]
+				if int(e) >= lo && int(e) < hi {
+					continue
+				}
+				k := ghostKey{e}
+				if _, ok := ghostSlot[k]; !ok {
+					ghostSlot[k] = -1
+					distinct = append(distinct, e)
+				}
+			}
+		}
+		sort.Slice(distinct, func(a, b int) bool {
+			oa, ob := classicOwnerOfElem(cfg, int(distinct[a])), classicOwnerOfElem(cfg, int(distinct[b]))
+			if oa != ob {
+				return oa < ob
+			}
+			return distinct[a] < distinct[b]
+		})
+		cp.Ghosts = distinct
+		for g, e := range distinct {
+			ghostSlot[ghostKey{e}] = int32(g)
+			q := classicOwnerOfElem(cfg, int(e))
+			cp.SendTo[q] = append(cp.SendTo[q], int32(g))
+		}
+		// Second pass: rewrite references.
+		for j, it := range cp.Iters {
+			for r := range ind {
+				e := ind[r][it]
+				if int(e) >= lo && int(e) < hi {
+					cp.Ind[r][j] = e
+				} else {
+					cp.Ind[r][j] = int32(cfg.NumElems) + ghostSlot[ghostKey{e}]
+				}
+			}
+		}
+		cs.Procs[p] = cp
+		// Request-list exchange: each ghost's global index travels to its
+		// owner (4 bytes), and the owner replies with a confirmation of the
+		// same size — the classic two-phase schedule build.
+		cs.InspectorExchangedBytes += 8 * len(distinct)
+	}
+	return cs, nil
+}
+
+// GhostBytes reports the per-timestep communication volume of processor p:
+// the scatter-reduce of ghost accumulations (8 bytes each, plus 4 bytes of
+// index so the owner knows where to add).
+func (cs *ClassicSchedule) GhostBytes(p int) int {
+	return 12 * len(cs.Procs[p].Ghosts)
+}
+
+// TotalGhosts reports the machine-wide ghost count.
+func (cs *ClassicSchedule) TotalGhosts() int {
+	n := 0
+	for _, cp := range cs.Procs {
+		n += len(cp.Ghosts)
+	}
+	return n
+}
+
+// Check validates executor-program invariants against the original
+// indirection arrays.
+func (cs *ClassicSchedule) Check(ind ...[]int32) error {
+	cfg := cs.Cfg
+	seen := make(map[int32]bool, cfg.NumIters)
+	for _, cp := range cs.Procs {
+		for j, it := range cp.Iters {
+			if seen[it] {
+				return fmt.Errorf("iteration %d scheduled twice", it)
+			}
+			seen[it] = true
+			for r := range cp.Ind {
+				x := cp.Ind[r][j]
+				if int(x) < cfg.NumElems {
+					if int(x) < cp.ElemLo || int(x) >= cp.ElemHi {
+						return fmt.Errorf("proc %d: owned ref %d outside block", cp.Proc, x)
+					}
+					if len(ind) > r && ind[r][it] != x {
+						return fmt.Errorf("proc %d: owned ref %d != original %d", cp.Proc, x, ind[r][it])
+					}
+					continue
+				}
+				g := int(x) - cfg.NumElems
+				if g >= len(cp.Ghosts) {
+					return fmt.Errorf("proc %d: ghost slot %d out of range", cp.Proc, g)
+				}
+				if len(ind) > r && cp.Ghosts[g] != ind[r][it] {
+					return fmt.Errorf("proc %d: ghost slot %d holds %d, want %d", cp.Proc, g, cp.Ghosts[g], ind[r][it])
+				}
+			}
+		}
+		// Every ghost appears in exactly one send list, addressed to its owner.
+		inList := make([]int, len(cp.Ghosts))
+		for q, slots := range cp.SendTo {
+			for _, g := range slots {
+				inList[g]++
+				if owner := classicOwnerOfElem(cfg, int(cp.Ghosts[g])); owner != q {
+					return fmt.Errorf("proc %d: ghost %d sent to %d, owner %d", cp.Proc, g, q, owner)
+				}
+			}
+		}
+		for g, n := range inList {
+			if n != 1 {
+				return fmt.Errorf("proc %d: ghost %d in %d send lists", cp.Proc, g, n)
+			}
+		}
+	}
+	if len(seen) != cfg.NumIters {
+		return fmt.Errorf("scheduled %d iterations, want %d", len(seen), cfg.NumIters)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package inspector implements the paper's runtime preprocessing.
+//
+// LightInspector (Section 3 of the paper) runs independently on each
+// processor — it needs no interprocessor communication, which is what makes
+// it "light" compared to the classic communicating inspector of the
+// inspector/executor paradigm (also implemented here, as the baseline).
+//
+// Given the contents of the indirection arrays, the iteration distribution,
+// and the portion-rotation ownership map, LightInspector partitions each
+// processor's iterations into k*P phases, allocates remote-buffer slots for
+// reduction elements owned in a later phase, rewrites the indirection
+// arrays to point at owned elements or buffer slots, and builds the second
+// (copy) loop that folds buffered contributions in when a portion arrives.
+package inspector
+
+import "fmt"
+
+// Dist selects how loop iterations (and their aligned arrays) are divided
+// among processors.
+type Dist int
+
+const (
+	// Block assigns num_iters/P consecutive iterations to each processor.
+	Block Dist = iota
+	// Cyclic deals iterations round-robin: iteration i goes to proc i mod P.
+	Cyclic
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// Config describes one irregular reduction loop to the runtime: the machine
+// shape (P processors, unrolling factor k), the loop extent, the reduction
+// array extent, and the iteration distribution.
+type Config struct {
+	P        int  // number of processors
+	K        int  // phases-per-processor factor (paper evaluates k ∈ {1,2,4})
+	NumIters int  // loop trip count (edges / interactions / nonzeros)
+	NumElems int  // reduction (or rotated) array length (nodes / molecules / rows)
+	Dist     Dist // iteration distribution
+}
+
+// Validate reports an error for a malformed configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.P <= 0:
+		return fmt.Errorf("inspector: P = %d, need >= 1", c.P)
+	case c.K <= 0:
+		return fmt.Errorf("inspector: K = %d, need >= 1", c.K)
+	case c.NumIters < 0:
+		return fmt.Errorf("inspector: NumIters = %d", c.NumIters)
+	case c.NumElems <= 0:
+		return fmt.Errorf("inspector: NumElems = %d, need >= 1", c.NumElems)
+	default:
+		return nil
+	}
+}
+
+// NumPhases reports the phases per processor in one sweep: k*P.
+func (c Config) NumPhases() int { return c.K * c.P }
+
+// PortionSize reports the number of reduction elements per portion
+// (the last portion may be short when k*P does not divide NumElems).
+func (c Config) PortionSize() int {
+	return (c.NumElems + c.NumPhases() - 1) / c.NumPhases()
+}
+
+// PortionOf reports which portion element e belongs to.
+func (c Config) PortionOf(e int) int { return e / c.PortionSize() }
+
+// PortionBounds reports the half-open element range [lo, hi) of portion q.
+func (c Config) PortionBounds(q int) (lo, hi int) {
+	ps := c.PortionSize()
+	lo = q * ps
+	hi = lo + ps
+	if hi > c.NumElems {
+		hi = c.NumElems
+	}
+	if lo > c.NumElems {
+		lo = c.NumElems
+	}
+	return lo, hi
+}
+
+// PortionAt reports the portion processor p owns during phase ph:
+// (k*p + ph) mod (k*P) — the paper's ownership map.
+func (c Config) PortionAt(p, ph int) int {
+	return (c.K*p + ph) % c.NumPhases()
+}
+
+// PhaseOf reports the phase during which processor p owns the portion of
+// element e: the inverse of PortionAt.
+func (c Config) PhaseOf(p, e int) int {
+	kp := c.NumPhases()
+	return ((c.PortionOf(e)-c.K*p)%kp + kp) % kp
+}
+
+// OwnerAt reports which processor owns portion q during phase ph, or -1 if
+// no processor owns it then (portions are live only every k-th phase).
+func (c Config) OwnerAt(q, ph int) int {
+	kp := c.NumPhases()
+	d := ((q-ph)%kp + kp) % kp
+	if d%c.K != 0 {
+		return -1
+	}
+	return d / c.K
+}
+
+// IterRange reports the half-open range [lo, hi) of iterations processor p
+// executes under a Block distribution; counts differ by at most one.
+func (c Config) IterRange(p int) (lo, hi int) {
+	base := c.NumIters / c.P
+	rem := c.NumIters % c.P
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// IterCount reports how many iterations processor p executes.
+func (c Config) IterCount(p int) int {
+	switch c.Dist {
+	case Block:
+		lo, hi := c.IterRange(p)
+		return hi - lo
+	default: // Cyclic
+		n := c.NumIters / c.P
+		if p < c.NumIters%c.P {
+			n++
+		}
+		return n
+	}
+}
+
+// OwnerOfIter reports which processor executes iteration i.
+func (c Config) OwnerOfIter(i int) int {
+	switch c.Dist {
+	case Block:
+		base := c.NumIters / c.P
+		rem := c.NumIters % c.P
+		// First rem processors have base+1 iterations.
+		cut := rem * (base + 1)
+		if i < cut {
+			return i / (base + 1)
+		}
+		if base == 0 {
+			return c.P - 1
+		}
+		return rem + (i-cut)/base
+	default: // Cyclic
+		return i % c.P
+	}
+}
+
+// Iters calls fn for each iteration owned by processor p, in increasing
+// global order.
+func (c Config) Iters(p int, fn func(i int)) {
+	switch c.Dist {
+	case Block:
+		lo, hi := c.IterRange(p)
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	default: // Cyclic
+		for i := p; i < c.NumIters; i += c.P {
+			fn(i)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

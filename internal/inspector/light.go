@@ -1,0 +1,285 @@
+package inspector
+
+import "fmt"
+
+// CopyPair is one iteration of the second (copy) loop: when the owning
+// phase begins, X[Elem] += X[Buf] folds a buffered contribution into the
+// just-arrived portion, and the buffer slot is cleared for the next sweep.
+type CopyPair struct {
+	Elem int32 // reduction element (global index, owned in this phase)
+	Buf  int32 // buffer slot (index >= Config.NumElems in the local image)
+}
+
+// PhaseProgram is everything one processor executes during one phase.
+type PhaseProgram struct {
+	// Iters lists the global iteration numbers assigned to this phase (in
+	// increasing order as built by Light; incremental updates may reorder).
+	Iters []int32
+	// Ind holds, per indirection reference r, the rewritten local index of
+	// Iters[j]'s r-th reduction access: either an owned element (global
+	// numbering — no renumbering is needed since portions are contiguous)
+	// or a remote-buffer slot >= NumElems.
+	Ind [][]int32
+	// Copies is the second loop of this phase.
+	Copies []CopyPair
+}
+
+// Schedule is the LightInspector output for one processor: the per-phase
+// iteration partition, rewritten indirection arrays, buffer extent, and
+// copy loops. A processor's local image of the reduction array has
+// NumElems + BufLen slots.
+type Schedule struct {
+	Cfg    Config
+	Proc   int
+	NumRef int            // indirection references per iteration
+	BufLen int            // remote-buffer slots appended after NumElems
+	Phases []PhaseProgram // len Cfg.NumPhases()
+
+	incr *incrState // lazily-built state for incremental updates
+}
+
+// Light runs the LightInspector for processor proc. ind holds one
+// indirection array per reduction reference in the loop (the paper's
+// IA(i,1), IA(i,2), ...); each must have length Cfg.NumIters and values in
+// [0, NumElems). The routine inspects only iterations owned by proc and
+// performs no communication.
+//
+// The three steps follow Section 3 of the paper:
+//  1. assign each local iteration to the earliest phase in which one of its
+//     referenced portions is owned;
+//  2. rewrite indirection values — owned references keep their element
+//     index, future-phase references get a remote-buffer slot (slots are
+//     shared by references to the same element, so each deferred element is
+//     buffered and copied exactly once per sweep);
+//  3. build the per-phase copy loops that apply buffered contributions when
+//     the portion arrives.
+func Light(cfg Config, proc int, ind ...[]int32) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if proc < 0 || proc >= cfg.P {
+		return nil, fmt.Errorf("inspector: proc %d out of range [0,%d)", proc, cfg.P)
+	}
+	if len(ind) == 0 {
+		return nil, fmt.Errorf("inspector: need at least one indirection array")
+	}
+	for r, a := range ind {
+		if len(a) != cfg.NumIters {
+			return nil, fmt.Errorf("inspector: indirection array %d has %d entries, want %d", r, len(a), cfg.NumIters)
+		}
+	}
+
+	nph := cfg.NumPhases()
+	s := &Schedule{Cfg: cfg, Proc: proc, NumRef: len(ind), Phases: make([]PhaseProgram, nph)}
+
+	// Step 1: count iterations per phase so slices can be sized exactly,
+	// validating indirection values along the way.
+	counts := make([]int, nph)
+	var badRef, badIter int = -1, -1
+	cfg.Iters(proc, func(i int) {
+		for r := range ind {
+			if e := ind[r][i]; int(e) < 0 || int(e) >= cfg.NumElems {
+				if badRef < 0 {
+					badRef, badIter = r, i
+				}
+				return
+			}
+		}
+		counts[s.phaseOfIter(ind, i)]++
+	})
+	if badRef >= 0 {
+		return nil, fmt.Errorf("inspector: indirection %d value %d at iteration %d out of range [0,%d)",
+			badRef, ind[badRef][badIter], badIter, cfg.NumElems)
+	}
+	for ph := range s.Phases {
+		p := &s.Phases[ph]
+		p.Iters = make([]int32, 0, counts[ph])
+		p.Ind = make([][]int32, len(ind))
+		for r := range p.Ind {
+			p.Ind[r] = make([]int32, 0, counts[ph])
+		}
+	}
+
+	// Steps 2 and 3: place iterations, allocate buffer slots for deferred
+	// references, and emit copy-loop pairs. bufOf maps a deferred element to
+	// its buffer slot so all references to it share one slot.
+	bufOf := make(map[int32]int32)
+	cfg.Iters(proc, func(i int) {
+		ph := s.phaseOfIter(ind, i)
+		p := &s.Phases[ph]
+		p.Iters = append(p.Iters, int32(i))
+		for r := range ind {
+			e := ind[r][i]
+			rph := cfg.PhaseOf(proc, int(e))
+			if rph == ph {
+				p.Ind[r] = append(p.Ind[r], e)
+				continue
+			}
+			slot, ok := bufOf[e]
+			if !ok {
+				slot = int32(cfg.NumElems + s.BufLen)
+				s.BufLen++
+				bufOf[e] = slot
+				fp := &s.Phases[rph]
+				fp.Copies = append(fp.Copies, CopyPair{Elem: e, Buf: slot})
+			}
+			p.Ind[r] = append(p.Ind[r], slot)
+		}
+	})
+	return s, nil
+}
+
+// phaseOfIter implements step 1: the earliest phase among the iteration's
+// reduction references.
+func (s *Schedule) phaseOfIter(ind [][]int32, i int) int {
+	best := s.Cfg.NumPhases()
+	for r := range ind {
+		if ph := s.Cfg.PhaseOf(s.Proc, int(ind[r][i])); ph < best {
+			best = ph
+		}
+	}
+	return best
+}
+
+// LocalLen reports the length of this processor's local image of the
+// reduction array: the full element range plus the remote buffer.
+func (s *Schedule) LocalLen() int { return s.Cfg.NumElems + s.BufLen }
+
+// NumIters reports the total iterations across all phases.
+func (s *Schedule) NumIters() int {
+	n := 0
+	for i := range s.Phases {
+		n += len(s.Phases[i].Iters)
+	}
+	return n
+}
+
+// NumCopies reports the total copy-loop iterations across all phases.
+func (s *Schedule) NumCopies() int {
+	n := 0
+	for i := range s.Phases {
+		n += len(s.Phases[i].Copies)
+	}
+	return n
+}
+
+// MaxPhaseIters reports the largest per-phase iteration count — the load-
+// imbalance driver the paper discusses for block distributions.
+func (s *Schedule) MaxPhaseIters() int {
+	m := 0
+	for i := range s.Phases {
+		if n := len(s.Phases[i].Iters); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Check verifies the schedule's internal invariants; it is used by tests
+// and available to callers after adaptive rebuilds. It confirms that
+//   - every local iteration appears in exactly one phase,
+//   - every rewritten index is either owned during its phase or a valid
+//     buffer slot,
+//   - every referenced buffer slot is copied exactly once (slots freed by
+//     incremental updates are unreferenced and never copied),
+//   - copy targets are owned during their copy phase.
+func (s *Schedule) Check(ind ...[]int32) error {
+	cfg := s.Cfg
+	seen := make(map[int32]bool, s.NumIters())
+	bufCopied := make([]int, s.BufLen)
+	bufRefs := make([]int, s.BufLen)
+	bufElem := make([]int32, s.BufLen)
+	for i := range bufElem {
+		bufElem[i] = -1
+	}
+
+	for ph := range s.Phases {
+		p := &s.Phases[ph]
+		for r := range p.Ind {
+			if len(p.Ind[r]) != len(p.Iters) {
+				return fmt.Errorf("phase %d: ref %d has %d entries for %d iters", ph, r, len(p.Ind[r]), len(p.Iters))
+			}
+		}
+		for j, it := range p.Iters {
+			if seen[it] {
+				return fmt.Errorf("iteration %d scheduled twice", it)
+			}
+			seen[it] = true
+			if cfg.OwnerOfIter(int(it)) != s.Proc {
+				return fmt.Errorf("iteration %d not owned by proc %d", it, s.Proc)
+			}
+			for r := range p.Ind {
+				x := p.Ind[r][j]
+				switch {
+				case int(x) < cfg.NumElems:
+					if cfg.PhaseOf(s.Proc, int(x)) != ph {
+						return fmt.Errorf("phase %d iter %d ref %d: element %d not owned", ph, it, r, x)
+					}
+					if len(ind) > r && ind[r][it] != x {
+						return fmt.Errorf("phase %d iter %d ref %d: owned element %d != original %d", ph, it, r, x, ind[r][it])
+					}
+				case int(x) < s.LocalLen():
+					b := int(x) - cfg.NumElems
+					bufRefs[b]++
+					if len(ind) > r {
+						if bufElem[b] >= 0 && bufElem[b] != ind[r][it] {
+							return fmt.Errorf("buffer slot %d shared by elements %d and %d", b, bufElem[b], ind[r][it])
+						}
+						bufElem[b] = ind[r][it]
+					}
+				default:
+					return fmt.Errorf("phase %d iter %d ref %d: index %d out of local image", ph, it, r, x)
+				}
+			}
+		}
+		for _, cp := range p.Copies {
+			if cfg.PhaseOf(s.Proc, int(cp.Elem)) != ph {
+				return fmt.Errorf("phase %d: copy target %d not owned", ph, cp.Elem)
+			}
+			b := int(cp.Buf) - cfg.NumElems
+			if b < 0 || b >= s.BufLen {
+				return fmt.Errorf("phase %d: copy source %d out of buffer", ph, cp.Buf)
+			}
+			bufCopied[b]++
+			if bufElem[b] >= 0 && bufElem[b] != cp.Elem {
+				return fmt.Errorf("buffer slot %d copies to %d but buffers %d", b, cp.Elem, bufElem[b])
+			}
+		}
+	}
+	if got, want := len(seen), cfg.IterCount(s.Proc); got != want {
+		return fmt.Errorf("scheduled %d iterations, processor owns %d", got, want)
+	}
+	for b, n := range bufCopied {
+		// Referenced slots are copied exactly once per sweep; slots freed
+		// by incremental updates are unreferenced and never copied.
+		want := 0
+		if bufRefs[b] > 0 {
+			want = 1
+		}
+		if n != want {
+			return fmt.Errorf("buffer slot %d copied %d times (refs %d)", b, n, bufRefs[b])
+		}
+	}
+	return nil
+}
+
+// PhaseHistogram reports the per-phase iteration counts — the quantity the
+// paper "carefully analyzed" to diagnose block-distribution imbalance.
+func (s *Schedule) PhaseHistogram() []int {
+	out := make([]int, len(s.Phases))
+	for i := range s.Phases {
+		out[i] = len(s.Phases[i].Iters)
+	}
+	return out
+}
+
+// Imbalance reports max/mean of the phase histogram (1.0 = perfectly
+// balanced; large values mean a few phases carry most of the work).
+func (s *Schedule) Imbalance() float64 {
+	n := s.NumIters()
+	if n == 0 || len(s.Phases) == 0 {
+		return 1
+	}
+	mean := float64(n) / float64(len(s.Phases))
+	return float64(s.MaxPhaseIters()) / mean
+}

@@ -1,0 +1,163 @@
+package inspector
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	cfg := Config{P: 4, K: 2, NumIters: 500, NumElems: 97, Dist: Cyclic}
+	ind := randInd(rng, cfg.NumIters, cfg.NumElems, 2)
+	for p := 0; p < cfg.P; p++ {
+		s, err := Light(cfg, p, ind...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := s.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		got, err := ReadSchedule(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cfg != s.Cfg || got.Proc != s.Proc || got.BufLen != s.BufLen || got.NumRef != s.NumRef {
+			t.Fatalf("header changed: %+v vs %+v", got.Cfg, s.Cfg)
+		}
+		for ph := range s.Phases {
+			a, b := &s.Phases[ph], &got.Phases[ph]
+			if len(a.Iters) != len(b.Iters) || len(a.Copies) != len(b.Copies) {
+				t.Fatalf("phase %d shape changed", ph)
+			}
+			for j := range a.Iters {
+				if a.Iters[j] != b.Iters[j] {
+					t.Fatalf("phase %d iter %d changed", ph, j)
+				}
+				for r := range a.Ind {
+					if a.Ind[r][j] != b.Ind[r][j] {
+						t.Fatalf("phase %d ind[%d][%d] changed", ph, r, j)
+					}
+				}
+			}
+			for j := range a.Copies {
+				if a.Copies[j] != b.Copies[j] {
+					t.Fatalf("phase %d copy %d changed", ph, j)
+				}
+			}
+		}
+		// The deserialized schedule passes the full invariant check
+		// against the original indirection arrays.
+		if err := got.Check(ind...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScheduleRoundTripAfterIncrementalUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cfg := Config{P: 2, K: 2, NumIters: 200, NumElems: 40, Dist: Block}
+	ind := randInd(rng, cfg.NumIters, cfg.NumElems, 2)
+	s, err := Light(cfg, 0, ind...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := mutateInd(rng, ind, cfg.NumElems, 20)
+	if err := s.Update(changed, ind...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Check(ind...); err != nil {
+		t.Fatal(err)
+	}
+	// And the reloaded schedule accepts further incremental updates.
+	changed2 := mutateInd(rng, ind, cfg.NumElems, 10)
+	if err := got.Update(changed2, ind...); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Check(ind...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadScheduleRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01"),
+		"truncated": []byte("IRSC\x01\x02"),
+		"bad ver":   []byte("IRSC\x09"),
+	}
+	for name, data := range cases {
+		if _, err := ReadSchedule(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadScheduleRejectsTamperedBody(t *testing.T) {
+	cfg := Config{P: 2, K: 1, NumIters: 50, NumElems: 16, Dist: Block}
+	rng := rand.New(rand.NewSource(53))
+	ind := randInd(rng, cfg.NumIters, cfg.NumElems, 2)
+	s, err := Light(cfg, 0, ind...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the body; either decoding fails or the invariant check
+	// catches it. (Some flips may decode to an equivalent valid schedule of
+	// different content — the Check(ind) in production call sites catches
+	// those; here we only require no panic and mostly-detected corruption.)
+	data := buf.Bytes()
+	detected := 0
+	for off := 6; off < len(data); off += 7 {
+		tampered := append([]byte(nil), data...)
+		tampered[off] ^= 0x55
+		if _, err := ReadSchedule(bytes.NewReader(tampered)); err != nil {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no tampering detected at all")
+	}
+}
+
+// Property: round trip is lossless for arbitrary shapes.
+func TestScheduleSerializationProperty(t *testing.T) {
+	prop := func(seed int64, pRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{P: 1 + int(pRaw)%5, K: 1 + int(kRaw)%3, NumIters: 120, NumElems: 31, Dist: Cyclic}
+		ind := randInd(rng, cfg.NumIters, cfg.NumElems, 2)
+		s, err := Light(cfg, 0, ind...)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadSchedule(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Check(ind...) == nil && got.NumIters() == s.NumIters()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"irred/internal/lang"
+)
+
+// This file compiles IRL expressions to a small stack bytecode so that
+// per-iteration evaluation inside the phase runtime runs without AST
+// walking or map lookups — the role the EARTH-C backend's code generation
+// played. A Code object evaluates a loop's scalar definitions and a set of
+// result expressions for one iteration.
+
+type opcode uint8
+
+const (
+	opConst opcode = iota // push constants[a]
+	opIter                // push float64(i)
+	opLoad1               // push f64[a][idx] where idx = pop()
+	opLoadI               // push i32[a][idx] as float64 where idx = pop()
+	opReg                 // push regs[a]
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opNeg
+	opSqrt
+	opAbs
+	opMin
+	opMax
+	opStore  // regs[a] = pop()
+	opResult // out[a] = pop()
+)
+
+type instr struct {
+	op opcode
+	a  int32
+}
+
+// Code is a compiled per-iteration evaluator.
+type Code struct {
+	prog   []instr
+	consts []float64
+	f64    [][]float64 // referenced float arrays, resolved at compile time
+	i32    [][]int32   // referenced int arrays
+	nRegs  int
+	nOut   int
+	stack  []float64
+	regs   []float64
+}
+
+// CompileIter compiles loop l's scalar definitions followed by the given
+// result expressions. The returned Code is bound to the environment's
+// current array bindings (rebinding arrays requires recompilation) and is
+// NOT safe for concurrent use — clone one per goroutine with Clone.
+func (e *Env) CompileIter(l *lang.Loop, results []lang.Expr) (*Code, error) {
+	c := &compiler{env: e, loop: l, regOf: map[string]int32{}}
+	for _, st := range l.Body {
+		if st.Scalar == "" {
+			continue
+		}
+		if err := c.expr(st.RHS); err != nil {
+			return nil, err
+		}
+		reg, ok := c.regOf[st.Scalar]
+		if !ok {
+			reg = int32(len(c.regOf))
+			c.regOf[st.Scalar] = reg
+		}
+		c.emit(instr{op: opStore, a: reg})
+	}
+	for j, r := range results {
+		if err := c.expr(r); err != nil {
+			return nil, err
+		}
+		c.emit(instr{op: opResult, a: int32(j)})
+	}
+	code := &Code{
+		prog:   c.prog,
+		consts: c.consts,
+		f64:    c.f64,
+		i32:    c.i32,
+		nRegs:  len(c.regOf),
+		nOut:   len(results),
+	}
+	code.stack = make([]float64, 0, 16)
+	code.regs = make([]float64, code.nRegs)
+	return code, nil
+}
+
+// Clone returns an independent evaluator sharing the immutable program and
+// array bindings, for concurrent use from several goroutines.
+func (c *Code) Clone() *Code {
+	out := *c
+	out.stack = make([]float64, 0, 16)
+	out.regs = make([]float64, c.nRegs)
+	return &out
+}
+
+// NumResults reports how many output values Eval produces.
+func (c *Code) NumResults() int { return c.nOut }
+
+// Eval runs the program for iteration i, writing the results into out
+// (len >= NumResults). Index bounds are checked by the slice accesses.
+func (c *Code) Eval(i int, out []float64) {
+	s := c.stack[:0]
+	fi := float64(i)
+	for _, in := range c.prog {
+		switch in.op {
+		case opConst:
+			s = append(s, c.consts[in.a])
+		case opIter:
+			s = append(s, fi)
+		case opLoad1:
+			idx := int(s[len(s)-1])
+			s[len(s)-1] = c.f64[in.a][idx]
+		case opLoadI:
+			idx := int(s[len(s)-1])
+			s[len(s)-1] = float64(c.i32[in.a][idx])
+		case opReg:
+			s = append(s, c.regs[in.a])
+		case opAdd:
+			s[len(s)-2] += s[len(s)-1]
+			s = s[:len(s)-1]
+		case opSub:
+			s[len(s)-2] -= s[len(s)-1]
+			s = s[:len(s)-1]
+		case opMul:
+			s[len(s)-2] *= s[len(s)-1]
+			s = s[:len(s)-1]
+		case opDiv:
+			s[len(s)-2] /= s[len(s)-1]
+			s = s[:len(s)-1]
+		case opNeg:
+			s[len(s)-1] = -s[len(s)-1]
+		case opSqrt:
+			s[len(s)-1] = math.Sqrt(s[len(s)-1])
+		case opAbs:
+			s[len(s)-1] = math.Abs(s[len(s)-1])
+		case opMin:
+			s[len(s)-2] = math.Min(s[len(s)-2], s[len(s)-1])
+			s = s[:len(s)-1]
+		case opMax:
+			s[len(s)-2] = math.Max(s[len(s)-2], s[len(s)-1])
+			s = s[:len(s)-1]
+		case opStore:
+			c.regs[in.a] = s[len(s)-1]
+			s = s[:len(s)-1]
+		case opResult:
+			out[in.a] = s[len(s)-1]
+			s = s[:len(s)-1]
+		}
+	}
+	c.stack = s[:0]
+}
+
+type compiler struct {
+	env    *Env
+	loop   *lang.Loop
+	prog   []instr
+	consts []float64
+	f64    [][]float64
+	i32    [][]int32
+	f64Of  map[string]int32
+	i32Of  map[string]int32
+	regOf  map[string]int32
+}
+
+func (c *compiler) emit(in instr) { c.prog = append(c.prog, in) }
+
+func (c *compiler) constIdx(v float64) int32 {
+	for i, x := range c.consts {
+		if x == v {
+			return int32(i)
+		}
+	}
+	c.consts = append(c.consts, v)
+	return int32(len(c.consts) - 1)
+}
+
+func (c *compiler) f64Idx(name string) (int32, error) {
+	if c.f64Of == nil {
+		c.f64Of = map[string]int32{}
+	}
+	if i, ok := c.f64Of[name]; ok {
+		return i, nil
+	}
+	data, ok := c.env.Floats[name]
+	if !ok {
+		return 0, fmt.Errorf("interp: array %q unbound at compile time", name)
+	}
+	c.f64 = append(c.f64, data)
+	c.f64Of[name] = int32(len(c.f64) - 1)
+	return c.f64Of[name], nil
+}
+
+func (c *compiler) i32Idx(name string) (int32, error) {
+	if c.i32Of == nil {
+		c.i32Of = map[string]int32{}
+	}
+	if i, ok := c.i32Of[name]; ok {
+		return i, nil
+	}
+	data, ok := c.env.Ints[name]
+	if !ok {
+		return 0, fmt.Errorf("interp: int array %q unbound at compile time", name)
+	}
+	c.i32 = append(c.i32, data)
+	c.i32Of[name] = int32(len(c.i32) - 1)
+	return c.i32Of[name], nil
+}
+
+// index compiles the flattened element index of an array reference onto
+// the stack.
+func (c *compiler) index(ix *lang.IndexExpr) error {
+	decl := c.env.Prog.Array(ix.Array)
+	if decl == nil {
+		return fmt.Errorf("interp:%s: array %q not declared", ix.Pos, ix.Array)
+	}
+	if len(ix.Index) != len(decl.Dims) {
+		return fmt.Errorf("interp:%s: array %q has %d dims, indexed with %d", ix.Pos, ix.Array, len(decl.Dims), len(ix.Index))
+	}
+	// idx = sub0; for each later dim: idx = idx*ext + sub.
+	if err := c.expr(ix.Index[0]); err != nil {
+		return err
+	}
+	for d := 1; d < len(ix.Index); d++ {
+		ext, err := c.env.extentVal(decl.Dims[d])
+		if err != nil {
+			return err
+		}
+		c.emit(instr{op: opConst, a: c.constIdx(float64(ext))})
+		c.emit(instr{op: opMul})
+		if err := c.expr(ix.Index[d]); err != nil {
+			return err
+		}
+		c.emit(instr{op: opAdd})
+	}
+	return nil
+}
+
+func (c *compiler) expr(e lang.Expr) error {
+	switch x := e.(type) {
+	case *lang.Num:
+		c.emit(instr{op: opConst, a: c.constIdx(x.Val)})
+	case *lang.Ident:
+		if x.Name == c.loop.Var {
+			c.emit(instr{op: opIter})
+			return nil
+		}
+		if reg, ok := c.regOf[x.Name]; ok {
+			c.emit(instr{op: opReg, a: reg})
+			return nil
+		}
+		if v, ok := c.env.Params[x.Name]; ok {
+			c.emit(instr{op: opConst, a: c.constIdx(float64(v))})
+			return nil
+		}
+		return fmt.Errorf("interp:%s: unbound identifier %q", x.Pos, x.Name)
+	case *lang.IndexExpr:
+		if err := c.index(x); err != nil {
+			return err
+		}
+		decl := c.env.Prog.Array(x.Array)
+		if decl.Int {
+			i, err := c.i32Idx(x.Array)
+			if err != nil {
+				return err
+			}
+			c.emit(instr{op: opLoadI, a: i})
+		} else {
+			i, err := c.f64Idx(x.Array)
+			if err != nil {
+				return err
+			}
+			c.emit(instr{op: opLoad1, a: i})
+		}
+	case *lang.BinExpr:
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		if err := c.expr(x.R); err != nil {
+			return err
+		}
+		switch x.Op {
+		case '+':
+			c.emit(instr{op: opAdd})
+		case '-':
+			c.emit(instr{op: opSub})
+		case '*':
+			c.emit(instr{op: opMul})
+		case '/':
+			c.emit(instr{op: opDiv})
+		default:
+			return fmt.Errorf("interp:%s: bad operator %q", x.Pos, x.Op)
+		}
+	case *lang.UnExpr:
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		c.emit(instr{op: opNeg})
+	case *lang.CallExpr:
+		for _, a := range x.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		switch x.Fn {
+		case "sqrt":
+			c.emit(instr{op: opSqrt})
+		case "abs":
+			c.emit(instr{op: opAbs})
+		case "min":
+			c.emit(instr{op: opMin})
+		case "max":
+			c.emit(instr{op: opMax})
+		default:
+			return fmt.Errorf("interp:%s: unknown builtin %q", x.Pos, x.Fn)
+		}
+	default:
+		return fmt.Errorf("interp: unknown expression node %T", e)
+	}
+	return nil
+}

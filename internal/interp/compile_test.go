@@ -1,0 +1,197 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"irred/internal/lang"
+)
+
+const compileSrc = `
+param n, m
+array ia[n, 2] int
+array y[n]
+array c[m]
+array x[m]
+loop i = 0, n {
+    t = y[i] * 2 + 1
+    u = t - c[ia[i, 0]] / 4
+    x[ia[i, 0]] += u * sqrt(abs(t)) + min(t, u) - max(0 - t, u) + n
+    x[ia[i, 1]] -= t / (u + 100)
+}
+`
+
+func compileEnv(t *testing.T, seed int64) (*Env, *lang.Loop) {
+	t.Helper()
+	prog := lang.MustParse(compileSrc)
+	env := NewEnv(prog)
+	env.SetParam("n", 300)
+	env.SetParam("m", 64)
+	rng := rand.New(rand.NewSource(seed))
+	ia := make([]int32, 600)
+	for i := range ia {
+		ia[i] = int32(rng.Intn(64))
+	}
+	y := make([]float64, 300)
+	c := make([]float64, 64)
+	for i := range y {
+		y[i] = rng.Float64()
+	}
+	for i := range c {
+		c[i] = rng.Float64()
+	}
+	if err := env.BindInt("ia", ia); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.BindFloat("y", y); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.BindFloat("c", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	return env, prog.Loops[0]
+}
+
+func TestCompiledMatchesTreeWalker(t *testing.T) {
+	env, loop := compileEnv(t, 3)
+	var exprs []lang.Expr
+	for _, st := range loop.Body {
+		if st.Scalar == "" {
+			exprs = append(exprs, st.RHS)
+		}
+	}
+	code, err := env.CompileIter(loop, exprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.NumResults() != len(exprs) {
+		t.Fatalf("NumResults = %d", code.NumResults())
+	}
+	want := make([]float64, len(exprs))
+	got := make([]float64, len(exprs))
+	for i := 0; i < 300; i++ {
+		if err := env.IterEval(loop, i, exprs, want); err != nil {
+			t.Fatal(err)
+		}
+		code.Eval(i, got)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-12*(1+math.Abs(want[j])) {
+				t.Fatalf("iter %d result %d: compiled %v, tree %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCompiledCloneIndependent(t *testing.T) {
+	env, loop := compileEnv(t, 5)
+	exprs := []lang.Expr{loop.Body[2].RHS}
+	code, err := env.CompileIter(loop, exprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := code.Clone()
+	a := make([]float64, 1)
+	b := make([]float64, 1)
+	// Interleaved evaluation from two evaluators must not interfere.
+	for i := 0; i < 50; i++ {
+		code.Eval(i, a)
+		clone.Eval(i, b)
+		if a[0] != b[0] {
+			t.Fatalf("iter %d: clone diverged: %v vs %v", i, a[0], b[0])
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	prog := lang.MustParse(`
+param n
+array a[n]
+loop i = 0, n { a[i] = zz + 1 }
+`)
+	env := NewEnv(prog)
+	env.SetParam("n", 4)
+	if err := env.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CompileIter(prog.Loops[0], []lang.Expr{prog.Loops[0].Body[0].RHS}); err == nil {
+		t.Fatal("unbound identifier compiled")
+	}
+}
+
+func TestCompileUnboundArray(t *testing.T) {
+	prog := lang.MustParse(`
+param n
+array a[n]
+array b[n]
+loop i = 0, n { a[i] = b[i] }
+`)
+	env := NewEnv(prog)
+	env.SetParam("n", 4)
+	// b deliberately left unbound (no Alloc).
+	if _, err := env.CompileIter(prog.Loops[0], []lang.Expr{prog.Loops[0].Body[0].RHS}); err == nil {
+		t.Fatal("unbound array compiled")
+	}
+}
+
+func BenchmarkTreeWalkEval(b *testing.B) {
+	prog := lang.MustParse(compileSrc)
+	env := NewEnv(prog)
+	env.SetParam("n", 300)
+	env.SetParam("m", 64)
+	ia := make([]int32, 600)
+	y := make([]float64, 300)
+	c := make([]float64, 64)
+	for i := range y {
+		y[i] = 1.5
+	}
+	for i := range c {
+		c[i] = 0.5
+	}
+	env.BindInt("ia", ia)
+	env.BindFloat("y", y)
+	env.BindFloat("c", c)
+	env.Alloc()
+	loop := prog.Loops[0]
+	exprs := []lang.Expr{loop.Body[2].RHS, loop.Body[3].RHS}
+	out := make([]float64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.IterEval(loop, i%300, exprs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledEval(b *testing.B) {
+	prog := lang.MustParse(compileSrc)
+	env := NewEnv(prog)
+	env.SetParam("n", 300)
+	env.SetParam("m", 64)
+	ia := make([]int32, 600)
+	y := make([]float64, 300)
+	c := make([]float64, 64)
+	for i := range y {
+		y[i] = 1.5
+	}
+	for i := range c {
+		c[i] = 0.5
+	}
+	env.BindInt("ia", ia)
+	env.BindFloat("y", y)
+	env.BindFloat("c", c)
+	env.Alloc()
+	loop := prog.Loops[0]
+	code, err := env.CompileIter(loop, []lang.Expr{loop.Body[2].RHS, loop.Body[3].RHS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code.Eval(i%300, out)
+	}
+}

@@ -1,0 +1,239 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"irred/internal/lang"
+)
+
+func env(t *testing.T, src string) *Env {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(prog)
+}
+
+func TestRunSimpleLoop(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+array b[n]
+loop i = 0, n { a[i] = b[i] * 2 + 1 }
+`)
+	e.SetParam("n", 4)
+	if err := e.BindFloat("b", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7, 9}
+	for i, v := range want {
+		if e.Floats["a"][i] != v {
+			t.Fatalf("a = %v, want %v", e.Floats["a"], want)
+		}
+	}
+}
+
+func TestIrregularReduction(t *testing.T) {
+	e := env(t, `
+param n, m
+array ia[n] int
+array x[m]
+loop i = 0, n { x[ia[i]] += 1 }
+`)
+	e.SetParam("n", 5)
+	e.SetParam("m", 3)
+	if err := e.BindInt("ia", []int32{0, 1, 1, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 1}
+	for i, v := range want {
+		if e.Floats["x"][i] != v {
+			t.Fatalf("x = %v, want %v", e.Floats["x"], want)
+		}
+	}
+}
+
+func TestTwoDimIndirection(t *testing.T) {
+	e := env(t, `
+param n, m
+array ia[n, 2] int
+array x[m]
+loop i = 0, n { x[ia[i, 1]] += 10 }
+`)
+	e.SetParam("n", 2)
+	e.SetParam("m", 4)
+	// Row-major: ia[0] = (0, 3), ia[1] = (1, 2).
+	if err := e.BindInt("ia", []int32{0, 3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if x := e.Floats["x"]; x[3] != 10 || x[2] != 10 || x[0] != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestScalarTempsAndBuiltins(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+loop i = 0, n {
+    t = i + 1
+    a[i] = sqrt(t * t) + min(i, 2) + abs(0 - 1) + max(0, i)
+}
+`)
+	e.SetParam("n", 4)
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := float64(i+1) + math.Min(float64(i), 2) + 1 + float64(i)
+		if e.Floats["a"][i] != want {
+			t.Fatalf("a[%d] = %v, want %v", i, e.Floats["a"][i], want)
+		}
+	}
+}
+
+func TestSubtractAssign(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+array ia[n] int
+loop i = 0, n { a[ia[i]] -= 2 }
+`)
+	e.SetParam("n", 3)
+	if err := e.BindInt("ia", []int32{0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a := e.Floats["a"]; a[0] != -4 || a[2] != -2 {
+		t.Fatalf("a = %v", a)
+	}
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	e := env(t, `
+param n, m
+array ia[n] int
+array x[m]
+loop i = 0, n { x[ia[i]] += 1 }
+`)
+	e.SetParam("n", 1)
+	e.SetParam("m", 2)
+	if err := e.BindInt("ia", []int32{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-bounds indirection not caught: %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+array ia[n] int
+loop i = 0, n { a[i] = 1 }
+`)
+	e.SetParam("n", 3)
+	if err := e.BindFloat("zz", nil); err == nil {
+		t.Error("bound undeclared array")
+	}
+	if err := e.BindFloat("ia", []float64{1, 2, 3}); err == nil {
+		t.Error("bound float data to int array")
+	}
+	if err := e.BindInt("a", []int32{1, 2, 3}); err == nil {
+		t.Error("bound int data to float array")
+	}
+	if err := e.BindFloat("a", []float64{1}); err == nil {
+		t.Error("bound wrong length")
+	}
+}
+
+func TestIterEval(t *testing.T) {
+	e := env(t, `
+param n
+array y[n]
+array a[n]
+loop i = 0, n {
+    t = y[i] * 2
+    a[i] = t
+}
+`)
+	e.SetParam("n", 3)
+	if err := e.BindFloat("y", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	l := e.Prog.Loops[0]
+	exprs := []lang.Expr{l.Body[1].RHS} // "t"
+	out := make([]float64, 1)
+	if err := e.IterEval(l, 2, exprs, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 6 {
+		t.Fatalf("IterEval = %v, want 6", out[0])
+	}
+}
+
+func TestUnboundParam(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+loop i = 0, n { a[i] = 1 }
+`)
+	if err := e.Alloc(); err == nil {
+		t.Fatal("Alloc with unbound param succeeded")
+	}
+}
+
+func TestLoopVarAndParamInExpr(t *testing.T) {
+	e := env(t, `
+param n
+array a[n]
+loop i = 0, n { a[i] = i * n }
+`)
+	e.SetParam("n", 3)
+	if err := e.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a := e.Floats["a"]; a[2] != 6 {
+		t.Fatalf("a = %v", a)
+	}
+}

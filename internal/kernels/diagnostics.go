@@ -1,0 +1,64 @@
+package kernels
+
+import "math"
+
+// Physical diagnostics used by examples and tests to confirm that a
+// parallel execution is not just numerically close to the sequential one
+// but physically sensible.
+
+// KineticEnergy computes 1/2 * sum v^2 over 3-component velocities (unit
+// masses, as in the moldyn benchmark).
+func KineticEnergy(vel []float64) float64 {
+	var e float64
+	for _, v := range vel {
+		e += v * v
+	}
+	return e / 2
+}
+
+// Momentum sums a 3-component vector field (velocities or forces).
+func Momentum(v []float64) [3]float64 {
+	var out [3]float64
+	for i := 0; i+2 < len(v); i += 3 {
+		out[0] += v[i]
+		out[1] += v[i+1]
+		out[2] += v[i+2]
+	}
+	return out
+}
+
+// LJPotential computes the Lennard-Jones potential energy of a system's
+// interaction list (sigma = epsilon = 1), the counterpart of the force
+// computation in the moldyn kernel.
+func (m *Moldyn) LJPotential(pos []float64) float64 {
+	var u float64
+	for i := range m.Sys.I1 {
+		a, b := int(m.Sys.I1[i]), int(m.Sys.I2[i])
+		var r2 float64
+		for c := 0; c < 3; c++ {
+			d := pos[3*a+c] - pos[3*b+c]
+			if d > m.Sys.Box/2 {
+				d -= m.Sys.Box
+			} else if d < -m.Sys.Box/2 {
+				d += m.Sys.Box
+			}
+			r2 += d * d
+		}
+		if r2 < 1e-12 {
+			continue
+		}
+		inv6 := 1 / (r2 * r2 * r2)
+		u += 4 * (inv6*inv6 - inv6)
+	}
+	return u
+}
+
+// ResidualNorm computes the L2 norm of an euler residual accumulation —
+// the quantity a CFD solver drives toward zero.
+func ResidualNorm(res []float64) float64 {
+	var s float64
+	for _, v := range res {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

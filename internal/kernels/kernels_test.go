@@ -1,0 +1,265 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"irred/internal/inspector"
+	"irred/internal/mesh"
+	"irred/internal/moldyn"
+	"irred/internal/rts"
+	"irred/internal/sparse"
+)
+
+func maxRelDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i]-b[i]) / (1 + math.Abs(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestEulerNativeMatchesSequential(t *testing.T) {
+	m := mesh.Generate(400, 2400, 1)
+	e := NewEuler(m, 2)
+	const steps = 5
+	want := e.RunSequential(steps)
+	for _, p := range []int{1, 2, 4} {
+		for _, k := range []int{1, 2} {
+			for _, d := range []inspector.Dist{inspector.Block, inspector.Cyclic} {
+				n, q, err := e.NewNative(p, k, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := n.Run(steps); err != nil {
+					t.Fatal(err)
+				}
+				if diff := maxRelDiff(q, want); diff > 1e-10 {
+					t.Fatalf("euler P=%d k=%d %v: max rel diff %.2e", p, k, d, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestMoldynNativeMatchesSequential(t *testing.T) {
+	sys := moldyn.Generate(4, 1, 0.02, 3)
+	md := NewMoldyn(sys)
+	const steps = 4
+	wantPos, wantVel := md.RunSequential(steps)
+	for _, p := range []int{1, 3, 4} {
+		for _, k := range []int{1, 2} {
+			n, pos, vel, err := md.NewNative(p, k, inspector.Cyclic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Run(steps); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxRelDiff(pos, wantPos); d > 1e-10 {
+				t.Fatalf("moldyn P=%d k=%d: pos diff %.2e", p, k, d)
+			}
+			if d := maxRelDiff(vel, wantVel); d > 1e-10 {
+				t.Fatalf("moldyn P=%d k=%d: vel diff %.2e", p, k, d)
+			}
+		}
+	}
+}
+
+func TestMVMNativeMatchesSequential(t *testing.T) {
+	a := sparse.Generate(sparse.Class{Name: "t", N: 300, NNZ: 3000}, 0)
+	mv := NewMVM(a)
+	const steps = 4
+	want := mv.RunSequential(steps)
+	for _, p := range []int{1, 2, 4} {
+		for _, k := range []int{1, 2, 4} {
+			n, err := mv.NewNative(p, k, inspector.Block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Run(steps); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxRelDiff(n.X, want); d > 1e-10 {
+				t.Fatalf("mvm P=%d k=%d: diff %.2e", p, k, d)
+			}
+		}
+	}
+}
+
+func TestEulerLoopShape(t *testing.T) {
+	m := mesh.Generate(400, 2400, 1)
+	l := NewEuler(m, 2).Loop(4, 2, inspector.Cyclic)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Mode != rts.Reduce || len(l.Ind) != 2 || l.Cost.Comp != 3 {
+		t.Fatalf("unexpected euler loop shape: %+v", l.Cost)
+	}
+	if l.Cost.BcastComp == 0 {
+		t.Fatal("euler must refresh replicated state each step")
+	}
+}
+
+func TestMVMLoopShape(t *testing.T) {
+	a := sparse.Generate(sparse.Class{Name: "t", N: 100, NNZ: 600}, 0)
+	l := NewMVM(a).Loop(4, 2, inspector.Block)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Mode != rts.Gather || len(l.Ind) != 1 {
+		t.Fatal("mvm must be a single-reference gather loop")
+	}
+	// The paper: mvm needs no LightInspector buffering.
+	scheds, err := l.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scheds {
+		if s.BufLen != 0 {
+			t.Fatalf("mvm schedule allocated %d buffer slots", s.BufLen)
+		}
+	}
+}
+
+func TestKernelSimRuns(t *testing.T) {
+	m := mesh.Generate(400, 2400, 1)
+	e := NewEuler(m, 2)
+	res, err := rts.RunSim(e.Loop(4, 2, inspector.Cyclic), rts.SimOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("euler sim produced no cycles")
+	}
+
+	sys := moldyn.Generate(4, 1, 0.02, 3)
+	md := NewMoldyn(sys)
+	res, err = rts.RunSim(md.Loop(4, 2, inspector.Cyclic), rts.SimOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("moldyn sim produced no cycles")
+	}
+
+	a := sparse.Generate(sparse.Class{Name: "t", N: 500, NNZ: 4000}, 0)
+	mv := NewMVM(a)
+	res, err = rts.RunSim(mv.Loop(4, 2, inspector.Block), rts.SimOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("mvm sim produced no cycles")
+	}
+}
+
+func TestLJForceAntisymmetric(t *testing.T) {
+	pos := []float64{0.2, 0.2, 0.2, 0.9, 0.4, 0.3}
+	var fab, fba [3]float64
+	ljForce(pos, 10, 0, 1, fab[:])
+	ljForce(pos, 10, 1, 0, fba[:])
+	for c := 0; c < 3; c++ {
+		if math.Abs(fab[c]+fba[c]) > 1e-12 {
+			t.Fatalf("force not antisymmetric: %v vs %v", fab, fba)
+		}
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Equal-and-opposite force accumulation keeps total momentum constant.
+	sys := moldyn.Generate(3, 1, 0.02, 5)
+	md := NewMoldyn(sys)
+	_, vel := md.RunSequential(5)
+	var totBefore, totAfter [3]float64
+	for i := 0; i < sys.N; i++ {
+		for c := 0; c < 3; c++ {
+			totBefore[c] += sys.Vel[3*i+c]
+			totAfter[c] += vel[3*i+c]
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if math.Abs(totAfter[c]-totBefore[c]) > 1e-8*float64(sys.N) {
+			t.Fatalf("momentum drifted: %v -> %v", totBefore, totAfter)
+		}
+	}
+}
+
+func TestFluxDeterministic(t *testing.T) {
+	var a, b [3]float64
+	qa := []float64{1, 2, 3}
+	qb := []float64{0.5, 0.25, 0.125}
+	flux(1.5, qa, qb, a[:])
+	flux(1.5, qa, qb, b[:])
+	for c := 0; c < 3; c++ {
+		if a[c] != b[c] {
+			t.Fatal("flux not deterministic")
+		}
+	}
+	if a[0] == 0 && a[1] == 0 && a[2] == 0 {
+		t.Fatal("flux identically zero")
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	vel := []float64{1, 0, 0, 0, 2, 0}
+	if ke := KineticEnergy(vel); ke != 2.5 {
+		t.Fatalf("KE = %v, want 2.5", ke)
+	}
+	p := Momentum(vel)
+	if p != [3]float64{1, 2, 0} {
+		t.Fatalf("momentum = %v", p)
+	}
+	if n := ResidualNorm([]float64{3, 4}); n != 5 {
+		t.Fatalf("norm = %v", n)
+	}
+}
+
+func TestEnergyConservationShortRun(t *testing.T) {
+	// Over a short leapfrog run at tiny dt, total LJ + kinetic energy must
+	// be nearly conserved — a strong physical check that the parallel
+	// force reduction is complete and correctly signed.
+	sys := moldyn.Generate(4, 1, 0.02, 11)
+	md := NewMoldyn(sys)
+	md.Dt = 5e-5
+	e0 := md.LJPotential(sys.Pos) + KineticEnergy(sys.Vel)
+
+	nat, pos, vel, err := md.NewNative(4, 2, inspector.Cyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nat.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	e1 := md.LJPotential(pos) + KineticEnergy(vel)
+	drift := math.Abs(e1-e0) / (math.Abs(e0) + 1)
+	if drift > 1e-3 {
+		t.Fatalf("energy drifted by %.2e (from %v to %v)", drift, e0, e1)
+	}
+}
+
+func TestLJPotentialShape(t *testing.T) {
+	// With sigma = 1, the FCC nearest-neighbour spacing (1/sqrt 2) is
+	// inside the repulsive core, so the lattice potential is positive; a
+	// pair at the LJ minimum distance 2^(1/6) has energy exactly -1.
+	sys := moldyn.Generate(4, 2, 0, 1)
+	md := NewMoldyn(sys)
+	if u := md.LJPotential(sys.Pos); u <= 0 {
+		t.Fatalf("compressed lattice potential %v, want positive", u)
+	}
+	pair := &moldyn.System{N: 2, Box: 100, Pos: []float64{0, 0, 0, math.Pow(2, 1.0/6), 0, 0},
+		Vel: make([]float64, 6), I1: []int32{0}, I2: []int32{1}, Cutoff: 2}
+	mdPair := NewMoldyn(pair)
+	if u := mdPair.LJPotential(pair.Pos); math.Abs(u+1) > 1e-12 {
+		t.Fatalf("pair potential at the minimum = %v, want -1", u)
+	}
+	// And the force there is zero.
+	var f [3]float64
+	ljForce(pair.Pos, pair.Box, 0, 1, f[:])
+	if math.Abs(f[0]) > 1e-10 {
+		t.Fatalf("force at the LJ minimum = %v, want 0", f[0])
+	}
+}

@@ -1,0 +1,222 @@
+// Package lang defines IRL — a small irregular-loop language — with its
+// lexer, parser and AST. IRL expresses exactly the loop class the paper's
+// compiler analysis handles (Figure 1):
+//
+//	param num_edges, num_nodes
+//	array ia[num_edges, 2] int
+//	array x[num_nodes]
+//	array y[num_edges]
+//	array c[num_nodes]
+//
+//	loop i = 0, num_edges {
+//	    x[ia[i, 0]] += y[i] * c[ia[i, 0]]
+//	    x[ia[i, 1]] += y[i] * c[ia[i, 1]]
+//	}
+//
+// The EARTH-C compiler of the paper consumed C; the analysis it performs —
+// array-section extraction, reference grouping, loop fission — operates on
+// normalized loop nests of this shape, which IRL captures directly.
+package lang
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Program is a parsed IRL compilation unit.
+type Program struct {
+	Params []string     // symbolic extents
+	Arrays []*ArrayDecl // declared arrays
+	Loops  []*Loop      // top-level loops, in order
+}
+
+// Array looks up a declaration by name, or nil.
+func (p *Program) Array(name string) *ArrayDecl {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ArrayDecl declares an array with one or two dimensions. Each dimension
+// extent is either a parameter name or an integer literal. Int arrays are
+// indirection candidates; float arrays carry data.
+type ArrayDecl struct {
+	Name string
+	Dims []Extent
+	Int  bool
+	Pos  Pos
+}
+
+// Extent is a dimension size: a parameter reference or a literal.
+type Extent struct {
+	Param string // non-empty if symbolic
+	Lit   int    // used when Param == ""
+}
+
+func (e Extent) String() string {
+	if e.Param != "" {
+		return e.Param
+	}
+	return fmt.Sprintf("%d", e.Lit)
+}
+
+// Loop is `loop i = lo, hi { body }` iterating i over [lo, hi).
+type Loop struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Body []*Assign
+	Pos  Pos
+}
+
+// AssignOp is the assignment operator of a statement.
+type AssignOp int
+
+const (
+	OpSet AssignOp = iota // =
+	OpAdd                 // +=
+	OpSub                 // -=
+)
+
+func (op AssignOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+="
+	case OpSub:
+		return "-="
+	default:
+		return "="
+	}
+}
+
+// Assign is one loop-body statement: either a scalar definition
+// (`t = expr`) or an array update (`x[idx] op= expr`).
+type Assign struct {
+	// Scalar is set for scalar definitions; Target for array updates.
+	Scalar string
+	Target *IndexExpr
+	Op     AssignOp
+	RHS    Expr
+	Pos    Pos
+}
+
+// Expr is an IRL expression node.
+type Expr interface {
+	expr()
+	String() string
+	Position() Pos
+}
+
+// Num is a numeric literal.
+type Num struct {
+	Val float64
+	Pos Pos
+}
+
+// Ident references a scalar: the loop variable, a parameter, or a
+// loop-local temporary.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is an array reference a[e] or a[e1, e2].
+type IndexExpr struct {
+	Array string
+	Index []Expr
+	Pos   Pos
+}
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // + - * /
+	L, R Expr
+	Pos  Pos
+}
+
+// UnExpr is unary negation.
+type UnExpr struct {
+	X   Expr
+	Pos Pos
+}
+
+// CallExpr is a call to a builtin (sqrt, abs, min, max).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Num) expr()       {}
+func (*Ident) expr()     {}
+func (*IndexExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}
+func (*CallExpr) expr()  {}
+
+func (e *Num) Position() Pos       { return e.Pos }
+func (e *Ident) Position() Pos     { return e.Pos }
+func (e *IndexExpr) Position() Pos { return e.Pos }
+func (e *BinExpr) Position() Pos   { return e.Pos }
+func (e *UnExpr) Position() Pos    { return e.Pos }
+func (e *CallExpr) Position() Pos  { return e.Pos }
+
+func (e *Num) String() string   { return fmt.Sprintf("%g", e.Val) }
+func (e *Ident) String() string { return e.Name }
+func (e *IndexExpr) String() string {
+	s := e.Array + "[" + e.Index[0].String()
+	for _, x := range e.Index[1:] {
+		s += ", " + x.String()
+	}
+	return s + "]"
+}
+func (e *BinExpr) String() string {
+	return "(" + e.L.String() + " " + string(e.Op) + " " + e.R.String() + ")"
+}
+func (e *UnExpr) String() string { return "-" + e.X.String() }
+func (e *CallExpr) String() string {
+	s := e.Fn + "(" + e.Args[0].String()
+	for _, a := range e.Args[1:] {
+		s += ", " + a.String()
+	}
+	return s + ")"
+}
+
+// String renders a statement as source.
+func (a *Assign) String() string {
+	lhs := a.Scalar
+	if a.Target != nil {
+		lhs = a.Target.String()
+	}
+	return lhs + " " + a.Op.String() + " " + a.RHS.String()
+}
+
+// Walk visits every expression node in e, depth-first.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *IndexExpr:
+		for _, i := range x.Index {
+			Walk(i, fn)
+		}
+	case *BinExpr:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *UnExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}

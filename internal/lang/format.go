@@ -1,0 +1,51 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to IRL source, used to display the result
+// of compiler transformations (e.g. the fissioned program).
+func Format(p *Program) string {
+	var b strings.Builder
+	if len(p.Params) > 0 {
+		fmt.Fprintf(&b, "param %s\n", strings.Join(p.Params, ", "))
+	}
+	for _, a := range p.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = d.String()
+		}
+		fmt.Fprintf(&b, "array %s[%s]", a.Name, strings.Join(dims, ", "))
+		if a.Int {
+			b.WriteString(" int")
+		}
+		b.WriteByte('\n')
+	}
+	for _, l := range p.Loops {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "loop %s = %s, %s {\n", l.Var, exprSrc(l.Lo), exprSrc(l.Hi))
+		for _, st := range l.Body {
+			lhs := st.Scalar
+			if st.Target != nil {
+				lhs = exprSrc(st.Target)
+			}
+			fmt.Fprintf(&b, "    %s %s %s\n", lhs, st.Op, exprSrc(st.RHS))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// exprSrc renders an expression without the fully-parenthesized form of
+// Expr.String (top-level parens dropped for readability).
+func exprSrc(e Expr) string {
+	s := e.String()
+	if be, ok := e.(*BinExpr); ok {
+		_ = be
+		s = strings.TrimPrefix(s, "(")
+		s = strings.TrimSuffix(s, ")")
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package lang
+
+import "testing"
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		figure1,
+		`
+param n
+array a[n]
+array b[n]
+loop i = 0, n {
+    t = a[i] * 2 + 1
+    b[i] = t - a[i] / 4
+}
+`,
+		`
+param n, m
+array ia[n, 2] int
+array x[m]
+loop i = 0, n {
+    x[ia[i, 0]] += sqrt(abs(0 - i)) + min(1, 2) * max(3, 4)
+    x[ia[i, 1]] -= -i
+}
+`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Format(p1)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, text)
+		}
+		// A second round of formatting must be a fixed point.
+		if Format(p2) != text {
+			t.Fatalf("Format not idempotent:\n--- first\n%s\n--- second\n%s", text, Format(p2))
+		}
+		// Structure preserved.
+		if len(p2.Loops) != len(p1.Loops) || len(p2.Arrays) != len(p1.Arrays) {
+			t.Fatalf("round trip changed structure")
+		}
+		for li := range p1.Loops {
+			if len(p2.Loops[li].Body) != len(p1.Loops[li].Body) {
+				t.Fatalf("loop %d body length changed", li)
+			}
+			for si := range p1.Loops[li].Body {
+				a, b := p1.Loops[li].Body[si], p2.Loops[li].Body[si]
+				if a.String() != b.String() {
+					t.Fatalf("stmt changed: %q vs %q", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFormatLiteralDims(t *testing.T) {
+	p := MustParse("array a[16]\nloop i = 0, 16 { a[i] = 1 }")
+	text := Format(p)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("literal-dim program did not round trip: %v\n%s", err, text)
+	}
+}

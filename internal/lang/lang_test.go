@@ -1,0 +1,155 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure1 = `
+# Figure 1 of the paper: a simple loop involving indirection.
+param num_edges, num_nodes
+array ia[num_edges, 2] int
+array x[num_nodes]
+array y[num_edges]
+array c[num_nodes]
+
+loop i = 0, num_edges {
+    x[ia[i, 0]] += y[i] * c[ia[i, 0]]
+    x[ia[i, 1]] += y[i] * c[ia[i, 1]]
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Params) != 2 || prog.Params[0] != "num_edges" {
+		t.Fatalf("params = %v", prog.Params)
+	}
+	if len(prog.Arrays) != 4 {
+		t.Fatalf("arrays = %d", len(prog.Arrays))
+	}
+	ia := prog.Array("ia")
+	if ia == nil || !ia.Int || len(ia.Dims) != 2 || ia.Dims[1].Lit != 2 {
+		t.Fatalf("ia decl wrong: %+v", ia)
+	}
+	if len(prog.Loops) != 1 {
+		t.Fatalf("loops = %d", len(prog.Loops))
+	}
+	l := prog.Loops[0]
+	if l.Var != "i" || len(l.Body) != 2 {
+		t.Fatalf("loop shape wrong: var=%q body=%d", l.Var, len(l.Body))
+	}
+	st := l.Body[0]
+	if st.Target == nil || st.Target.Array != "x" || st.Op != OpAdd {
+		t.Fatalf("statement 0: %s", st)
+	}
+	inner, ok := st.Target.Index[0].(*IndexExpr)
+	if !ok || inner.Array != "ia" {
+		t.Fatalf("target index not an indirection: %s", st.Target)
+	}
+}
+
+func TestParseScalarTemp(t *testing.T) {
+	prog, err := Parse(`
+param n
+array a[n]
+array b[n]
+loop i = 0, n {
+    t = a[i] * 2
+    b[i] += t
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Loops[0].Body
+	if body[0].Scalar != "t" || body[0].Op != OpSet {
+		t.Fatalf("scalar stmt: %s", body[0])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := MustParse("param n\narray a[n]\nloop i = 0, n { a[i] = 1 + 2 * 3 - 4 / 2 }")
+	got := prog.Loops[0].Body[0].RHS.String()
+	if got != "((1 + (2 * 3)) - (4 / 2))" {
+		t.Fatalf("precedence wrong: %s", got)
+	}
+}
+
+func TestParens(t *testing.T) {
+	prog := MustParse("param n\narray a[n]\nloop i = 0, n { a[i] = (1 + 2) * 3 }")
+	got := prog.Loops[0].Body[0].RHS.String()
+	if got != "((1 + 2) * 3)" {
+		t.Fatalf("parens wrong: %s", got)
+	}
+}
+
+func TestUnaryAndCalls(t *testing.T) {
+	prog := MustParse("param n\narray a[n]\nloop i = 0, n { a[i] += -sqrt(a[i]) + min(1, 2) }")
+	s := prog.Loops[0].Body[0].RHS.String()
+	if !strings.Contains(s, "sqrt(a[i])") || !strings.Contains(s, "min(1, 2)") {
+		t.Fatalf("calls wrong: %s", s)
+	}
+}
+
+func TestComments(t *testing.T) {
+	if _, err := Parse("# leading\nparam n # trailing\narray a[n]\nloop i = 0, n { a[i] = 1 } # end"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScientificNumbers(t *testing.T) {
+	prog := MustParse("param n\narray a[n]\nloop i = 0, n { a[i] = 1.5e-3 }")
+	num := prog.Loops[0].Body[0].RHS.(*Num)
+	if num.Val != 1.5e-3 {
+		t.Fatalf("num = %v", num.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no loops":         "param n\narray a[n]",
+		"bad extent":       "array a[zzz]\nloop i = 0, 1 { a[i] = 1 }",
+		"3 dims":           "param n\narray a[n, 2, 2]\nloop i = 0, n { a[i] = 1 }",
+		"3 subscripts":     "param n\narray a[n,2]\nloop i = 0, n { a[i,0,1] = 1 }",
+		"empty body":       "param n\narray a[n]\nloop i = 0, n { }",
+		"undeclared array": "param n\nloop i = 0, n { zz[i] = 1 }",
+		"redeclared":       "param n\narray a[n]\narray a[n]\nloop i = 0, n { a[i] = 1 }",
+		"bad char":         "param n\narray a[n]\nloop i = 0, n { a[i] = 1 ? 2 }",
+		"missing brace":    "param n\narray a[n]\nloop i = 0, n { a[i] = 1",
+		"bad arg count":    "param n\narray a[n]\nloop i = 0, n { a[i] = sqrt(1, 2) }",
+		"junk top-level":   "banana\nloop i = 0, 1 { }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	prog := MustParse(figure1)
+	count := 0
+	Walk(prog.Loops[0].Body[0].RHS, func(Expr) { count++ })
+	// y[i] * c[ia[i,0]]: Bin, Index(y), Ident(i), Index(c), Index(ia), Ident(i), Num(0)
+	if count != 7 {
+		t.Fatalf("walked %d nodes, want 7", count)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	prog := MustParse(figure1)
+	s := prog.Loops[0].Body[0].String()
+	if s != "x[ia[i, 0]] += (y[i] * c[ia[i, 0]])" {
+		t.Fatalf("render: %s", s)
+	}
+}
+
+func TestPosReporting(t *testing.T) {
+	_, err := Parse("param n\narray a[n]\nloop i = 0, n {\n  a[i] = $\n}")
+	if err == nil || !strings.Contains(err.Error(), "4:") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+}

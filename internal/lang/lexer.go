@@ -1,0 +1,150 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct // single punctuation: [ ] { } ( ) , = + - * /
+	tokOpEq  // += or -=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes IRL source. `#` starts a comment to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("irl:%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		if c == '#' {
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.advance()
+			continue
+		}
+		break
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.off
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		start := l.off
+		seenDot, seenExp := false, false
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.off > start:
+				seenExp = true
+				l.advance()
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		text := l.src[start:l.off]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errorf(pos, "bad number %q", text)
+		}
+		return token{kind: tokNum, text: text, num: v, pos: pos}, nil
+	case c == '+' || c == '-':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokOpEq, text: string(c) + "=", pos: pos}, nil
+		}
+		return token{kind: tokPunct, text: string(c), pos: pos}, nil
+	case strings.IndexByte("[]{}(),=*/", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), pos: pos}, nil
+	default:
+		return token{}, l.errorf(pos, "unexpected character %q", c)
+	}
+}

@@ -1,0 +1,393 @@
+package lang
+
+import "fmt"
+
+// Parse parses an IRL source string into a Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.program()
+}
+
+// MustParse parses src and panics on error; for tests and embedded kernels.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("irl:%s: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// expectPunct consumes a punctuation token with the given text.
+func (p *parser) expectPunct(text string) error {
+	if p.tok.kind != tokPunct || p.tok.text != text {
+		return p.errorf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) atPunct(text string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == text
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.atKeyword("param"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				name, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				prog.Params = append(prog.Params, name)
+				if !p.atPunct(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case p.atKeyword("array"):
+			a, err := p.arrayDecl(prog)
+			if err != nil {
+				return nil, err
+			}
+			if prog.Array(a.Name) != nil {
+				return nil, fmt.Errorf("irl:%s: array %q redeclared", a.Pos, a.Name)
+			}
+			prog.Arrays = append(prog.Arrays, a)
+		case p.atKeyword("loop"):
+			l, err := p.loop(prog)
+			if err != nil {
+				return nil, err
+			}
+			prog.Loops = append(prog.Loops, l)
+		default:
+			return nil, p.errorf("expected 'param', 'array' or 'loop', found %s", p.tok)
+		}
+	}
+	if len(prog.Loops) == 0 {
+		return nil, fmt.Errorf("irl: program has no loops")
+	}
+	return prog, nil
+}
+
+func (p *parser) arrayDecl(prog *Program) (*ArrayDecl, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // consume 'array'
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	a := &ArrayDecl{Name: name, Pos: pos}
+	for {
+		ext, err := p.extent(prog)
+		if err != nil {
+			return nil, err
+		}
+		a.Dims = append(a.Dims, ext)
+		if p.atPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(a.Dims) > 2 {
+		return nil, fmt.Errorf("irl:%s: array %q has %d dimensions; at most 2 supported", pos, name, len(a.Dims))
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("int") {
+		a.Int = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) extent(prog *Program) (Extent, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		found := false
+		for _, q := range prog.Params {
+			if q == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Extent{}, p.errorf("unknown parameter %q in array extent", name)
+		}
+		return Extent{Param: name}, p.advance()
+	case tokNum:
+		n := int(p.tok.num)
+		if float64(n) != p.tok.num || n <= 0 {
+			return Extent{}, p.errorf("array extent must be a positive integer")
+		}
+		return Extent{Lit: n}, p.advance()
+	default:
+		return Extent{}, p.errorf("expected extent, found %s", p.tok)
+	}
+}
+
+func (p *parser) loop(prog *Program) (*Loop, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // consume 'loop'
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	l := &Loop{Var: v, Lo: lo, Hi: hi, Pos: pos}
+	for !p.atPunct("}") {
+		st, err := p.assign(prog)
+		if err != nil {
+			return nil, err
+		}
+		l.Body = append(l.Body, st)
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if len(l.Body) == 0 {
+		return nil, fmt.Errorf("irl:%s: empty loop body", pos)
+	}
+	return l, nil
+}
+
+func (p *parser) assign(prog *Program) (*Assign, error) {
+	pos := p.tok.pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &Assign{Pos: pos}
+	if p.atPunct("[") {
+		idx, err := p.indexSuffix(name, pos)
+		if err != nil {
+			return nil, err
+		}
+		if prog.Array(name) == nil {
+			return nil, fmt.Errorf("irl:%s: assignment to undeclared array %q", pos, name)
+		}
+		st.Target = idx
+	} else {
+		st.Scalar = name
+	}
+	switch {
+	case p.tok.kind == tokOpEq && p.tok.text == "+=":
+		st.Op = OpAdd
+	case p.tok.kind == tokOpEq && p.tok.text == "-=":
+		st.Op = OpSub
+	case p.atPunct("="):
+		st.Op = OpSet
+	default:
+		return nil, p.errorf("expected '=', '+=' or '-=', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	st.RHS, err = p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// expr parses addition-level expressions.
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.tok.text[0]
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") {
+		op := p.tok.text[0]
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+var builtins = map[string]int{"sqrt": 1, "abs": 1, "min": 2, "max": 2}
+
+func (p *parser) factor() (Expr, error) {
+	pos := p.tok.pos
+	switch {
+	case p.tok.kind == tokNum:
+		v := p.tok.num
+		return &Num{Val: v, Pos: pos}, p.advance()
+	case p.atPunct("-"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{X: x, Pos: pos}, nil
+	case p.atPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if nargs, ok := builtins[name]; ok && p.atPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Fn: name, Pos: pos}
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.atPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if len(call.Args) != nargs {
+				return nil, fmt.Errorf("irl:%s: %s takes %d arguments, got %d", pos, name, nargs, len(call.Args))
+			}
+			return call, nil
+		}
+		if p.atPunct("[") {
+			return p.indexSuffix(name, pos)
+		}
+		return &Ident{Name: name, Pos: pos}, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", p.tok)
+	}
+}
+
+// indexSuffix parses `[e]` or `[e1, e2]` after an array name.
+func (p *parser) indexSuffix(name string, pos Pos) (*IndexExpr, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	ix := &IndexExpr{Array: name, Pos: pos}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ix.Index = append(ix.Index, e)
+		if p.atPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(ix.Index) > 2 {
+		return nil, fmt.Errorf("irl:%s: array %q indexed with %d subscripts", pos, name, len(ix.Index))
+	}
+	return ix, p.expectPunct("]")
+}

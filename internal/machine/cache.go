@@ -1,0 +1,120 @@
+// Package machine models the hardware the paper evaluated on: MANNA nodes
+// with 50 MHz Intel i860XP processors, a small on-chip data cache, and a
+// crossbar interconnect with roughly one byte per cycle of link bandwidth.
+//
+// The package supplies the three ingredients the reproduction needs:
+//
+//   - a set-associative LRU data-cache simulator (Cache), which is the
+//     mechanism behind the paper's locality observations (superlinear mvm
+//     speedups on mid-size machines, the 2-processor overheads of euler and
+//     moldyn, and the moldyn-10K slowdown);
+//   - a cycle cost model (CostModel) for arithmetic, memory access, fiber
+//     switching, and EARTH synchronization operations;
+//   - a network model (Network) charging per-message overhead plus
+//     per-byte transfer time, independent of message contents.
+package machine
+
+// Cache is a set-associative LRU cache simulator. It tracks only tags, not
+// data: Access reports whether a byte address hits, updating recency and
+// contents as a real cache would.
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	// tags[set*assoc+way]; recency via per-set ordering (small assoc, so a
+	// move-to-front array scan is fast and allocation-free).
+	tags  []uint64
+	valid []bool
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache returns a cache of size bytes total with the given line size and
+// associativity. Size, line and associativity must be powers of two with
+// size >= line*assoc.
+func NewCache(size, line, assoc int) *Cache {
+	if size <= 0 || line <= 0 || assoc <= 0 {
+		panic("machine: cache parameters must be positive")
+	}
+	if size&(size-1) != 0 || line&(line-1) != 0 || assoc&(assoc-1) != 0 {
+		panic("machine: cache parameters must be powers of two")
+	}
+	sets := size / (line * assoc)
+	if sets < 1 {
+		panic("machine: cache smaller than one set")
+	}
+	c := &Cache{
+		assoc: assoc,
+		tags:  make([]uint64, sets*assoc),
+		valid: make([]bool, sets*assoc),
+	}
+	for line > 1 {
+		line >>= 1
+		c.lineShift++
+	}
+	c.setMask = uint64(sets - 1)
+	return c
+}
+
+// Access touches the byte at addr and reports whether it hit. Way 0 of each
+// set holds the most recently used line.
+func (c *Cache) Access(addr uint64) bool {
+	blk := addr >> c.lineShift
+	set := int(blk&c.setMask) * c.assoc
+	ways := c.tags[set : set+c.assoc]
+	val := c.valid[set : set+c.assoc]
+	for w := 0; w < c.assoc; w++ {
+		if val[w] && ways[w] == blk {
+			// Move to front to record recency.
+			copy(ways[1:w+1], ways[:w])
+			copy(val[1:w+1], val[:w])
+			ways[0], val[0] = blk, true
+			c.Hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (last way).
+	copy(ways[1:], ways[:c.assoc-1])
+	copy(val[1:], val[:c.assoc-1])
+	ways[0], val[0] = blk, true
+	c.Misses++
+	return false
+}
+
+// AccessRange touches n consecutive bytes starting at addr (e.g. a multi-word
+// object) and returns the number of line misses incurred.
+func (c *Cache) AccessRange(addr uint64, n int) int {
+	misses := 0
+	line := uint64(1) << c.lineShift
+	end := addr + uint64(n)
+	for a := addr &^ (line - 1); a < end; a += line {
+		if !c.Access(a) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+// ResetCounters clears the hit/miss counters but keeps cache contents, so a
+// warm-up pass can be excluded from measurement.
+func (c *Cache) ResetCounters() { c.Hits, c.Misses = 0, 0 }
+
+// Accesses reports the total number of accesses observed.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRatio reports misses/accesses, or 0 when nothing was accessed.
+func (c *Cache) MissRatio() float64 {
+	if t := c.Accesses(); t > 0 {
+		return float64(c.Misses) / float64(t)
+	}
+	return 0
+}

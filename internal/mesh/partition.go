@@ -1,0 +1,165 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements recursive coordinate bisection (RCB) — the
+// geometric mesh partitioner that conventional distributed-memory
+// approaches (the paper's Section 5.4.3 comparison with Agrawal-Saltz)
+// rely on. The paper's whole point is that its strategy does *not* need
+// this machinery; having it lets the repository quantify what partitioning
+// buys (locality, fewer cut edges) and what it costs (preprocessing that
+// adaptive problems must repeat).
+
+// Partition assigns each node to one of P parts.
+type Partition struct {
+	P    int
+	Part []int32 // len NumNodes, values in [0, P)
+}
+
+// RCB partitions the mesh's nodes into p parts of near-equal size by
+// recursively bisecting along the widest coordinate axis. p need not be a
+// power of two: splits are sized proportionally.
+func (m *Mesh) RCB(p int) *Partition {
+	if p <= 0 {
+		panic("mesh: RCB needs p >= 1")
+	}
+	part := make([]int32, m.NumNodes)
+	ids := make([]int32, m.NumNodes)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var rec func(ids []int32, lo, hi int)
+	rec = func(ids []int32, lo, hi int) {
+		nparts := hi - lo
+		if nparts == 1 {
+			for _, id := range ids {
+				part[id] = int32(lo)
+			}
+			return
+		}
+		// Widest axis of this subset's bounding box.
+		var minc, maxc [3]float64
+		for c := 0; c < 3; c++ {
+			minc[c], maxc[c] = m.Coord[3*ids[0]+int32(c)], m.Coord[3*ids[0]+int32(c)]
+		}
+		for _, id := range ids {
+			for c := 0; c < 3; c++ {
+				v := m.Coord[3*id+int32(c)]
+				if v < minc[c] {
+					minc[c] = v
+				}
+				if v > maxc[c] {
+					maxc[c] = v
+				}
+			}
+		}
+		axis := 0
+		for c := 1; c < 3; c++ {
+			if maxc[c]-minc[c] > maxc[axis]-minc[axis] {
+				axis = c
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			return m.Coord[3*ids[a]+int32(axis)] < m.Coord[3*ids[b]+int32(axis)]
+		})
+		leftParts := nparts / 2
+		cut := len(ids) * leftParts / nparts
+		rec(ids[:cut], lo, lo+leftParts)
+		rec(ids[cut:], lo+leftParts, hi)
+	}
+	rec(ids, 0, p)
+	return &Partition{P: p, Part: part}
+}
+
+// Sizes reports the node count of each part.
+func (pt *Partition) Sizes() []int {
+	out := make([]int, pt.P)
+	for _, p := range pt.Part {
+		out[p]++
+	}
+	return out
+}
+
+// CutEdges reports how many edges cross part boundaries — the
+// communication the classic owner-computes scheme pays per timestep.
+func (pt *Partition) CutEdges(m *Mesh) int {
+	cut := 0
+	for i := range m.I1 {
+		if pt.Part[m.I1[i]] != pt.Part[m.I2[i]] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Check validates partition invariants: every node assigned, parts within
+// one node of perfectly balanced.
+func (pt *Partition) Check(m *Mesh) error {
+	if len(pt.Part) != m.NumNodes {
+		return fmt.Errorf("mesh: partition covers %d nodes, mesh has %d", len(pt.Part), m.NumNodes)
+	}
+	for i, p := range pt.Part {
+		if int(p) < 0 || int(p) >= pt.P {
+			return fmt.Errorf("mesh: node %d in part %d of %d", i, p, pt.P)
+		}
+	}
+	sizes := pt.Sizes()
+	lo, hi := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	// RCB with proportional splits keeps sizes within a handful of nodes.
+	if hi-lo > pt.P {
+		return fmt.Errorf("mesh: imbalanced partition, sizes %v", sizes)
+	}
+	return nil
+}
+
+// Renumber returns a copy of the mesh with nodes renumbered so each part's
+// nodes are contiguous (part-major, original order within a part) and the
+// edge list re-sorted by first endpoint. This is the "array renumbering"
+// preprocessing the paper's related work applies to improve locality — and
+// that the paper's own strategy avoids.
+func (m *Mesh) Renumber(pt *Partition) *Mesh {
+	order := make([]int32, 0, m.NumNodes)
+	for p := 0; p < pt.P; p++ {
+		for i := 0; i < m.NumNodes; i++ {
+			if int(pt.Part[i]) == p {
+				order = append(order, int32(i))
+			}
+		}
+	}
+	newID := make([]int32, m.NumNodes)
+	for newIdx, old := range order {
+		newID[old] = int32(newIdx)
+	}
+	out := &Mesh{NumNodes: m.NumNodes, Coord: make([]float64, 3*m.NumNodes)}
+	for newIdx, old := range order {
+		copy(out.Coord[3*newIdx:3*newIdx+3], m.Coord[3*old:3*old+3])
+	}
+	type edge struct{ a, b int32 }
+	es := make([]edge, len(m.I1))
+	for i := range m.I1 {
+		es[i] = edge{newID[m.I1[i]], newID[m.I2[i]]}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].a != es[j].a {
+			return es[i].a < es[j].a
+		}
+		return es[i].b < es[j].b
+	})
+	out.I1 = make([]int32, len(es))
+	out.I2 = make([]int32, len(es))
+	for i, e := range es {
+		out.I1[i], out.I2[i] = e.a, e.b
+	}
+	return out
+}

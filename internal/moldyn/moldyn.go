@@ -1,0 +1,228 @@
+// Package moldyn generates molecular-dynamics configurations with the
+// shape of the paper's moldyn datasets: molecules on a face-centred-cubic
+// lattice in a periodic box, with interaction lists built from a distance
+// cutoff — the construction of the original CHAOS/Maryland moldyn
+// benchmark the paper's kernel derives from.
+//
+// The paper's dataset sizes fall out exactly: 4*9^3 = 2,916 molecules with
+// a two-shell cutoff give 9 pairs per molecule (26,244 interactions), and
+// 4*14^3 = 10,976 molecules with a one-shell cutoff give 6 pairs per
+// molecule (65,856 interactions).
+package moldyn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// System is a molecular configuration plus its interaction (neighbour)
+// list. I1/I2 are the indirection arrays of the force reduction loop.
+type System struct {
+	N      int       // molecules
+	Box    float64   // periodic cube side
+	Pos    []float64 // 3 coordinates per molecule, interleaved
+	Vel    []float64 // 3 components per molecule
+	I1, I2 []int32   // interaction pairs, in coarse first-molecule order
+	Cutoff float64   // interaction cutoff distance
+	Seed   int64     // drives jitter and list-order randomisation
+}
+
+// NumInteractions reports the pair count.
+func (s *System) NumInteractions() int { return len(s.I1) }
+
+// Generate builds an FCC system of 4*cells^3 molecules. shells selects the
+// cutoff: 1 keeps nearest neighbours (6 pairs/molecule), 2 adds the second
+// shell (9 pairs/molecule). Small positional jitter (scaled by jitter,
+// e.g. 0.05) perturbs molecules without changing the shell structure.
+func Generate(cells, shells int, jitter float64, seed int64) *System {
+	if cells < 3 {
+		panic("moldyn: need at least 3 cells per side")
+	}
+	var cutoff float64
+	switch shells {
+	case 1:
+		cutoff = 0.85 // first FCC shell at 1/sqrt(2) ~ 0.707
+	case 2:
+		cutoff = 1.10 // second shell at 1.0, third at ~1.22
+	default:
+		panic(fmt.Sprintf("moldyn: shells = %d, want 1 or 2", shells))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 * cells * cells * cells
+	s := &System{
+		N:      n,
+		Box:    float64(cells),
+		Pos:    make([]float64, 3*n),
+		Vel:    make([]float64, 3*n),
+		Cutoff: cutoff,
+		Seed:   seed,
+	}
+	basis := [4][3]float64{{0, 0, 0}, {0, 0.5, 0.5}, {0.5, 0, 0.5}, {0.5, 0.5, 0}}
+	id := 0
+	for x := 0; x < cells; x++ {
+		for y := 0; y < cells; y++ {
+			for z := 0; z < cells; z++ {
+				for _, b := range basis {
+					s.Pos[3*id] = math.Mod(float64(x)+b[0]+jitter*(rng.Float64()-0.5)+s.Box, s.Box)
+					s.Pos[3*id+1] = math.Mod(float64(y)+b[1]+jitter*(rng.Float64()-0.5)+s.Box, s.Box)
+					s.Pos[3*id+2] = math.Mod(float64(z)+b[2]+jitter*(rng.Float64()-0.5)+s.Box, s.Box)
+					s.Vel[3*id] = 0.1 * (rng.Float64() - 0.5)
+					s.Vel[3*id+1] = 0.1 * (rng.Float64() - 0.5)
+					s.Vel[3*id+2] = 0.1 * (rng.Float64() - 0.5)
+					id++
+				}
+			}
+		}
+	}
+	s.BuildNeighbors()
+	return s
+}
+
+// Paper2K builds the paper's small moldyn dataset: 2,916 molecules and
+// 26,244 interactions.
+func Paper2K(seed int64) *System { return Generate(9, 2, 0.02, seed) }
+
+// Paper10K builds the paper's large moldyn dataset: 10,976 molecules and
+// 65,856 interactions.
+func Paper10K(seed int64) *System { return Generate(14, 1, 0.02, seed) }
+
+// dist2 is the squared minimum-image distance between molecules a and b.
+func (s *System) dist2(a, b int) float64 {
+	var d2 float64
+	for c := 0; c < 3; c++ {
+		d := s.Pos[3*a+c] - s.Pos[3*b+c]
+		if d > s.Box/2 {
+			d -= s.Box
+		} else if d < -s.Box/2 {
+			d += s.Box
+		}
+		d2 += d * d
+	}
+	return d2
+}
+
+// BuildNeighbors rebuilds the interaction list from current positions using
+// a periodic cell list. This is the step an adaptive run repeats after
+// molecules move; the paper's strategy re-runs only the LightInspector
+// afterwards.
+func (s *System) BuildNeighbors() {
+	nc := int(s.Box / s.Cutoff)
+	if nc < 1 {
+		nc = 1
+	}
+	side := s.Box / float64(nc)
+	cellOf := func(i int) int {
+		cx := int(s.Pos[3*i] / side)
+		cy := int(s.Pos[3*i+1] / side)
+		cz := int(s.Pos[3*i+2] / side)
+		if cx >= nc {
+			cx = nc - 1
+		}
+		if cy >= nc {
+			cy = nc - 1
+		}
+		if cz >= nc {
+			cz = nc - 1
+		}
+		return (cx*nc+cy)*nc + cz
+	}
+	bins := make([][]int32, nc*nc*nc)
+	for i := 0; i < s.N; i++ {
+		c := cellOf(i)
+		bins[c] = append(bins[c], int32(i))
+	}
+	cut2 := s.Cutoff * s.Cutoff
+	type pair struct{ a, b int32 }
+	var pairs []pair
+	wrap := func(v int) int { return ((v % nc) + nc) % nc }
+	for cx := 0; cx < nc; cx++ {
+		for cy := 0; cy < nc; cy++ {
+			for cz := 0; cz < nc; cz++ {
+				home := bins[(cx*nc+cy)*nc+cz]
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							nb := bins[(wrap(cx+dx)*nc+wrap(cy+dy))*nc+wrap(cz+dz)]
+							for _, a := range home {
+								for _, b := range nb {
+									if a < b && s.dist2(int(a), int(b)) <= cut2 {
+										pairs = append(pairs, pair{a, b})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// With nc close to Box/Cutoff and a symmetric neighbourhood scan, each
+	// qualifying (a<b) pair is found once per unordered bin pair; but the
+	// home/neighbour double loop visits ordered bin pairs, so a pair whose
+	// bins differ is seen twice. Dedup keeps the list exact.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	s.I1, s.I2 = s.I1[:0], s.I2[:0]
+	for i, p := range pairs {
+		if i > 0 && p == pairs[i-1] {
+			continue
+		}
+		s.I1 = append(s.I1, p.a)
+		s.I2 = append(s.I2, p.b)
+	}
+	// Shuffle within windows: a rebuilt neighbour list has coarse, not
+	// exact, molecule-order locality (particles drift out of sorted order
+	// between rebuilds), and exact ordering would make block distributions
+	// unrealistically home-aligned.
+	window := len(s.I1) / 8
+	if window < 64 {
+		window = 64
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	for lo := 0; lo < len(s.I1); lo += window {
+		hi := lo + window
+		if hi > len(s.I1) {
+			hi = len(s.I1)
+		}
+		rng.Shuffle(hi-lo, func(i, j int) {
+			s.I1[lo+i], s.I1[lo+j] = s.I1[lo+j], s.I1[lo+i]
+			s.I2[lo+i], s.I2[lo+j] = s.I2[lo+j], s.I2[lo+i]
+		})
+	}
+}
+
+// Displace moves every molecule by a random vector of magnitude up to amp
+// (with periodic wrap), modelling dynamics between neighbour-list rebuilds.
+func (s *System) Displace(amp float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range s.Pos {
+		s.Pos[i] = math.Mod(s.Pos[i]+amp*(rng.Float64()-0.5)+s.Box, s.Box)
+	}
+}
+
+// Check validates system invariants.
+func (s *System) Check() error {
+	if len(s.Pos) != 3*s.N || len(s.Vel) != 3*s.N {
+		return fmt.Errorf("moldyn: array lengths inconsistent with N=%d", s.N)
+	}
+	if len(s.I1) != len(s.I2) {
+		return fmt.Errorf("moldyn: pair arrays differ in length")
+	}
+	cut2 := s.Cutoff * s.Cutoff
+	for i := range s.I1 {
+		a, b := int(s.I1[i]), int(s.I2[i])
+		if a < 0 || a >= s.N || b < 0 || b >= s.N || a == b {
+			return fmt.Errorf("moldyn: bad pair (%d,%d)", a, b)
+		}
+		if d2 := s.dist2(a, b); d2 > cut2*1.0001 {
+			return fmt.Errorf("moldyn: pair (%d,%d) at distance %.3f beyond cutoff %.3f", a, b, math.Sqrt(d2), s.Cutoff)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package moldyn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaper2KExact(t *testing.T) {
+	s := Paper2K(1)
+	if s.N != 2916 {
+		t.Fatalf("N = %d, want 2916", s.N)
+	}
+	if got := s.NumInteractions(); got != 26244 {
+		t.Fatalf("interactions = %d, want 26244 (9 per molecule)", got)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaper10KExact(t *testing.T) {
+	s := Paper10K(1)
+	if s.N != 10976 {
+		t.Fatalf("N = %d, want 10976", s.N)
+	}
+	if got := s.NumInteractions(); got != 65856 {
+		t.Fatalf("interactions = %d, want 65856 (6 per molecule)", got)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCCShellStructure(t *testing.T) {
+	// Without jitter, every molecule has exactly 12 first-shell and 6
+	// second-shell neighbours under periodic boundaries.
+	s := Generate(5, 1, 0, 1)
+	if got, want := s.NumInteractions(), s.N*6; got != want {
+		t.Fatalf("one-shell pairs = %d, want %d", got, want)
+	}
+	s2 := Generate(5, 2, 0, 1)
+	if got, want := s2.NumInteractions(), s2.N*9; got != want {
+		t.Fatalf("two-shell pairs = %d, want %d", got, want)
+	}
+}
+
+func TestPairsInCoarseOrder(t *testing.T) {
+	// Pair lists have coarse first-molecule order (window-level), and every
+	// pair is canonical (a < b).
+	s := Paper2K(1)
+	const windows = 8
+	w := len(s.I1) / windows
+	var prevMean float64 = -1
+	for b := 0; b < windows; b++ {
+		var sum float64
+		for i := b * w; i < (b+1)*w; i++ {
+			sum += float64(s.I1[i])
+		}
+		mean := sum / float64(w)
+		if mean <= prevMean {
+			t.Fatalf("window %d mean %.0f not increasing past %.0f", b, mean, prevMean)
+		}
+		prevMean = mean
+	}
+	for i := range s.I1 {
+		if s.I1[i] >= s.I2[i] {
+			t.Fatalf("pair %d not canonical (a<b)", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Paper2K(5), Paper2K(5)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("positions differ")
+		}
+	}
+	for i := range a.I1 {
+		if a.I1[i] != b.I1[i] || a.I2[i] != b.I2[i] {
+			t.Fatal("pairs differ")
+		}
+	}
+}
+
+func TestDisplaceAndRebuild(t *testing.T) {
+	s := Generate(5, 1, 0.02, 1)
+	pairSet := func() map[[2]int32]bool {
+		m := map[[2]int32]bool{}
+		for i := range s.I1 {
+			m[[2]int32{s.I1[i], s.I2[i]}] = true
+		}
+		return m
+	}
+	before := pairSet()
+	s.Displace(0.3, 7)
+	s.BuildNeighbors()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumInteractions() == 0 {
+		t.Fatal("rebuild lost all pairs")
+	}
+	// A displacement of 0.3 on a shell-separated lattice must change the
+	// neighbour list — that is what makes the problem adaptive.
+	after := pairSet()
+	changed := false
+	for k := range after {
+		if !before[k] {
+			changed = true
+			break
+		}
+	}
+	if !changed && len(after) == len(before) {
+		t.Fatal("displacement did not change the interaction list")
+	}
+}
+
+func TestPositionsInsideBox(t *testing.T) {
+	s := Paper2K(3)
+	for i, p := range s.Pos {
+		if p < 0 || p >= s.Box {
+			t.Fatalf("coordinate %d = %v outside [0,%v)", i, p, s.Box)
+		}
+	}
+	s.Displace(1.5, 9)
+	for i, p := range s.Pos {
+		if p < 0 || p >= s.Box {
+			t.Fatalf("after displace, coordinate %d = %v outside box", i, p)
+		}
+	}
+}
+
+func TestMinimumImageDistance(t *testing.T) {
+	s := &System{N: 2, Box: 10, Pos: []float64{0.5, 0, 0, 9.5, 0, 0}, Vel: make([]float64, 6), Cutoff: 2}
+	if d := math.Sqrt(s.dist2(0, 1)); math.Abs(d-1.0) > 1e-12 {
+		t.Fatalf("minimum-image distance %v, want 1", d)
+	}
+}
+
+func TestBadShellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for shells=3")
+		}
+	}()
+	Generate(5, 3, 0, 1)
+}

@@ -1,0 +1,247 @@
+package rts
+
+import (
+	"irred/internal/inspector"
+	"irred/internal/machine"
+	"irred/internal/sim"
+)
+
+// The simulator charges memory costs by replaying each processor's access
+// stream through a data-cache model laid out in a per-processor virtual
+// address space:
+//
+//	[X local image][indirection arrays][iteration arrays][node arrays][out][update arrays]
+//
+// The stream is replayed for two whole timesteps and the second (warm) pass
+// is kept, so compulsory misses of the first sweep do not pollute the
+// steady-state rate. This replay is where the paper's locality effects come
+// from: phase partitioning fragments the iteration-aligned streams, buffer
+// traffic adds extra accesses, cyclic distributions stride the iteration
+// arrays, and replicated node arrays thrash once the dataset outgrows the
+// cache.
+
+type layout struct {
+	xBase    uint64
+	indBase  []uint64 // per reference, phase-compacted 4-byte entries
+	iterBase []uint64 // per iteration-aligned array, 8-byte entries
+	nodeBase []uint64 // per node array, 8-byte entries per element
+	outBase  uint64   // gather-mode output accumulator array
+	updBase  uint64   // element arrays touched by the update loop
+}
+
+func newLayout(l *Loop, localLen int) *layout {
+	comp := l.Cost.comp()
+	la := &layout{}
+	addr := uint64(0)
+	la.xBase = addr
+	addr += uint64(localLen*comp) * 8
+	la.indBase = make([]uint64, len(l.Ind))
+	for r := range l.Ind {
+		la.indBase[r] = addr
+		addr += uint64(l.Cfg.NumIters) * 4
+	}
+	la.iterBase = make([]uint64, l.Cost.IterArrays)
+	for a := range la.iterBase {
+		la.iterBase[a] = addr
+		addr += uint64(l.Cfg.NumIters) * 8
+	}
+	la.nodeBase = make([]uint64, l.Cost.NodeArrays)
+	for a := range la.nodeBase {
+		la.nodeBase[a] = addr
+		addr += uint64(l.Cfg.NumElems) * 8
+	}
+	la.outBase = addr
+	addr += uint64(l.Cfg.NumElems) * 8
+	la.updBase = addr
+	return la
+}
+
+// walker counts accesses against one cache; misses are read off the cache's
+// own counters via snapshots.
+type walker struct {
+	cache    *machine.Cache
+	accesses uint64
+}
+
+// touch records a 4- or 8-byte load.
+func (w *walker) touch(addr uint64) {
+	w.accesses++
+	w.cache.Access(addr)
+}
+
+// rmw records a read-modify-write (+=): two accesses, one possible miss —
+// the store half always hits the just-loaded line.
+func (w *walker) rmw(addr uint64) {
+	w.accesses += 2
+	w.cache.Access(addr)
+}
+
+// iterOps is the non-memory cycle cost of one main-loop iteration in the
+// sequential baseline.
+func iterOps(cm machine.CostModel, k KernelCost) sim.Time {
+	return cm.LoopOver + sim.Time(k.IntOps)*cm.IntOp + sim.Time(k.Flops)*cm.Flop
+}
+
+// parIterOps is the same for the compiler-generated phase executor:
+// reduce-mode loops pay the CodegenFactor (buffer branch, rewritten
+// indirection addressing); gather-mode loops do not.
+func parIterOps(cm machine.CostModel, l *Loop) sim.Time {
+	ops := iterOps(cm, l.Cost)
+	if l.Mode == Reduce && cm.CodegenFactor > 1 {
+		ops = sim.Time(float64(ops) * cm.CodegenFactor)
+	}
+	return ops
+}
+
+// PhaseCosts computes, for one processor, the warm-cache EU cycle cost of
+// each phase of one timestep (copy loop + main loop) and of the
+// between-sweep update loop over the processor's home elements.
+func PhaseCosts(cm machine.CostModel, l *Loop, s *inspector.Schedule) (phases []sim.Time, update sim.Time) {
+	comp := l.Cost.comp()
+	la := newLayout(l, s.LocalLen())
+	cache := cm.NewCache()
+	nph := l.Cfg.NumPhases()
+	phases = make([]sim.Time, nph)
+
+	// The home block for the update loop: the k portions this processor
+	// holds at sweep start.
+	homeLo, _ := l.Cfg.PortionBounds(l.Cfg.PortionAt(s.Proc, 0))
+	_, homeHi := l.Cfg.PortionBounds(l.Cfg.PortionAt(s.Proc, l.Cfg.K-1))
+
+	for pass := 0; pass < 2; pass++ {
+		indPos := make([]uint64, len(l.Ind))
+		for ph := 0; ph < nph; ph++ {
+			prog := &s.Phases[ph]
+			w := walker{cache: cache}
+			missBase := cache.Misses
+			var ops sim.Time
+
+			// Second (copy) loop: X[elem] += X[buf]; X[buf] = 0.
+			for _, cp := range prog.Copies {
+				for c := 0; c < comp; c++ {
+					w.touch(la.xBase + uint64(int(cp.Buf)*comp+c)*8)
+					w.rmw(la.xBase + uint64(int(cp.Elem)*comp+c)*8)
+				}
+				ops += cm.LoopOver + sim.Time(comp)*cm.Flop
+			}
+
+			// Main loop.
+			perIter := parIterOps(cm, l)
+			for j, it := range prog.Iters {
+				ops += perIter
+				for r := range prog.Ind {
+					w.touch(la.indBase[r] + indPos[r]*4)
+					indPos[r]++
+					// Replicated node-array reads use the original element.
+					orig := uint64(l.Ind[r][it])
+					for a := range la.nodeBase {
+						w.touch(la.nodeBase[a] + orig*8)
+					}
+					tgt := uint64(prog.Ind[r][j])
+					for c := 0; c < comp; c++ {
+						a := la.xBase + (tgt*uint64(comp)+uint64(c))*8
+						if l.Mode == Gather {
+							w.touch(a)
+						} else {
+							w.rmw(a)
+						}
+					}
+				}
+				for a := range la.iterBase {
+					w.touch(la.iterBase[a] + uint64(it)*8)
+				}
+				if l.Mode == Gather && l.GatherOut != nil {
+					w.rmw(la.outBase + uint64(l.GatherOut[it])*8)
+				}
+			}
+			phases[ph] = ops + cm.Mem(w.accesses, cache.Misses-missBase)
+		}
+
+		// Update loop over the home block.
+		{
+			w := walker{cache: cache}
+			missBase := cache.Misses
+			var ops sim.Time
+			for e := homeLo; e < homeHi; e++ {
+				ops += cm.LoopOver + sim.Time(l.Cost.UpdateFlopsPerElem)*cm.Flop
+				for a := 0; a < l.Cost.UpdateArraysPerElem; a++ {
+					w.rmw(la.updBase + uint64(a*l.Cfg.NumElems+e)*8)
+				}
+			}
+			update = ops + cm.Mem(w.accesses, cache.Misses-missBase)
+		}
+	}
+	return phases, update
+}
+
+// SequentialCost computes the warm-cache cycle cost of one timestep of the
+// original (unpartitioned) loop plus its update loop on a single processor,
+// for speedup denominators.
+func SequentialCost(cm machine.CostModel, l *Loop) sim.Time {
+	comp := l.Cost.comp()
+	la := newLayout(l, l.Cfg.NumElems) // no buffer slots sequentially
+	cache := cm.NewCache()
+	var total sim.Time
+	for pass := 0; pass < 2; pass++ {
+		w := walker{cache: cache}
+		missBase := cache.Misses
+		var ops sim.Time
+		for i := 0; i < l.Cfg.NumIters; i++ {
+			ops += iterOps(cm, l.Cost)
+			for r := range l.Ind {
+				w.touch(la.indBase[r] + uint64(i)*4)
+				e := uint64(l.Ind[r][i])
+				for a := range la.nodeBase {
+					w.touch(la.nodeBase[a] + e*8)
+				}
+				for c := 0; c < comp; c++ {
+					a := la.xBase + (e*uint64(comp)+uint64(c))*8
+					if l.Mode == Gather {
+						w.touch(a)
+					} else {
+						w.rmw(a)
+					}
+				}
+			}
+			for a := range la.iterBase {
+				w.touch(la.iterBase[a] + uint64(i)*8)
+			}
+			if l.Mode == Gather && l.GatherOut != nil {
+				w.rmw(la.outBase + uint64(l.GatherOut[i])*8)
+			}
+		}
+		for e := 0; e < l.Cfg.NumElems; e++ {
+			ops += cm.LoopOver + sim.Time(l.Cost.UpdateFlopsPerElem)*cm.Flop
+			for a := 0; a < l.Cost.UpdateArraysPerElem; a++ {
+				w.rmw(la.updBase + uint64(a*l.Cfg.NumElems+e)*8)
+			}
+		}
+		total = ops + cm.Mem(w.accesses, cache.Misses-missBase)
+	}
+	return total
+}
+
+// IncrementalInspectorCost estimates the cycles of an incremental schedule
+// update (Schedule.Update) touching `changed` of this processor's
+// iterations: each pays a removal and a re-insertion, both constant-time
+// per reference with hash-map bookkeeping.
+func IncrementalInspectorCost(cm machine.CostModel, l *Loop, changed int) sim.Time {
+	refs := sim.Time(len(l.Ind))
+	perIter := cm.LoopOver + refs*(12*cm.IntOp+6*cm.LoadHit) // remove + insert
+	return sim.Time(changed) * perIter
+}
+
+// InspectorCost estimates the cycles the LightInspector itself spends on
+// one processor: three linear passes over the processor's iterations (phase
+// determination, placement/rewriting, copy-list setup), charged as integer
+// work plus streaming memory access.
+func InspectorCost(cm machine.CostModel, l *Loop, s *inspector.Schedule) sim.Time {
+	n := sim.Time(s.NumIters())
+	refs := sim.Time(len(l.Ind))
+	perIter := cm.LoopOver + refs*(4*cm.IntOp+2*cm.LoadHit)
+	placement := cm.LoopOver + refs*(6*cm.IntOp+3*cm.LoadHit)
+	copies := sim.Time(s.NumCopies()) * (cm.LoopOver + 4*cm.IntOp + 2*cm.LoadHit)
+	// Streamed data exceeds the cache: charge a miss per line's worth.
+	lines := (n * refs * 4) / sim.Time(cm.CacheLine)
+	return n*(perIter+placement) + copies + lines*cm.MissExtra
+}

@@ -1,0 +1,180 @@
+package rts
+
+import (
+	"math/rand"
+	"testing"
+
+	"irred/internal/inspector"
+	"irred/internal/machine"
+)
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	l := &Loop{
+		Cfg:  inspector.Config{P: 2, K: 2, NumIters: 100, NumElems: 40},
+		Mode: Reduce,
+		Ind:  [][]int32{make([]int32, 100), make([]int32, 100)},
+		Cost: KernelCost{IterArrays: 2, NodeArrays: 3, Comp: 3},
+	}
+	la := newLayout(l, 50)
+	type region struct {
+		name string
+		lo   uint64
+		n    uint64
+	}
+	var regions []region
+	regions = append(regions, region{"x", la.xBase, uint64(50*3) * 8})
+	for r, b := range la.indBase {
+		regions = append(regions, region{"ind", b, uint64(l.Cfg.NumIters) * 4})
+		_ = r
+	}
+	for _, b := range la.iterBase {
+		regions = append(regions, region{"iter", b, uint64(l.Cfg.NumIters) * 8})
+	}
+	for _, b := range la.nodeBase {
+		regions = append(regions, region{"node", b, uint64(l.Cfg.NumElems) * 8})
+	}
+	regions = append(regions, region{"out", la.outBase, uint64(l.Cfg.NumElems) * 8})
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.lo < b.lo+b.n && b.lo < a.lo+a.n {
+				t.Fatalf("regions %s and %s overlap", a.name, b.name)
+			}
+		}
+	}
+}
+
+func TestPhaseCostsSumComparableToSequential(t *testing.T) {
+	// Total parallel work across all processors should be within a small
+	// factor of the sequential work (codegen factor + buffer copies).
+	rng := rand.New(rand.NewSource(7))
+	l := eulerLikeLoop(rng, 4, 2, 4000, 800, inspector.Block)
+	cm := machine.MANNA()
+	seq := SequentialCost(cm, l)
+	scheds, err := l.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range scheds {
+		phases, upd := PhaseCosts(cm, l, s)
+		for _, c := range phases {
+			total += int64(c)
+		}
+		total += int64(upd)
+	}
+	ratio := float64(total) / float64(seq)
+	if ratio < 1.0 || ratio > 3.5 {
+		t.Fatalf("parallel/sequential work ratio = %.2f, outside [1.0, 3.5]", ratio)
+	}
+}
+
+func TestGatherCostsCheaperThanReduce(t *testing.T) {
+	// The codegen factor applies only to reduce-mode loops.
+	rng := rand.New(rand.NewSource(8))
+	n, iters := 500, 4000
+	ind := make([]int32, iters)
+	for i := range ind {
+		ind[i] = int32(rng.Intn(n))
+	}
+	mk := func(mode Mode) *Loop {
+		return &Loop{
+			Cfg:  inspector.Config{P: 2, K: 2, NumIters: iters, NumElems: n},
+			Mode: mode,
+			Ind:  [][]int32{ind},
+			Cost: KernelCost{Flops: 10, IntOps: 4},
+		}
+	}
+	cm := machine.MANNA()
+	gScheds, _ := mk(Gather).Schedules()
+	rScheds, _ := mk(Reduce).Schedules()
+	gPhases, _ := PhaseCosts(cm, mk(Gather), gScheds[0])
+	rPhases, _ := PhaseCosts(cm, mk(Reduce), rScheds[0])
+	var g, r int64
+	for i := range gPhases {
+		g += int64(gPhases[i])
+		r += int64(rPhases[i])
+	}
+	if g >= r {
+		t.Fatalf("gather cost %d >= reduce cost %d despite codegen factor", g, r)
+	}
+}
+
+func TestIncrementalInspectorCostLinear(t *testing.T) {
+	cm := machine.MANNA()
+	l := &Loop{
+		Cfg: inspector.Config{P: 2, K: 2, NumIters: 1000, NumElems: 100},
+		Ind: [][]int32{make([]int32, 1000), make([]int32, 1000)},
+	}
+	c10 := IncrementalInspectorCost(cm, l, 10)
+	c100 := IncrementalInspectorCost(cm, l, 100)
+	if c100 != 10*c10 {
+		t.Fatalf("incremental cost not linear: %d vs %d", c10, c100)
+	}
+	if IncrementalInspectorCost(cm, l, 0) != 0 {
+		t.Fatal("zero changes should cost nothing")
+	}
+}
+
+func TestRunSimUtilizationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := eulerLikeLoop(rng, 4, 2, 3000, 600, inspector.Cyclic)
+	res, err := RunSim(l, SimOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EUUtilization <= 0 || res.EUUtilization > 1.0 {
+		t.Fatalf("EU utilization = %v", res.EUUtilization)
+	}
+}
+
+func TestRunSimFewerStepsThanWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l := eulerLikeLoop(rng, 2, 2, 500, 128, inspector.Block)
+	for _, steps := range []int{1, 2, 3} {
+		res, err := RunSim(l, SimOptions{Steps: steps})
+		if err != nil {
+			t.Fatalf("steps=%d: %v", steps, err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("steps=%d: cycles %d", steps, res.Cycles)
+		}
+	}
+}
+
+func TestRunSimSingleProcessorNoTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := eulerLikeLoop(rng, 1, 2, 500, 128, inspector.Block)
+	res, err := RunSim(l, SimOptions{Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MsgsPerStep != 0 || res.BytesPerStep != 0 {
+		t.Fatalf("single-processor run used the network: %v msgs", res.MsgsPerStep)
+	}
+}
+
+func TestPortionBytes(t *testing.T) {
+	l := &Loop{
+		Cfg:  inspector.Config{P: 4, K: 2, NumIters: 10, NumElems: 64},
+		Ind:  [][]int32{make([]int32, 10)},
+		Cost: KernelCost{Comp: 3},
+	}
+	// 64 elems / 8 portions = 8 elems * 3 comps * 8 bytes.
+	if got := l.PortionBytes(); got != 8*3*8 {
+		t.Fatalf("PortionBytes = %d", got)
+	}
+}
+
+func TestSimOptionsScaleDownForShortRuns(t *testing.T) {
+	// Steps=1 must not deadlock on warm/measure defaults.
+	rng := rand.New(rand.NewSource(12))
+	l := eulerLikeLoop(rng, 3, 1, 300, 90, inspector.Cyclic)
+	res, err := RunSim(l, SimOptions{Steps: 1, WarmSteps: 5, MeasureSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerStep <= 0 {
+		t.Fatal("per-step time missing")
+	}
+}

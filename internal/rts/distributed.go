@@ -1,0 +1,144 @@
+package rts
+
+import (
+	"fmt"
+	"sync"
+
+	"irred/internal/inspector"
+)
+
+// Distributed executes a reduce-mode loop with true message-passing
+// semantics: every processor owns a private local image of the rotated
+// array (full element range + its remote buffer, exactly the paper's
+// memory layout), and portion *contents* are copied between images through
+// the channels — no element of the reduction array is ever shared. This is
+// the paper's distributed-memory model verbatim; the shared-memory Native
+// engine is the fast path, and agreement between the two (and the
+// sequential kernel) pins down that the algorithm relies only on the
+// messages it sends.
+type Distributed struct {
+	Loop     *Loop
+	Scheds   []*inspector.Schedule
+	Contribs ContribFunc
+
+	images [][]float64    // per-processor local image, LocalLen*comp
+	chans  []chan payload // portion contents in transit
+}
+
+type payload struct {
+	portion int
+	data    []float64 // portion contents, owned by the receiver after recv
+}
+
+// NewDistributed prepares a message-passing run.
+func NewDistributed(l *Loop) (*Distributed, error) {
+	if l.Mode != Reduce {
+		return nil, fmt.Errorf("rts: distributed engine supports reduce loops")
+	}
+	scheds, err := l.Schedules()
+	if err != nil {
+		return nil, err
+	}
+	comp := l.Cost.comp()
+	d := &Distributed{
+		Loop:   l,
+		Scheds: scheds,
+		images: make([][]float64, l.Cfg.P),
+		chans:  make([]chan payload, l.Cfg.P),
+	}
+	for p := 0; p < l.Cfg.P; p++ {
+		d.images[p] = make([]float64, scheds[p].LocalLen()*comp)
+		d.chans[p] = make(chan payload, l.Cfg.NumPhases()+1)
+	}
+	return d, nil
+}
+
+// Run executes `steps` sweeps and returns the assembled reduction array
+// (gathered from each processor's home portions after the final sweep).
+func (d *Distributed) Run(steps int) ([]float64, error) {
+	if d.Contribs == nil {
+		return nil, fmt.Errorf("rts: distributed run needs Contribs")
+	}
+	l := d.Loop
+	var wg sync.WaitGroup
+	wg.Add(l.Cfg.P)
+	for p := 0; p < l.Cfg.P; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				d.sweep(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Gather: after a full sweep, each processor holds its home portions.
+	comp := l.Cost.comp()
+	out := make([]float64, l.Cfg.NumElems*comp)
+	for p := 0; p < l.Cfg.P; p++ {
+		for j := 0; j < l.Cfg.K; j++ {
+			lo, hi := l.Cfg.PortionBounds(l.Cfg.PortionAt(p, j))
+			copy(out[lo*comp:hi*comp], d.images[p][lo*comp:hi*comp])
+		}
+	}
+	return out, nil
+}
+
+// sweep is the distributed counterpart of Native.sweep: identical control
+// flow, but arriving portions are *installed* into the local image and
+// departing portions are *copied out* of it.
+func (d *Distributed) sweep(p int) {
+	l := d.Loop
+	cfg := l.Cfg
+	comp := l.Cost.comp()
+	s := d.Scheds[p]
+	img := d.images[p]
+	kp := cfg.NumPhases()
+	prev := (p - 1 + cfg.P) % cfg.P
+
+	scratch := make([]float64, len(l.Ind)*comp)
+	for ph := 0; ph < kp; ph++ {
+		q := cfg.PortionAt(p, ph)
+		lo, hi := cfg.PortionBounds(q)
+		if ph >= cfg.K {
+			// Install the arriving portion's contents.
+			msg := <-d.chans[p]
+			if msg.portion != q {
+				panic(fmt.Sprintf("rts: processor %d phase %d expected portion %d, got %d", p, ph, q, msg.portion))
+			}
+			copy(img[lo*comp:hi*comp], msg.data)
+		}
+
+		prog := &s.Phases[ph]
+		for _, cp := range prog.Copies {
+			eb := int(cp.Elem) * comp
+			bb := int(cp.Buf) * comp
+			for c := 0; c < comp; c++ {
+				img[eb+c] += img[bb+c]
+				img[bb+c] = 0
+			}
+		}
+		for j, it := range prog.Iters {
+			d.Contribs(p, int(it), scratch)
+			for r := range prog.Ind {
+				tgt := int(prog.Ind[r][j]) * comp
+				for c := 0; c < comp; c++ {
+					img[tgt+c] += scratch[r*comp+c]
+				}
+			}
+		}
+
+		// Ship the portion's contents to processor p-1 (a real copy: the
+		// wire payload the paper's BLKMOV_SYNC carries).
+		data := make([]float64, (hi-lo)*comp)
+		copy(data, img[lo*comp:hi*comp])
+		d.chans[prev] <- payload{portion: q, data: data}
+	}
+
+	// Re-install the k home portions returning at sweep end.
+	for j := 0; j < cfg.K; j++ {
+		msg := <-d.chans[p]
+		lo, hi := cfg.PortionBounds(msg.portion)
+		copy(img[lo*comp:hi*comp], msg.data)
+	}
+}

@@ -1,0 +1,190 @@
+package rts
+
+import (
+	"fmt"
+	"sync"
+
+	"irred/internal/inspector"
+)
+
+// ContribFunc computes the contributions of iteration i for a reduce-mode
+// loop: out has NumRef*comp slots, reference-major. p is the executing
+// processor (for per-processor scratch state).
+type ContribFunc func(p, i int, out []float64)
+
+// ConsumeFunc handles one gather-mode iteration: vals holds the comp
+// components of the rotated array at the iteration's reference.
+type ConsumeFunc func(p, i int, vals []float64)
+
+// UpdateFunc runs the regular between-sweep loop for processor p (position
+// updates, vector ops over the processor's home elements). It runs under a
+// full barrier: all sweep work is complete and no sweep work has started.
+type UpdateFunc func(p, step int)
+
+// Native executes a loop's phase schedules on real goroutines, one per
+// simulated processor. The rotated array is shared; portion ownership
+// rotates via channel tokens, so within any phase processors touch disjoint
+// portions. The token handoff provides the happens-before edges that make
+// this race-free.
+type Native struct {
+	Loop   *Loop
+	Scheds []*inspector.Schedule
+
+	// X is the rotated array, len NumElems*comp (component-minor). For
+	// reduce loops it is the reduction array; for gather loops the read
+	// vector.
+	X []float64
+
+	Contribs ContribFunc
+	Consume  ConsumeFunc
+	Update   UpdateFunc
+
+	bufs  [][]float64  // per-processor remote buffers, len BufLen*comp
+	chans []chan token // chans[p]: portions arriving at processor p
+}
+
+type token struct{ portion int }
+
+// NewNative prepares a native run, building the LightInspector schedules.
+func NewNative(l *Loop) (*Native, error) {
+	scheds, err := l.Schedules()
+	if err != nil {
+		return nil, err
+	}
+	comp := l.Cost.comp()
+	n := &Native{
+		Loop:   l,
+		Scheds: scheds,
+		X:      make([]float64, l.Cfg.NumElems*comp),
+		bufs:   make([][]float64, l.Cfg.P),
+		chans:  make([]chan token, l.Cfg.P),
+	}
+	for p := 0; p < l.Cfg.P; p++ {
+		n.bufs[p] = make([]float64, scheds[p].BufLen*comp)
+		n.chans[p] = make(chan token, l.Cfg.NumPhases()+1)
+	}
+	return n, nil
+}
+
+// Run executes steps timesteps: each is one full sweep of k*P phases
+// followed by the Update hook (if any) under a global barrier. It returns
+// an error if the mode's required callback is missing.
+func (n *Native) Run(steps int) error {
+	l := n.Loop
+	switch l.Mode {
+	case Reduce:
+		if n.Contribs == nil {
+			return fmt.Errorf("rts: reduce-mode native run needs Contribs")
+		}
+	case Gather:
+		if n.Consume == nil {
+			return fmt.Errorf("rts: gather-mode native run needs Consume")
+		}
+	}
+	P := l.Cfg.P
+	var wg sync.WaitGroup
+	if n.Update == nil {
+		// Pure accumulation: sweeps need no barrier between timesteps —
+		// portion tokens alone order every access, so processors pipeline
+		// across sweeps exactly as EARTH fibers would.
+		wg.Add(P)
+		for p := 0; p < P; p++ {
+			go func(p int) {
+				defer wg.Done()
+				for step := 0; step < steps; step++ {
+					n.sweep(p)
+				}
+			}(p)
+		}
+		wg.Wait()
+		return nil
+	}
+	for step := 0; step < steps; step++ {
+		wg.Add(P)
+		for p := 0; p < P; p++ {
+			go func(p int) {
+				defer wg.Done()
+				n.sweep(p)
+			}(p)
+		}
+		wg.Wait()
+		wg.Add(P)
+		for p := 0; p < P; p++ {
+			go func(p int) {
+				defer wg.Done()
+				n.Update(p, step)
+			}(p)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// sweep runs processor p through one timestep's k*P phases.
+func (n *Native) sweep(p int) {
+	l := n.Loop
+	cfg := l.Cfg
+	comp := l.Cost.comp()
+	s := n.Scheds[p]
+	buf := n.bufs[p]
+	kp := cfg.NumPhases()
+	prev := (p - 1 + cfg.P) % cfg.P
+
+	scratch := make([]float64, len(l.Ind)*comp)
+	for ph := 0; ph < kp; ph++ {
+		// The first k phases use home portions, pre-placed initially and
+		// re-consumed by the drain at the end of the previous sweep; later
+		// phases receive their portion from processor p+1, in phase order.
+		if ph >= cfg.K {
+			<-n.chans[p]
+		}
+
+		prog := &s.Phases[ph]
+		// Second (copy) loop: fold buffered contributions into the
+		// just-arrived portion and clear the slots for the next sweep.
+		for _, cp := range prog.Copies {
+			eb := int(cp.Elem) * comp
+			bb := (int(cp.Buf) - cfg.NumElems) * comp
+			for c := 0; c < comp; c++ {
+				n.X[eb+c] += buf[bb+c]
+				buf[bb+c] = 0
+			}
+		}
+
+		// Main loop.
+		switch l.Mode {
+		case Reduce:
+			for j, it := range prog.Iters {
+				n.Contribs(p, int(it), scratch)
+				for r := range prog.Ind {
+					tgt := int(prog.Ind[r][j])
+					if tgt < cfg.NumElems {
+						for c := 0; c < comp; c++ {
+							n.X[tgt*comp+c] += scratch[r*comp+c]
+						}
+					} else {
+						bb := (tgt - cfg.NumElems) * comp
+						for c := 0; c < comp; c++ {
+							buf[bb+c] += scratch[r*comp+c]
+						}
+					}
+				}
+			}
+		case Gather:
+			for j, it := range prog.Iters {
+				tgt := int(prog.Ind[0][j])
+				n.Consume(p, int(it), n.X[tgt*comp:tgt*comp+comp])
+			}
+		}
+
+		// Pass the portion on to processor p-1.
+		n.chans[prev] <- token{portion: cfg.PortionAt(p, ph)}
+	}
+
+	// Consume the k home portions returning at sweep end so the next
+	// sweep's first k phases find them "pre-placed" — and so Update runs
+	// only after all contributions to the home block have landed.
+	for i := 0; i < cfg.K; i++ {
+		<-n.chans[p]
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+// Server is a single-occupancy resource with FIFO queueing: at most one job
+// is in service at a time and waiting jobs are served in submission order.
+// It models serially-occupied hardware such as an execution unit, a
+// synchronization unit, or a network interface.
+type Server struct {
+	eng  *Engine
+	busy bool
+	wait []serverJob
+
+	// Busy accumulates the total cycles the server spent in service,
+	// for utilization reporting.
+	Busy Time
+}
+
+type serverJob struct {
+	cost Time
+	done func()
+}
+
+// NewServer returns an idle server attached to eng.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng}
+}
+
+// Submit enqueues a job occupying the server for cost cycles; done (which
+// may be nil) runs when the job completes.
+func (s *Server) Submit(cost Time, done func()) {
+	if cost < 0 {
+		panic("sim: negative job cost")
+	}
+	if s.busy {
+		s.wait = append(s.wait, serverJob{cost, done})
+		return
+	}
+	s.start(serverJob{cost, done})
+}
+
+func (s *Server) start(j serverJob) {
+	s.busy = true
+	s.Busy += j.cost
+	s.eng.Schedule(j.cost, func() {
+		s.busy = false
+		if j.done != nil {
+			j.done()
+		}
+		if len(s.wait) > 0 && !s.busy {
+			next := s.wait[0]
+			s.wait = s.wait[1:]
+			s.start(next)
+		}
+	})
+}
+
+// Idle reports whether the server has no job in service.
+func (s *Server) Idle() bool { return !s.busy }
+
+// QueueLen reports the number of jobs waiting (excluding any in service).
+func (s *Server) QueueLen() int { return len(s.wait) }

@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMakeaSmallStructure(t *testing.T) {
+	p := MakeaParams{N: 200, Nonzer: 5, Shift: 10, RCond: 0.1}
+	m := Makea(p, 0)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != p.N {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Density ~ n*(nonzer+1)^2 with merges: between n and 2x the estimate.
+	est := p.N * (p.Nonzer + 1) * (p.Nonzer + 1)
+	if m.NNZ() < p.N || m.NNZ() > 2*est {
+		t.Fatalf("nnz = %d, estimate %d", m.NNZ(), est)
+	}
+}
+
+func TestMakeaSymmetric(t *testing.T) {
+	m := Makea(MakeaParams{N: 120, Nonzer: 4, Shift: 5, RCond: 0.1}, 0)
+	get := func(i, j int32) float64 {
+		cols, vals := m.Row(int(i))
+		for k, c := range cols {
+			if c == j {
+				return vals[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if d := math.Abs(vals[k] - get(c, int32(i))); d > 1e-12 {
+				t.Fatalf("A[%d][%d]=%v != A[%d][%d]=%v", i, c, vals[k], c, i, get(c, int32(i)))
+			}
+		}
+	}
+}
+
+func TestMakeaDiagonallyDominant(t *testing.T) {
+	// Shifted construction: every diagonal entry exceeds the off-diagonal
+	// row sum in magnitude (strictly PD for CG).
+	m := Makea(MakeaParams{N: 150, Nonzer: 4, Shift: 20, RCond: 0.1}, 0)
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		var diag, off float64
+		for k, c := range cols {
+			if int(c) == i {
+				diag = vals[k]
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag <= 0 {
+			t.Fatalf("row %d: nonpositive diagonal %v", i, diag)
+		}
+		if diag <= off*0.5 {
+			t.Fatalf("row %d: diagonal %v too weak vs off-sum %v", i, diag, off)
+		}
+	}
+}
+
+func TestMakeaDeterministic(t *testing.T) {
+	a := Makea(MakeaParams{N: 100, Nonzer: 3, Shift: 5, RCond: 0.1}, 7)
+	b := Makea(MakeaParams{N: 100, Nonzer: 3, Shift: 5, RCond: 0.1}, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nnz differs")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.Col[i] != b.Col[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestMakeaClassParamsMatchClasses(t *testing.T) {
+	// The NAS parameter sets correspond to the paper's class sizes.
+	if MakeaW.N != ClassW.N || MakeaA.N != ClassA.N || MakeaB.N != ClassB.N || MakeaS.N != ClassS.N {
+		t.Fatal("makea orders disagree with class sizes")
+	}
+}
+
+func TestMakeaCGConverges(t *testing.T) {
+	// The whole point of the construction: CG solves quickly.
+	m := Makea(MakeaParams{N: 300, Nonzer: 4, Shift: 15, RCond: 0.1}, 0)
+	n := m.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	pvec := append([]float64(nil), b...)
+	q := make([]float64, n)
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	rs := dot(r, r)
+	iters := 0
+	for ; iters < 100 && math.Sqrt(rs) > 1e-10; iters++ {
+		m.MulVec(pvec, q)
+		alpha := rs / dot(pvec, q)
+		for i := range x {
+			x[i] += alpha * pvec[i]
+			r[i] -= alpha * q[i]
+		}
+		rs2 := dot(r, r)
+		beta := rs2 / rs
+		rs = rs2
+		for i := range pvec {
+			pvec[i] = r[i] + beta*pvec[i]
+		}
+	}
+	if iters >= 100 {
+		t.Fatalf("CG did not converge in 100 iterations (residual %v)", math.Sqrt(rs))
+	}
+}

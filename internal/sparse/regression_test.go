@@ -1,0 +1,36 @@
+package sparse
+
+import "testing"
+
+func TestGeneratePropertyRegression(t *testing.T) {
+	// The exact inputs that broke the exact-NNZ property before the
+	// overflow-redistribution fix (dense case: n=18, nnz near n^2).
+	n := 10 + int(uint8(0x8))
+	nnz := n + int(uint8(0xef))*n/16
+	m := Generate(Class{Name: "q", N: n, NNZ: nnz}, 0x446796651bb5e298)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != nnz {
+		t.Fatalf("NNZ = %d, want exactly %d", m.NNZ(), nnz)
+	}
+}
+
+func TestGenerateFullyDense(t *testing.T) {
+	m := Generate(Class{Name: "full", N: 8, NNZ: 64}, 1)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 64 {
+		t.Fatalf("NNZ = %d, want 64", m.NNZ())
+	}
+}
+
+func TestGenerateOverfullPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nnz > n^2")
+		}
+	}()
+	Generate(Class{Name: "bad", N: 4, NNZ: 17}, 1)
+}

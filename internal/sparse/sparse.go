@@ -1,0 +1,186 @@
+// Package sparse provides compressed sparse row matrices and a NAS-CG-style
+// pseudo-random sparse matrix generator at the class sizes the paper uses
+// for its mvm experiments (Section 5.3): class W (7,000 rows), class A
+// (14,000 rows) and class B (75,000 rows), plus the small class S for tests.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	N      int       // rows == cols
+	RowPtr []int32   // len N+1
+	Col    []int32   // len NNZ, ascending within each row
+	Val    []float64 // len NNZ
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// Row returns the column indices and values of row i.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Col[lo:hi], m.Val[lo:hi]
+}
+
+// RowOfNZ builds the iteration-aligned row index: rows[j] is the row of the
+// j-th stored nonzero (the mvm loop's output index).
+func (m *CSR) RowOfNZ() []int32 {
+	rows := make([]int32, m.NNZ())
+	for i := 0; i < m.N; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			rows[j] = int32(i)
+		}
+	}
+	return rows
+}
+
+// MulVec computes y = A*x sequentially (the reference kernel).
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("sparse: dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			s += m.Val[j] * x[m.Col[j]]
+		}
+		y[i] = s
+	}
+}
+
+// Check validates structural invariants.
+func (m *CSR) Check() error {
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.N+1)
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[m.N]) != len(m.Col) {
+		return fmt.Errorf("sparse: RowPtr endpoints %d..%d, want 0..%d", m.RowPtr[0], m.RowPtr[m.N], len(m.Col))
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.Col[j]) < 0 || int(m.Col[j]) >= m.N {
+				return fmt.Errorf("sparse: column %d out of range in row %d", m.Col[j], i)
+			}
+			if j > m.RowPtr[i] && m.Col[j] <= m.Col[j-1] {
+				return fmt.Errorf("sparse: columns not ascending in row %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Rand is the NAS parallel benchmarks' linear congruential generator:
+// x_{k+1} = a*x_k mod 2^46 with a = 5^13, returning x/2^46 in (0,1).
+// It is the generator the original CG makea routine used; we keep it for
+// authenticity and cross-platform determinism.
+type Rand struct{ x uint64 }
+
+const (
+	nasA   = 1220703125        // 5^13
+	nasMod = uint64(1) << 46   // modulus 2^46
+	nasMsk = nasMod - 1        // mask
+	seed0  = uint64(314159265) // NAS default seed
+)
+
+// NewRand seeds the generator; seed 0 selects the NAS default.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = seed0
+	}
+	return &Rand{x: seed & nasMsk}
+}
+
+// Float64 advances the generator and returns a uniform value in (0,1).
+func (r *Rand) Float64() float64 {
+	r.x = (r.x * nasA) & nasMsk
+	return float64(r.x) / float64(nasMod)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *Rand) Intn(n int) int {
+	i := int(r.Float64() * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Class identifies a NAS CG problem size.
+type Class struct {
+	Name string
+	N    int // rows
+	NNZ  int // target stored nonzeros (paper's reported counts)
+}
+
+// The paper's three classes plus the small class S used in tests. NNZ
+// values are the counts reported in Section 5.3.
+var (
+	ClassS = Class{Name: "S", N: 1400, NNZ: 78148}
+	ClassW = Class{Name: "W", N: 7000, NNZ: 508402}
+	ClassA = Class{Name: "A", N: 14000, NNZ: 1853104}
+	ClassB = Class{Name: "B", N: 75000, NNZ: 13708072}
+)
+
+// Generate builds a CG-style pseudo-random sparse matrix with exactly
+// c.NNZ stored nonzeros: every diagonal entry is present and the remaining
+// entries scatter uniformly, mimicking the density profile of the NAS
+// makea construction (random sparse outer products). Deterministic for a
+// given seed.
+func Generate(c Class, seed uint64) *CSR {
+	if c.N <= 0 || c.NNZ < c.N {
+		panic(fmt.Sprintf("sparse: bad class %+v (need NNZ >= N)", c))
+	}
+	if c.NNZ > c.N*c.N {
+		panic(fmt.Sprintf("sparse: class %+v denser than full", c))
+	}
+	r := NewRand(seed)
+	perRow := make([]int, c.N)
+	// One diagonal entry per row, then deal out the rest uniformly. A row
+	// holds at most N-1 extras (plus its diagonal); overflow moves to the
+	// next row with capacity so the total stays exact.
+	extra := c.NNZ - c.N
+	for i := 0; i < extra; i++ {
+		row := r.Intn(c.N)
+		for perRow[row] >= c.N-1 {
+			row = (row + 1) % c.N
+		}
+		perRow[row]++
+	}
+	m := &CSR{N: c.N, RowPtr: make([]int32, c.N+1)}
+	m.Col = make([]int32, 0, c.NNZ)
+	m.Val = make([]float64, 0, c.NNZ)
+	cols := make([]int32, 0, 256)
+	seen := make(map[int32]struct{}, 256)
+	for i := 0; i < c.N; i++ {
+		cols = cols[:0]
+		clear(seen)
+		cols = append(cols, int32(i)) // diagonal
+		seen[int32(i)] = struct{}{}
+		want := perRow[i] + 1 // perRow is capped at N-1, so want <= N
+		for len(cols) < want {
+			cand := int32(r.Intn(c.N))
+			if _, dup := seen[cand]; !dup {
+				seen[cand] = struct{}{}
+				cols = append(cols, cand)
+			}
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		for _, cc := range cols {
+			m.Col = append(m.Col, cc)
+			v := r.Float64()
+			if cc == int32(i) {
+				v += float64(c.N) / 10 // diagonally dominant, CG-friendly
+			}
+			m.Val = append(m.Val, v)
+		}
+		m.RowPtr[i+1] = int32(len(m.Col))
+	}
+	return m
+}

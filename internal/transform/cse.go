@@ -1,0 +1,179 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"irred/internal/lang"
+)
+
+// CSE performs common-subexpression elimination on a loop body: repeated
+// non-trivial right-hand-side subexpressions are hoisted into scalar
+// temporaries computed once per iteration. The paper's compiler heritage
+// (the EARTH-C project) lists CSE among its standard optimizations; for
+// irregular loops it typically pays off on repeated indirect reads like
+// the two occurrences of `c[ia[i, 0]]` in Figure 1.
+//
+// Safety: only expressions that reference no scalar temporary and no array
+// written anywhere in the loop are hoisted, so evaluation order cannot
+// change observable results. Returns the transformed loop (the input loop
+// is not modified) and the number of expressions hoisted.
+func CSE(l *lang.Loop) (*lang.Loop, int) {
+	written := map[string]bool{}
+	scalars := map[string]bool{}
+	for _, st := range l.Body {
+		if st.Scalar != "" {
+			scalars[st.Scalar] = true
+		} else if st.Target != nil {
+			written[st.Target.Array] = true
+		}
+	}
+
+	out := &lang.Loop{Var: l.Var, Lo: l.Lo, Hi: l.Hi, Pos: l.Pos}
+	out.Body = append([]*lang.Assign(nil), l.Body...)
+	hoisted := 0
+
+	// Iterate until no candidate remains; each round hoists the largest
+	// eligible repeated subexpression, which may subsume smaller ones.
+	for round := 0; round < 64; round++ {
+		counts := map[string]int{}
+		exprs := map[string]lang.Expr{}
+		for _, st := range out.Body {
+			lang.Walk(st.RHS, func(e lang.Expr) {
+				if !cseEligible(e, l.Var, scalars, written) {
+					return
+				}
+				k := e.String()
+				counts[k]++
+				if _, ok := exprs[k]; !ok {
+					exprs[k] = e
+				}
+			})
+		}
+		var keys []string
+		for k, n := range counts {
+			if n >= 2 {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			break
+		}
+		// Largest expression first (by rendered length, then lexicographic
+		// for determinism).
+		sort.Slice(keys, func(i, j int) bool {
+			if len(keys[i]) != len(keys[j]) {
+				return len(keys[i]) > len(keys[j])
+			}
+			return keys[i] < keys[j]
+		})
+		k := keys[0]
+		name := fmt.Sprintf("_cse_%d", hoisted)
+		scalars[name] = true
+		hoisted++
+		def := &lang.Assign{Scalar: name, Op: lang.OpSet, RHS: exprs[k], Pos: l.Pos}
+		body := make([]*lang.Assign, 0, len(out.Body)+1)
+		body = append(body, def)
+		for _, st := range out.Body {
+			body = append(body, replaceInAssign(st, k, name))
+		}
+		out.Body = body
+	}
+	if hoisted == 0 {
+		return l, 0
+	}
+	return out, hoisted
+}
+
+// CSEProgram applies CSE to every loop, returning a new program and the
+// total hoisted count.
+func CSEProgram(prog *lang.Program) (*lang.Program, int) {
+	out := &lang.Program{Params: prog.Params, Arrays: prog.Arrays}
+	total := 0
+	for _, l := range prog.Loops {
+		nl, n := CSE(l)
+		total += n
+		out.Loops = append(out.Loops, nl)
+	}
+	if total == 0 {
+		return prog, 0
+	}
+	return out, total
+}
+
+// cseEligible reports whether e is worth and safe to hoist: a compound
+// expression or an indirect array read, pure (no scalar temps, no arrays
+// the loop writes).
+func cseEligible(e lang.Expr, loopVar string, scalars, written map[string]bool) bool {
+	switch x := e.(type) {
+	case *lang.BinExpr, *lang.CallExpr, *lang.UnExpr:
+		// compound: worthwhile if pure
+	case *lang.IndexExpr:
+		// Indirect reads only — a[i] is already one load.
+		indirect := false
+		for _, sub := range x.Index {
+			if _, ok := sub.(*lang.IndexExpr); ok {
+				indirect = true
+			}
+		}
+		if !indirect {
+			return false
+		}
+	default:
+		return false
+	}
+	pure := true
+	lang.Walk(e, func(sub lang.Expr) {
+		switch s := sub.(type) {
+		case *lang.Ident:
+			if s.Name != loopVar && scalars[s.Name] {
+				pure = false
+			}
+		case *lang.IndexExpr:
+			if written[s.Array] {
+				pure = false
+			}
+		}
+	})
+	return pure
+}
+
+// replaceInAssign clones st with every subexpression rendering as key
+// replaced by a reference to the scalar name.
+func replaceInAssign(st *lang.Assign, key, name string) *lang.Assign {
+	out := &lang.Assign{Scalar: st.Scalar, Op: st.Op, Pos: st.Pos}
+	if st.Target != nil {
+		// Subscripts of the write target are left alone: replacing the
+		// indirection expression itself with a float-valued scalar would
+		// change the statement's shape, and targets are cheap.
+		out.Target = st.Target
+	}
+	out.RHS = replaceExpr(st.RHS, key, name)
+	return out
+}
+
+func replaceExpr(e lang.Expr, key, name string) lang.Expr {
+	if e.String() == key {
+		return &lang.Ident{Name: name, Pos: e.Position()}
+	}
+	switch x := e.(type) {
+	case *lang.BinExpr:
+		return &lang.BinExpr{Op: x.Op, L: replaceExpr(x.L, key, name), R: replaceExpr(x.R, key, name), Pos: x.Pos}
+	case *lang.UnExpr:
+		return &lang.UnExpr{X: replaceExpr(x.X, key, name), Pos: x.Pos}
+	case *lang.CallExpr:
+		out := &lang.CallExpr{Fn: x.Fn, Pos: x.Pos}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, replaceExpr(a, key, name))
+		}
+		return out
+	case *lang.IndexExpr:
+		out := &lang.IndexExpr{Array: x.Array, Pos: x.Pos}
+		for _, sub := range x.Index {
+			out.Index = append(out.Index, replaceExpr(sub, key, name))
+		}
+		return out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,166 @@
+package transform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"irred/internal/interp"
+	"irred/internal/lang"
+)
+
+func TestCSEHoistsRepeatedIndirectRead(t *testing.T) {
+	// Figure 1 has no repeated subexpression (the two c-reads differ in
+	// column); this loop repeats c[ia[i,0]] twice.
+	prog := lang.MustParse(`
+param n, m
+array ia[n, 2] int
+array x[m]
+array y[n]
+array c[m]
+loop i = 0, n {
+    x[ia[i, 0]] += y[i] * c[ia[i, 0]] + c[ia[i, 0]]
+}
+`)
+	nl, n := CSE(prog.Loops[0])
+	if n == 0 {
+		t.Fatal("no expression hoisted")
+	}
+	if nl.Body[0].Scalar == "" || !strings.Contains(nl.Body[0].RHS.String(), "c[ia[i, 0]]") {
+		t.Fatalf("first statement is not the hoisted read: %s", nl.Body[0])
+	}
+	// The remaining statement references the temp, not the read.
+	if strings.Count(nl.Body[len(nl.Body)-1].RHS.String(), "c[ia[i, 0]]") != 0 {
+		t.Fatalf("occurrences not replaced: %s", nl.Body[len(nl.Body)-1])
+	}
+}
+
+func TestCSEPreservesSemantics(t *testing.T) {
+	src := `
+param n, m
+array ia[n, 2] int
+array x[m]
+array y[n]
+array c[m]
+loop i = 0, n {
+    t = y[i] * c[ia[i, 0]]
+    x[ia[i, 0]] += t + c[ia[i, 0]] * c[ia[i, 0]]
+    x[ia[i, 1]] += c[ia[i, 1]] + c[ia[i, 1]] * y[i]
+}
+`
+	prog := lang.MustParse(src)
+	opt, n := CSEProgram(prog)
+	if n < 2 {
+		t.Fatalf("hoisted %d, want >= 2", n)
+	}
+	run := func(p *lang.Program) []float64 {
+		rng := rand.New(rand.NewSource(4))
+		env := interp.NewEnv(p)
+		env.SetParam("n", 200)
+		env.SetParam("m", 37)
+		ia := make([]int32, 400)
+		for i := range ia {
+			ia[i] = int32(rng.Intn(37))
+		}
+		y := make([]float64, 200)
+		c := make([]float64, 37)
+		for i := range y {
+			y[i] = rng.Float64()
+		}
+		for i := range c {
+			c[i] = rng.Float64()
+		}
+		if err := env.BindInt("ia", ia); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.BindFloat("y", y); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.BindFloat("c", c); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return env.Floats["x"]
+	}
+	if !sameFloats(run(prog), run(opt)) {
+		t.Fatal("CSE changed results")
+	}
+}
+
+func TestCSESkipsWrittenArrays(t *testing.T) {
+	// b[i] is written in the loop: reads of b must not be hoisted above
+	// the write.
+	prog := lang.MustParse(`
+param n
+array a[n]
+array b[n]
+loop i = 0, n {
+    b[i] = i + 1
+    a[i] = b[i] * 2 + b[i] * 2
+}
+`)
+	nl, n := CSE(prog.Loops[0])
+	if n != 0 {
+		t.Fatalf("hoisted %d expressions reading a written array: %v", n, nl.Body[0])
+	}
+}
+
+func TestCSESkipsScalarDependent(t *testing.T) {
+	prog := lang.MustParse(`
+param n
+array a[n]
+array y[n]
+loop i = 0, n {
+    t = y[i] + 1
+    a[i] = t * 2 + t * 2
+}
+`)
+	_, n := CSE(prog.Loops[0])
+	if n != 0 {
+		t.Fatal("hoisted a scalar-dependent expression")
+	}
+}
+
+func TestCSENoCandidates(t *testing.T) {
+	prog := lang.MustParse(`
+param n
+array a[n]
+array y[n]
+loop i = 0, n { a[i] = y[i] * 2 }
+`)
+	nl, n := CSE(prog.Loops[0])
+	if n != 0 {
+		t.Fatal("hoisted from a loop with no repeats")
+	}
+	if nl != prog.Loops[0] {
+		t.Fatal("no-op CSE should return the original loop")
+	}
+}
+
+func TestCSELargestFirst(t *testing.T) {
+	// (c[ia[i]] * 2) repeats and contains c[ia[i]] which also repeats; the
+	// larger expression must be hoisted (count of hoists may be 1 or 2,
+	// but the first hoisted def must be the product).
+	prog := lang.MustParse(`
+param n, m
+array ia[n] int
+array x[m]
+array c[m]
+loop i = 0, n {
+    x[ia[i]] += c[ia[i]] * 2
+    x[ia[i]] -= c[ia[i]] * 2
+}
+`)
+	nl, n := CSE(prog.Loops[0])
+	if n == 0 {
+		t.Fatal("nothing hoisted")
+	}
+	if !strings.Contains(nl.Body[0].RHS.String(), "*") {
+		t.Fatalf("largest expression not hoisted first: %s", nl.Body[0])
+	}
+}

@@ -1,0 +1,268 @@
+// Package transform implements the loop fission of Section 4: when the
+// reduction array sections updated by a loop fall into more than one
+// reference group, the loop is split into a sequence of loops, each
+// updating a single group, so that one LightInspector serves each loop.
+// Scalar values computed in the original loop and needed by several of the
+// fissioned loops are carried in compiler-introduced temporary arrays, as
+// the paper describes.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"irred/internal/analysis"
+	"irred/internal/lang"
+)
+
+// FissionedLoop is one output loop together with the reference group it
+// serves (nil Group for the residual loop of regular writes).
+type FissionedLoop struct {
+	Loop  *lang.Loop
+	Group *analysis.RefGroup
+}
+
+// FissionResult is the outcome for one original loop.
+type FissionResult struct {
+	Original *analysis.LoopInfo
+	// Temps lists compiler-introduced temporary arrays (added to the
+	// program's declarations).
+	Temps []*lang.ArrayDecl
+	// Prologue computes the temporaries, when any are needed.
+	Prologue *lang.Loop
+	// Loops are the fissioned loops in execution order.
+	Loops []*FissionedLoop
+}
+
+// Fission splits every loop of an analyzed program as needed. The returned
+// program shares unchanged loops with the input and appends temporary
+// array declarations. It is a no-op (loops passed through) for loops that
+// already update a single reference group.
+func Fission(res *analysis.Result) (*lang.Program, []*FissionResult, error) {
+	out := &lang.Program{
+		Params: res.Program.Params,
+		Arrays: append([]*lang.ArrayDecl(nil), res.Program.Arrays...),
+	}
+	var frs []*FissionResult
+	for _, li := range res.Loops {
+		fr, err := fissionLoop(res.Program, li)
+		if err != nil {
+			return nil, nil, err
+		}
+		frs = append(frs, fr)
+		out.Arrays = append(out.Arrays, fr.Temps...)
+		if fr.Prologue != nil {
+			out.Loops = append(out.Loops, fr.Prologue)
+		}
+		for _, fl := range fr.Loops {
+			out.Loops = append(out.Loops, fl.Loop)
+		}
+	}
+	return out, frs, nil
+}
+
+func fissionLoop(prog *lang.Program, li *analysis.LoopInfo) (*FissionResult, error) {
+	fr := &FissionResult{Original: li}
+	l := li.Loop
+
+	// Count how many output loops each scalar def is needed by.
+	type unit struct {
+		group *analysis.RefGroup
+		stmts []int
+	}
+	var units []unit
+	for gi := range li.Groups {
+		g := &li.Groups[gi]
+		units = append(units, unit{group: g, stmts: append([]int(nil), g.Stmts...)})
+	}
+	if len(li.RegWrites) > 0 {
+		units = append(units, unit{stmts: append([]int(nil), li.RegWrites...)})
+	}
+	if len(units) <= 1 {
+		// Single unit: pass the loop through untouched (scalar defs stay).
+		var g *analysis.RefGroup
+		if len(li.Groups) == 1 {
+			g = &li.Groups[0]
+		}
+		fr.Loops = []*FissionedLoop{{Loop: l, Group: g}}
+		return fr, nil
+	}
+
+	// Which scalars does each unit need (transitively through defs)?
+	defIdx := map[string]int{}
+	for _, di := range li.ScalarDefs {
+		defIdx[l.Body[di].Scalar] = di
+	}
+	needs := make([]map[string]bool, len(units))
+	var collect func(e lang.Expr, set map[string]bool)
+	collect = func(e lang.Expr, set map[string]bool) {
+		lang.Walk(e, func(x lang.Expr) {
+			id, ok := x.(*lang.Ident)
+			if !ok {
+				return
+			}
+			if di, isDef := defIdx[id.Name]; isDef && !set[id.Name] {
+				set[id.Name] = true
+				collect(l.Body[di].RHS, set)
+			}
+		})
+	}
+	useCount := map[string]int{}
+	for ui, u := range units {
+		needs[ui] = map[string]bool{}
+		for _, si := range u.stmts {
+			collect(l.Body[si].RHS, needs[ui])
+			if tgt := l.Body[si].Target; tgt != nil {
+				for _, sub := range tgt.Index {
+					collect(sub, needs[ui])
+				}
+			}
+		}
+		for name := range needs[ui] {
+			useCount[name]++
+		}
+	}
+
+	// Scalars needed by more than one unit are promoted to temporary
+	// arrays computed in a prologue loop; scalars needed by one unit are
+	// recomputed inside it.
+	var promoted []string
+	for name, n := range useCount {
+		if n > 1 {
+			promoted = append(promoted, name)
+		}
+	}
+	sort.Strings(promoted)
+	promotedSet := map[string]bool{}
+	extent, err := loopExtent(prog, l)
+	if err != nil {
+		return nil, err
+	}
+	if len(promoted) > 0 {
+		pro := &lang.Loop{Var: l.Var, Lo: l.Lo, Hi: l.Hi, Pos: l.Pos}
+		for _, name := range promoted {
+			promotedSet[name] = true
+			tmp := &lang.ArrayDecl{Name: tempName(name), Dims: []lang.Extent{extent}, Pos: l.Pos}
+			if prog.Array(tmp.Name) != nil {
+				return nil, fmt.Errorf("irl:%s: temporary name %q collides with a declared array", l.Pos, tmp.Name)
+			}
+			fr.Temps = append(fr.Temps, tmp)
+		}
+		// The prologue must compute promoted temps in original def order,
+		// including any non-promoted defs they depend on.
+		proNeeds := map[string]bool{}
+		for _, name := range promoted {
+			proNeeds[name] = true
+			collect(l.Body[defIdx[name]].RHS, proNeeds)
+		}
+		for _, di := range li.ScalarDefs {
+			st := l.Body[di]
+			if !proNeeds[st.Scalar] {
+				continue
+			}
+			// References to earlier promoted scalars inside a definition
+			// must read the temp array too.
+			rhs := rewriteExpr(st.RHS, promotedSet, l.Var)
+			if promotedSet[st.Scalar] {
+				pro.Body = append(pro.Body, &lang.Assign{
+					Target: &lang.IndexExpr{
+						Array: tempName(st.Scalar),
+						Index: []lang.Expr{&lang.Ident{Name: l.Var, Pos: st.Pos}},
+						Pos:   st.Pos,
+					},
+					Op:  lang.OpSet,
+					RHS: rhs,
+					Pos: st.Pos,
+				})
+			} else {
+				pro.Body = append(pro.Body, &lang.Assign{Scalar: st.Scalar, Op: st.Op, RHS: rhs, Pos: st.Pos})
+			}
+		}
+		fr.Prologue = pro
+	}
+
+	// Emit one loop per unit: local (non-promoted) defs it needs, in
+	// original order, then its statements with promoted scalars replaced
+	// by temp-array reads.
+	for ui, u := range units {
+		nl := &lang.Loop{Var: l.Var, Lo: l.Lo, Hi: l.Hi, Pos: l.Pos}
+		for _, di := range li.ScalarDefs {
+			st := l.Body[di]
+			if needs[ui][st.Scalar] && !promotedSet[st.Scalar] {
+				nl.Body = append(nl.Body, rewriteAssign(st, promotedSet, l.Var))
+			}
+		}
+		sort.Ints(u.stmts)
+		for _, si := range u.stmts {
+			nl.Body = append(nl.Body, rewriteAssign(l.Body[si], promotedSet, l.Var))
+		}
+		fr.Loops = append(fr.Loops, &FissionedLoop{Loop: nl, Group: u.group})
+	}
+	return fr, nil
+}
+
+// tempName names the compiler-introduced temporary array for a scalar.
+func tempName(scalar string) string { return "_tmp_" + scalar }
+
+// loopExtent derives the temp array extent from the loop bound, which must
+// be a parameter or literal for temporaries to be declarable.
+func loopExtent(prog *lang.Program, l *lang.Loop) (lang.Extent, error) {
+	switch hi := l.Hi.(type) {
+	case *lang.Ident:
+		for _, p := range prog.Params {
+			if p == hi.Name {
+				return lang.Extent{Param: hi.Name}, nil
+			}
+		}
+		return lang.Extent{}, fmt.Errorf("irl:%s: loop bound %q is not a parameter", l.Pos, hi.Name)
+	case *lang.Num:
+		return lang.Extent{Lit: int(hi.Val)}, nil
+	default:
+		return lang.Extent{}, fmt.Errorf("irl:%s: loop bound %s too complex for temporary introduction", l.Pos, l.Hi)
+	}
+}
+
+// rewriteAssign clones a statement, replacing promoted scalar reads with
+// temp-array references.
+func rewriteAssign(st *lang.Assign, promoted map[string]bool, loopVar string) *lang.Assign {
+	out := &lang.Assign{Scalar: st.Scalar, Op: st.Op, Pos: st.Pos}
+	if st.Target != nil {
+		out.Target = rewriteExpr(st.Target, promoted, loopVar).(*lang.IndexExpr)
+	}
+	out.RHS = rewriteExpr(st.RHS, promoted, loopVar)
+	return out
+}
+
+func rewriteExpr(e lang.Expr, promoted map[string]bool, loopVar string) lang.Expr {
+	switch x := e.(type) {
+	case *lang.Num:
+		return x
+	case *lang.Ident:
+		if promoted[x.Name] {
+			return &lang.IndexExpr{
+				Array: tempName(x.Name),
+				Index: []lang.Expr{&lang.Ident{Name: loopVar, Pos: x.Pos}},
+				Pos:   x.Pos,
+			}
+		}
+		return x
+	case *lang.IndexExpr:
+		out := &lang.IndexExpr{Array: x.Array, Pos: x.Pos}
+		for _, sub := range x.Index {
+			out.Index = append(out.Index, rewriteExpr(sub, promoted, loopVar))
+		}
+		return out
+	case *lang.BinExpr:
+		return &lang.BinExpr{Op: x.Op, L: rewriteExpr(x.L, promoted, loopVar), R: rewriteExpr(x.R, promoted, loopVar), Pos: x.Pos}
+	case *lang.UnExpr:
+		return &lang.UnExpr{X: rewriteExpr(x.X, promoted, loopVar), Pos: x.Pos}
+	case *lang.CallExpr:
+		out := &lang.CallExpr{Fn: x.Fn, Pos: x.Pos}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteExpr(a, promoted, loopVar))
+		}
+		return out
+	default:
+		return e
+	}
+}

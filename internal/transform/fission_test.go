@@ -1,0 +1,288 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"irred/internal/analysis"
+	"irred/internal/interp"
+	"irred/internal/lang"
+)
+
+// runBoth executes src as-written and after fission with identical random
+// bindings, returning both environments for comparison.
+func runBoth(t *testing.T, src string, seed int64, elems map[string]int) (*interp.Env, *interp.Env) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiss, _, err := Fission(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkEnv := func(p *lang.Program) *interp.Env {
+		rng := rand.New(rand.NewSource(seed))
+		env := interp.NewEnv(p)
+		for name, v := range elems {
+			env.SetParam(name, v)
+		}
+		for _, d := range prog.Arrays { // bind only source-declared arrays
+			n, err := env.Size(d.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Int {
+				data := make([]int32, n)
+				// Indirection values must stay in range of the smallest
+				// float array; use the "m" parameter when present.
+				lim := elems["m"]
+				if lim == 0 {
+					lim = n
+				}
+				for i := range data {
+					data[i] = int32(rng.Intn(lim))
+				}
+				if err := env.BindInt(d.Name, data); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = rng.Float64()
+				}
+				if err := env.BindFloat(d.Name, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := env.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+
+	orig := mkEnv(prog)
+	if err := orig.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fenv := mkEnv(fiss)
+	if err := fenv.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return orig, fenv
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < -1e-9 || d > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+const twoGroupSrc = `
+param n, m
+array ia[n, 2] int
+array ja[n] int
+array x[m]
+array z[m]
+array y[n]
+loop i = 0, n {
+    t = y[i] * 2
+    x[ia[i, 0]] += t
+    x[ia[i, 1]] += t + 1
+    z[ja[i]] += t * 3
+}
+`
+
+func TestFissionPreservesSemantics(t *testing.T) {
+	orig, fiss := runBoth(t, twoGroupSrc, 1, map[string]int{"n": 200, "m": 37})
+	for _, a := range []string{"x", "z"} {
+		if !sameFloats(orig.Floats[a], fiss.Floats[a]) {
+			t.Fatalf("array %s diverged after fission", a)
+		}
+	}
+}
+
+func TestFissionStructure(t *testing.T) {
+	prog := lang.MustParse(twoGroupSrc)
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiss, frs, err := Fission(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frs[0]
+	if len(fr.Loops) != 2 {
+		t.Fatalf("fissioned into %d loops, want 2", len(fr.Loops))
+	}
+	// The scalar t feeds both groups: it must be promoted to a temp array
+	// computed by a prologue.
+	if fr.Prologue == nil || len(fr.Temps) != 1 || fr.Temps[0].Name != "_tmp_t" {
+		t.Fatalf("temporary promotion wrong: temps=%v prologue=%v", fr.Temps, fr.Prologue)
+	}
+	if fiss.Array("_tmp_t") == nil {
+		t.Fatal("temp array not declared in fissioned program")
+	}
+	// Total output loops: prologue + 2 groups.
+	if len(fiss.Loops) != 3 {
+		t.Fatalf("fissioned program has %d loops, want 3", len(fiss.Loops))
+	}
+	// Each fissioned loop must carry a group.
+	for i, fl := range fr.Loops {
+		if fl.Group == nil {
+			t.Fatalf("fissioned loop %d has no group", i)
+		}
+	}
+}
+
+func TestSingleGroupPassThrough(t *testing.T) {
+	src := `
+param n, m
+array ia[n, 2] int
+array x[m]
+array y[n]
+loop i = 0, n {
+    x[ia[i, 0]] += y[i]
+    x[ia[i, 1]] -= y[i]
+}
+`
+	prog := lang.MustParse(src)
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiss, frs, err := Fission(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frs[0].Loops) != 1 || frs[0].Prologue != nil || len(frs[0].Temps) != 0 {
+		t.Fatalf("single-group loop was transformed: %+v", frs[0])
+	}
+	if fiss.Loops[0] != prog.Loops[0] {
+		t.Fatal("pass-through should reuse the original loop")
+	}
+}
+
+func TestScalarUsedByOneGroupStaysLocal(t *testing.T) {
+	src := `
+param n, m
+array ia[n] int
+array ja[n] int
+array x[m]
+array z[m]
+array y[n]
+loop i = 0, n {
+    t = y[i] * 2
+    u = y[i] + 1
+    x[ia[i]] += t
+    z[ja[i]] += u
+}
+`
+	prog := lang.MustParse(src)
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, frs, err := Fission(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frs[0]
+	if len(fr.Temps) != 0 || fr.Prologue != nil {
+		t.Fatalf("single-group scalars should be recomputed locally, got temps %v", fr.Temps)
+	}
+	// Each output loop carries exactly its own scalar def.
+	for _, fl := range fr.Loops {
+		nScalar := 0
+		for _, st := range fl.Loop.Body {
+			if st.Scalar != "" {
+				nScalar++
+			}
+		}
+		if nScalar != 1 {
+			t.Fatalf("loop has %d scalar defs, want 1", nScalar)
+		}
+	}
+	// And semantics hold.
+	orig, fiss := runBoth(t, src, 2, map[string]int{"n": 150, "m": 41})
+	for _, a := range []string{"x", "z"} {
+		if !sameFloats(orig.Floats[a], fiss.Floats[a]) {
+			t.Fatalf("array %s diverged", a)
+		}
+	}
+}
+
+func TestRegularWritesSplitOff(t *testing.T) {
+	src := `
+param n, m
+array ia[n] int
+array x[m]
+array w[n]
+array y[n]
+loop i = 0, n {
+    x[ia[i]] += y[i]
+    w[i] = y[i] * 2
+}
+`
+	prog := lang.MustParse(src)
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, frs, err := Fission(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frs[0]
+	if len(fr.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (reduction + regular)", len(fr.Loops))
+	}
+	if fr.Loops[0].Group == nil || fr.Loops[1].Group != nil {
+		t.Fatal("group assignment wrong")
+	}
+	orig, fiss := runBoth(t, src, 3, map[string]int{"n": 99, "m": 17})
+	for _, a := range []string{"x", "w"} {
+		if !sameFloats(orig.Floats[a], fiss.Floats[a]) {
+			t.Fatalf("array %s diverged", a)
+		}
+	}
+}
+
+func TestChainedScalarDeps(t *testing.T) {
+	// u depends on t; both needed by both groups -> both promoted, and the
+	// prologue computes them in dependency order.
+	src := `
+param n, m
+array ia[n] int
+array ja[n] int
+array x[m]
+array z[m]
+array y[n]
+loop i = 0, n {
+    t = y[i] * 2
+    u = t + 1
+    x[ia[i]] += u
+    z[ja[i]] += u * t
+}
+`
+	orig, fiss := runBoth(t, src, 4, map[string]int{"n": 120, "m": 23})
+	for _, a := range []string{"x", "z"} {
+		if !sameFloats(orig.Floats[a], fiss.Floats[a]) {
+			t.Fatalf("array %s diverged", a)
+		}
+	}
+}
