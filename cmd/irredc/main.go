@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	irredc [-describe] [-fissioned] [-threaded] [file.irl]
+//	irredc [-lint] [-describe] [-fissioned] [-threaded] [file.irl]
 //
 // With no file, source is read from standard input. With no mode flags,
-// everything is printed.
+// everything is printed. -lint runs the static analyzers first and refuses
+// to generate code when any finding is Error-level.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"irred/internal/codegen"
 	"irred/internal/lang"
+	"irred/internal/lint"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	optimize := flag.Bool("O", false, "run common-subexpression elimination before analysis")
 	fissioned := flag.Bool("fissioned", false, "print the program after loop fission")
 	threaded := flag.Bool("threaded", false, "print the generated Threaded-C-style listing")
+	doLint := flag.Bool("lint", false, "run the static analyzers; refuse codegen on error findings")
 	flag.Parse()
 
 	var src []byte
@@ -43,6 +46,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "irredc:", err)
 		os.Exit(1)
+	}
+
+	if *doLint {
+		diags, err := lint.RunSource(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredc:", err)
+			os.Exit(1)
+		}
+		diags.Render(os.Stderr)
+		if diags.HasErrors() {
+			fmt.Fprintln(os.Stderr, "irredc: lint found errors; code generation refused")
+			os.Exit(1)
+		}
 	}
 
 	compileFn := codegen.Compile

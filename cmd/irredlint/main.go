@@ -1,0 +1,91 @@
+// Command irredlint runs the IRL static analyzers over one or more source
+// files and reports findings with stable diagnostic codes.
+//
+// Usage:
+//
+//	irredlint [-json] [-codes] [file.irl ...]
+//
+// With no files, source is read from standard input. -json emits the
+// findings as a JSON array for tooling; -codes prints the catalogue of
+// diagnostic codes (source analyzers and schedule-verifier invariants) and
+// exits. The exit status is 1 when any file fails to parse or any finding
+// is Error-level, 0 otherwise (warnings and notes do not fail the run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"irred/internal/lint"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	codes := flag.Bool("codes", false, "list all diagnostic codes and exit")
+	flag.Parse()
+
+	if *codes {
+		printCodes()
+		return
+	}
+
+	var all lint.Diagnostics
+	failed := false
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			os.Exit(1)
+		}
+		ds, err := lint.RunSource(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			os.Exit(1)
+		}
+		all = ds
+	} else {
+		for _, name := range flag.Args() {
+			src, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "irredlint:", err)
+				failed = true
+				continue
+			}
+			ds, err := lint.RunSource(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredlint: %s: %v\n", name, err)
+				failed = true
+				continue
+			}
+			for i := range ds {
+				ds[i].File = name
+			}
+			all = append(all, ds...)
+		}
+	}
+
+	if *asJSON {
+		if err := all.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			os.Exit(1)
+		}
+	} else {
+		all.Render(os.Stdout)
+	}
+	if failed || all.HasErrors() {
+		os.Exit(1)
+	}
+}
+
+func printCodes() {
+	fmt.Println("Source analyzers (IRL programs):")
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("  %s  %-5s %-26s %s\n", a.Code, a.Severity, a.Name, a.Doc)
+	}
+	fmt.Println("\nSchedule verifier invariants (LightInspector output):")
+	for _, c := range lint.VerifierCodes {
+		fmt.Printf("  %s  error %s\n", c.Code, c.Doc)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"irred/internal/inspector"
 	"irred/internal/interp"
 	"irred/internal/lang"
+	"irred/internal/lint"
 	"irred/internal/rts"
 )
 
@@ -38,12 +39,30 @@ loop i = 0, n {
 `
 
 func main() {
+	// Lint first: the full pipeline is parse -> lint -> analyze -> fission
+	// -> codegen. Error findings would make the program illegal under the
+	// paper's restrictions; here the loop is legal, so lint only notes that
+	// it updates two reference groups and fission will split it.
+	diags, err := lint.RunSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== lint ===")
+	if len(diags) == 0 {
+		fmt.Println("no findings")
+	} else {
+		fmt.Print(diags.RenderString())
+	}
+	if diags.HasErrors() {
+		log.Fatal("lint found errors; refusing to compile")
+	}
+
 	unit, err := core.CompileIRL(src)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("=== analysis (sections and reference groups) ===")
+	fmt.Println("\n=== analysis (sections and reference groups) ===")
 	fmt.Print(unit.Describe())
 
 	fmt.Println("\n=== program after loop fission ===")

@@ -1,0 +1,257 @@
+package inspector
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// freshSchedule builds a schedule with both owned writes and buffered
+// (deferred) writes, so every Check invariant has something to trip over.
+func freshSchedule(t *testing.T) (Config, *Schedule, [][]int32) {
+	t.Helper()
+	cfg := Config{P: 4, K: 2, NumIters: 200, NumElems: 64, Dist: Cyclic}
+	rng := rand.New(rand.NewSource(21))
+	ind := randInd(rng, cfg.NumIters, cfg.NumElems, 2)
+	s, err := Light(cfg, 0, ind...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(ind...); err != nil {
+		t.Fatalf("fresh schedule fails Check: %v", err)
+	}
+	if s.BufLen == 0 || s.NumCopies() == 0 {
+		t.Fatal("fresh schedule has no buffered references to corrupt")
+	}
+	return cfg, s, ind
+}
+
+// findOwned locates an owned (non-buffered) reference: phase ph, ref r,
+// slot j with Ind[r][j] < NumElems.
+func findOwned(t *testing.T, cfg Config, s *Schedule) (ph, r, j int) {
+	t.Helper()
+	for ph := range s.Phases {
+		p := &s.Phases[ph]
+		for r := range p.Ind {
+			for j, x := range p.Ind[r] {
+				if int(x) < cfg.NumElems {
+					return ph, r, j
+				}
+			}
+		}
+	}
+	t.Fatal("no owned reference found")
+	return 0, 0, 0
+}
+
+// findBuffered locates a deferred reference (Ind entry >= NumElems).
+func findBuffered(t *testing.T, cfg Config, s *Schedule) (ph, r, j int) {
+	t.Helper()
+	for ph := range s.Phases {
+		p := &s.Phases[ph]
+		for r := range p.Ind {
+			for j, x := range p.Ind[r] {
+				if int(x) >= cfg.NumElems {
+					return ph, r, j
+				}
+			}
+		}
+	}
+	t.Fatal("no buffered reference found")
+	return 0, 0, 0
+}
+
+// findCopy locates a phase with a copy-loop entry.
+func findCopy(t *testing.T, s *Schedule) int {
+	t.Helper()
+	for ph := range s.Phases {
+		if len(s.Phases[ph].Copies) > 0 {
+			return ph
+		}
+	}
+	t.Fatal("no copy entries found")
+	return 0
+}
+
+// TestCheckRejectsCorruptedSchedules hand-corrupts a valid LightInspector
+// schedule in every way Check guards against and asserts each corruption is
+// caught with the right complaint.
+func TestCheckRejectsCorruptedSchedules(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, cfg Config, s *Schedule, ind [][]int32)
+		wantMsg string
+	}{
+		{
+			// The systolic invariant: every write lands in a portion owned
+			// during the write's phase. Redirect an owned write to an element
+			// whose portion arrives in a different phase.
+			name: "write in non-owning phase",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph, r, j := findOwned(t, cfg, s)
+				x := s.Phases[ph].Ind[r][j]
+				s.Phases[ph].Ind[r][j] = (x + int32(cfg.PortionSize())) % int32(cfg.NumElems)
+			},
+			wantMsg: "not owned",
+		},
+		{
+			name: "iteration duplicated across phases",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				src, dst := -1, -1
+				for ph := range s.Phases {
+					if len(s.Phases[ph].Iters) > 0 {
+						if src < 0 {
+							src = ph
+						} else {
+							dst = ph
+							break
+						}
+					}
+				}
+				if dst < 0 {
+					t.Fatal("need two non-empty phases")
+				}
+				p, q := &s.Phases[src], &s.Phases[dst]
+				q.Iters = append(q.Iters, p.Iters[0])
+				for r := range q.Ind {
+					q.Ind[r] = append(q.Ind[r], p.Ind[r][0])
+				}
+			},
+			wantMsg: "scheduled twice",
+		},
+		{
+			name: "iteration dropped",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph, _, _ := findOwned(t, cfg, s)
+				p := &s.Phases[ph]
+				p.Iters = p.Iters[1:]
+				for r := range p.Ind {
+					p.Ind[r] = p.Ind[r][1:]
+				}
+			},
+			wantMsg: "iterations",
+		},
+		{
+			name: "iteration owned by another processor",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph, _, j := findOwned(t, cfg, s)
+				it := s.Phases[ph].Iters[j]
+				for i := 0; i < cfg.NumIters; i++ {
+					if cfg.OwnerOfIter(i) != s.Proc && int32(i) != it {
+						s.Phases[ph].Iters[j] = int32(i)
+						return
+					}
+				}
+				t.Fatal("no foreign iteration found")
+			},
+			wantMsg: "not owned by proc",
+		},
+		{
+			name: "index outside the local image",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph, r, j := findOwned(t, cfg, s)
+				s.Phases[ph].Ind[r][j] = int32(s.LocalLen())
+			},
+			wantMsg: "out of local image",
+		},
+		{
+			name: "owned write redirected within the portion",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				// Same phase, same portion, wrong element: only the original
+				// indirection array can expose this.
+				ph, r, j := findOwned(t, cfg, s)
+				x := int(s.Phases[ph].Ind[r][j])
+				for e := 0; e < cfg.NumElems; e++ {
+					if e != x && cfg.PhaseOf(s.Proc, e) == ph {
+						s.Phases[ph].Ind[r][j] = int32(e)
+						return
+					}
+				}
+				t.Skip("portion has a single element")
+			},
+			wantMsg: "!= original",
+		},
+		{
+			name: "two elements share a buffer slot",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph1, r1, j1 := findBuffered(t, cfg, s)
+				a := s.Phases[ph1].Ind[r1][j1]
+				e1 := ind[r1][s.Phases[ph1].Iters[j1]]
+				for ph := range s.Phases {
+					p := &s.Phases[ph]
+					for r := range p.Ind {
+						for j, x := range p.Ind[r] {
+							if int(x) >= cfg.NumElems && x != a && ind[r][p.Iters[j]] != e1 {
+								p.Ind[r][j] = a
+								return
+							}
+						}
+					}
+				}
+				t.Skip("only one buffered element")
+			},
+			wantMsg: "shared by elements",
+		},
+		{
+			name: "copy entry in a non-owning phase",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				src := findCopy(t, s)
+				cp := s.Phases[src].Copies[0]
+				dst := (src + 1) % len(s.Phases)
+				if cfg.PhaseOf(s.Proc, int(cp.Elem)) == dst {
+					t.Fatalf("destination phase %d also owns element %d", dst, cp.Elem)
+				}
+				s.Phases[src].Copies = s.Phases[src].Copies[1:]
+				s.Phases[dst].Copies = append(s.Phases[dst].Copies, cp)
+			},
+			wantMsg: "not owned",
+		},
+		{
+			name: "copy source outside the buffer",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph := findCopy(t, s)
+				s.Phases[ph].Copies[0].Buf = int32(s.LocalLen())
+			},
+			wantMsg: "out of buffer",
+		},
+		{
+			name: "referenced slot never drained",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph := findCopy(t, s)
+				s.Phases[ph].Copies = s.Phases[ph].Copies[1:]
+			},
+			wantMsg: "copied",
+		},
+		{
+			name: "slot drained twice",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph := findCopy(t, s)
+				p := &s.Phases[ph]
+				p.Copies = append(p.Copies, p.Copies[0])
+			},
+			wantMsg: "copied",
+		},
+		{
+			name: "ragged indirection data",
+			corrupt: func(t *testing.T, cfg Config, s *Schedule, ind [][]int32) {
+				ph, r, _ := findOwned(t, cfg, s)
+				p := &s.Phases[ph]
+				p.Ind[r] = p.Ind[r][:len(p.Ind[r])-1]
+			},
+			wantMsg: "entries for",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, s, ind := freshSchedule(t)
+			tc.corrupt(t, cfg, s, ind)
+			err := s.Check(ind...)
+			if err == nil {
+				t.Fatal("Check accepted the corrupted schedule")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("Check() = %q, want message containing %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

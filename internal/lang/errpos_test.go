@@ -1,0 +1,58 @@
+package lang
+
+import (
+	"regexp"
+	"testing"
+)
+
+// Every parse error must carry a source position in the irl:line:col: form
+// so diagnostics stay clickable whatever went wrong.
+var errPosRE = regexp.MustCompile(`^irl:\d+:\d+: `)
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"lex bad char", "param n\narray x[n]\nloop i = 0, n { x[i] ?= 1 }"},
+		{"top-level junk", "param n\nfrobnicate"},
+		{"no loops", "param n\narray x[n]\n"},
+		{"empty source", ""},
+		{"redeclared array", "param n\narray x[n]\narray x[n]\nloop i = 0, n { x[i] += 1 }"},
+		{"bad extent", "param n\narray x[-3]\nloop i = 0, n { }"},
+		{"unknown extent param", "param n\narray x[m]\nloop i = 0, n { }"},
+		{"too many dims", "param n\narray x[n, n, n]\nloop i = 0, n { }"},
+		{"empty loop body", "param n\narray x[n]\nloop i = 0, n {\n}"},
+		{"undeclared target", "param n\narray x[n]\nloop i = 0, n { y[i] += 1 }"},
+		{"bad assign op", "param n\narray x[n]\nloop i = 0, n { x[i] *= 2 }"},
+		{"bad expression", "param n\narray x[n]\nloop i = 0, n { x[i] += } }"},
+		{"call arity", "param n\narray x[n]\nloop i = 0, n { x[i] += sqrt(1, 2) }"},
+		{"too many subscripts", "param n\narray x[n]\nloop i = 0, n { x[i] += x[i, 0, 1] }"},
+		{"unterminated index", "param n\narray x[n]\nloop i = 0, n { x[i += 1 }"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("parse unexpectedly succeeded")
+			}
+			if !errPosRE.MatchString(err.Error()) {
+				t.Fatalf("error lacks irl:line:col: prefix: %q", err)
+			}
+		})
+	}
+}
+
+// The position in a parse error must point at the offending token, not at
+// the start of the statement or file.
+func TestParseErrorPositionIsPrecise(t *testing.T) {
+	src := "param n\narray x[n]\nloop i = 0, n {\n    x[i] = 1\n    y[i] += 2\n}\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("parse unexpectedly succeeded")
+	}
+	want := "irl:5:5: "
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("error position = %q, want prefix %q", got, want)
+	}
+}

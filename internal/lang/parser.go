@@ -103,7 +103,7 @@ func (p *parser) program() (*Program, error) {
 		}
 	}
 	if len(prog.Loops) == 0 {
-		return nil, fmt.Errorf("irl: program has no loops")
+		return nil, p.errorf("program has no loops")
 	}
 	return prog, nil
 }

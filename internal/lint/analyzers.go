@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"math"
+
+	"irred/internal/lang"
+)
+
+// The IRL analyzers. Each owns one stable code:
+//
+//	IRL001  non-reduction irregular update (Error)
+//	IRL002  multiple levels of indirection (Error)
+//	IRL003  indirection in multiple dimensions (Error)
+//	IRL004  reduction array read in its own loop (Error)
+//	IRL005  reduction / indirection aliasing (Error)
+//	IRL006  literal subscript out of declared extent (Error)
+//	IRL007  dead reduction statement (Warn)
+//	IRL008  array declared but never referenced (Warn)
+//	IRL009  scalar defined but never used (Warn)
+//	IRL010  loop requires fission (Info)
+//	IRL011  reference to undeclared array (Error)
+//	IRL012  indirection through a non-int array (Error)
+
+// eachRef walks e and calls fn for every array reference with its
+// indirection depth: 0 for an outermost data reference, 1 for a reference
+// appearing inside a subscript (an indirection array), 2 for a reference
+// inside an indirection's subscript (illegal nesting), and so on.
+func eachRef(e lang.Expr, depth int, fn func(ix *lang.IndexExpr, depth int)) {
+	switch x := e.(type) {
+	case *lang.IndexExpr:
+		fn(x, depth)
+		for _, sub := range x.Index {
+			eachRef(sub, depth+1, fn)
+		}
+	case *lang.BinExpr:
+		eachRef(x.L, depth, fn)
+		eachRef(x.R, depth, fn)
+	case *lang.UnExpr:
+		eachRef(x.X, depth, fn)
+	case *lang.CallExpr:
+		for _, a := range x.Args {
+			eachRef(a, depth, fn)
+		}
+	}
+}
+
+// eachLoopRef calls fn for every array reference in the loop body, target
+// and right-hand sides alike.
+func eachLoopRef(l *lang.Loop, fn func(st *lang.Assign, ix *lang.IndexExpr, depth int, inTarget bool)) {
+	for _, st := range l.Body {
+		if st.Target != nil {
+			eachRef(st.Target, 0, func(ix *lang.IndexExpr, d int) { fn(st, ix, d, true) })
+		}
+		eachRef(st.RHS, 0, func(ix *lang.IndexExpr, d int) { fn(st, ix, d, false) })
+	}
+}
+
+// irregularTarget reports whether the statement writes through an
+// indirection (some subscript of the target contains an array reference).
+func irregularTarget(st *lang.Assign) bool {
+	if st.Target == nil {
+		return false
+	}
+	for _, sub := range st.Target.Index {
+		if containsRef(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsRef(e lang.Expr) bool {
+	found := false
+	eachRef(e, 0, func(*lang.IndexExpr, int) { found = true })
+	return found
+}
+
+// reducedArrays collects the arrays written irregularly by the loop.
+func reducedArrays(l *lang.Loop) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range l.Body {
+		if irregularTarget(st) {
+			out[st.Target.Array] = true
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Analyzer{
+		Name: "reduction-op", Code: "IRL001", Severity: Error,
+		Doc: "irregular write must be an associative/commutative reduction (+= or -=)",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				for _, st := range l.Body {
+					if irregularTarget(st) && st.Op == lang.OpSet {
+						p.Reportf(st.Pos, "irregular write to %q uses '='; only associative and commutative reductions (+=, -=) execute race-free under phase rotation (Section 4)", st.Target.Array)
+					}
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "multi-level-indirection", Code: "IRL002", Severity: Error,
+		Doc: "at most one level of indirection is supported",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(st *lang.Assign, ix *lang.IndexExpr, depth int, _ bool) {
+					if depth == 2 {
+						p.Reportf(ix.Pos, "multiple levels of indirection via %q; apply source-to-source splitting first (Section 4)", ix.Array)
+					}
+				})
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "multi-dim-indirection", Code: "IRL003", Severity: Error,
+		Doc: "indirection is allowed in at most one dimension",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(st *lang.Assign, ix *lang.IndexExpr, depth int, _ bool) {
+					if depth != 0 {
+						return
+					}
+					n := 0
+					for _, sub := range ix.Index {
+						if containsRef(sub) {
+							n++
+						}
+					}
+					if n > 1 {
+						p.Reportf(ix.Pos, "array %q accessed through indirection in %d dimensions; a single rotated dimension is required (Section 4)", ix.Array, n)
+					}
+				})
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "reduction-read", Code: "IRL004", Severity: Error,
+		Doc: "a reduction array may not be read in the loop that updates it",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				reduced := reducedArrays(l)
+				eachLoopRef(l, func(st *lang.Assign, ix *lang.IndexExpr, depth int, inTarget bool) {
+					if depth == 0 && !inTarget && reduced[ix.Array] {
+						p.Reportf(ix.Pos, "reduction array %q is read in the loop that updates it; the loop-carried flow dependence breaks fission and phase-rotation legality", ix.Array)
+					}
+				})
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "reduction-indirection-alias", Code: "IRL005", Severity: Error,
+		Doc: "an indirection array may not be written in the loop it steers",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				// First positions where each array is used as indirection.
+				indPos := map[string]lang.Pos{}
+				eachLoopRef(l, func(_ *lang.Assign, ix *lang.IndexExpr, depth int, _ bool) {
+					if depth == 1 {
+						if _, ok := indPos[ix.Array]; !ok {
+							indPos[ix.Array] = ix.Pos
+						}
+					}
+				})
+				seen := map[string]bool{}
+				for _, st := range l.Body {
+					if st.Target == nil || seen[st.Target.Array] {
+						continue
+					}
+					if _, ok := indPos[st.Target.Array]; ok {
+						seen[st.Target.Array] = true
+						p.Reportf(st.Pos, "array %q is written here and used as an indirection array in the same loop; the LightInspector schedule would alias its own input", st.Target.Array)
+					}
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "subscript-range", Code: "IRL006", Severity: Error,
+		Doc: "literal subscript out of the declared extent",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(_ *lang.Assign, ix *lang.IndexExpr, _ int, _ bool) {
+					decl := p.Prog.Array(ix.Array)
+					if decl == nil {
+						return // IRL011
+					}
+					for d, sub := range ix.Index {
+						num, ok := sub.(*lang.Num)
+						if !ok || d >= len(decl.Dims) {
+							continue
+						}
+						if float64(int(num.Val)) != num.Val {
+							p.Reportf(num.Pos, "subscript %s of %q is not an integer", num, ix.Array)
+							continue
+						}
+						v := int(num.Val)
+						ext := decl.Dims[d]
+						if ext.Param != "" {
+							continue // symbolic extent: not statically checkable
+						}
+						if v < 0 || v >= ext.Lit {
+							p.Reportf(num.Pos, "subscript %d out of range for dimension %d of %q (declared extent %d)", v, d+1, ix.Array, ext.Lit)
+						}
+					}
+				})
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "dead-reduction", Code: "IRL007", Severity: Warn,
+		Doc: "reduction whose contribution is always zero",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				consts := map[string]float64{}
+				for _, st := range l.Body {
+					if st.Scalar != "" {
+						if v, ok := constFold(st.RHS, consts); ok {
+							consts[st.Scalar] = v
+						} else {
+							delete(consts, st.Scalar)
+						}
+						continue
+					}
+					if !irregularTarget(st) || st.Op == lang.OpSet {
+						continue
+					}
+					if v, ok := constFold(st.RHS, consts); ok && v == 0 {
+						p.Reportf(st.Pos, "reduction into %q contributes nothing: the right-hand side is always 0", st.Target.Array)
+					}
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "unused-array", Code: "IRL008", Severity: Warn,
+		Doc: "array declared but never referenced",
+		Run: func(p *Pass) {
+			used := map[string]bool{}
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(_ *lang.Assign, ix *lang.IndexExpr, _ int, _ bool) {
+					used[ix.Array] = true
+				})
+			}
+			for _, a := range p.Prog.Arrays {
+				if !used[a.Name] {
+					p.Reportf(a.Pos, "array %q is declared but never referenced", a.Name)
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "unused-scalar", Code: "IRL009", Severity: Warn,
+		Doc: "loop-local scalar defined but never used",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				used := map[string]bool{}
+				for _, st := range l.Body {
+					lang.Walk(st.RHS, func(e lang.Expr) {
+						if id, ok := e.(*lang.Ident); ok {
+							used[id.Name] = true
+						}
+					})
+					if st.Target != nil {
+						for _, sub := range st.Target.Index {
+							lang.Walk(sub, func(e lang.Expr) {
+								if id, ok := e.(*lang.Ident); ok {
+									used[id.Name] = true
+								}
+							})
+						}
+					}
+				}
+				warned := map[string]bool{}
+				for _, st := range l.Body {
+					if st.Scalar == "" || used[st.Scalar] || warned[st.Scalar] {
+						continue
+					}
+					warned[st.Scalar] = true
+					p.Reportf(st.Pos, "scalar %q is defined but never used", st.Scalar)
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "fission-required", Code: "IRL010", Severity: Info,
+		Doc: "loop updates several reference groups and will be fissioned",
+		Run: func(p *Pass) {
+			if p.Analysis == nil {
+				return
+			}
+			for _, li := range p.Analysis.Loops {
+				if li.NeedsFission() {
+					p.Reportf(li.Loop.Pos, "loop updates %d reference groups (Definition 1) and will be fissioned into %d loops", len(li.Groups), len(li.Groups))
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "undeclared-array", Code: "IRL011", Severity: Error,
+		Doc: "reference to an undeclared array",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(_ *lang.Assign, ix *lang.IndexExpr, _ int, _ bool) {
+					if p.Prog.Array(ix.Array) == nil {
+						p.Reportf(ix.Pos, "reference to undeclared array %q", ix.Array)
+					}
+				})
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "non-int-indirection", Code: "IRL012", Severity: Error,
+		Doc: "indirection arrays must be declared int",
+		Run: func(p *Pass) {
+			for _, l := range p.Prog.Loops {
+				eachLoopRef(l, func(_ *lang.Assign, ix *lang.IndexExpr, depth int, _ bool) {
+					if depth != 1 {
+						return
+					}
+					if decl := p.Prog.Array(ix.Array); decl != nil && !decl.Int {
+						p.Reportf(ix.Pos, "indirection through %q, which is not declared int", ix.Array)
+					}
+				})
+			}
+		},
+	})
+}
+
+// constFold evaluates e when every leaf is a literal or a scalar with a
+// known constant value. A product with a known zero factor folds to zero
+// regardless of the other side, which is what catches y[i] * 0 reductions.
+func constFold(e lang.Expr, consts map[string]float64) (float64, bool) {
+	switch x := e.(type) {
+	case *lang.Num:
+		return x.Val, true
+	case *lang.Ident:
+		v, ok := consts[x.Name]
+		return v, ok
+	case *lang.UnExpr:
+		v, ok := constFold(x.X, consts)
+		return -v, ok
+	case *lang.BinExpr:
+		l, lok := constFold(x.L, consts)
+		r, rok := constFold(x.R, consts)
+		if x.Op == '*' && ((lok && l == 0) || (rok && r == 0)) {
+			return 0, true
+		}
+		if !lok || !rok {
+			return 0, false
+		}
+		switch x.Op {
+		case '+':
+			return l + r, true
+		case '-':
+			return l - r, true
+		case '*':
+			return l * r, true
+		case '/':
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+		return 0, false
+	case *lang.CallExpr:
+		vals := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, ok := constFold(a, consts)
+			if !ok {
+				return 0, false
+			}
+			vals[i] = v
+		}
+		switch x.Fn {
+		case "sqrt":
+			if vals[0] < 0 {
+				return 0, false
+			}
+			return math.Sqrt(vals[0]), true
+		case "abs":
+			return math.Abs(vals[0]), true
+		case "min":
+			return math.Min(vals[0], vals[1]), true
+		case "max":
+			return math.Max(vals[0], vals[1]), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type want struct {
+	code      string
+	line, col int
+	sev       Severity
+}
+
+// corpus maps every testdata program to its expected findings, in the
+// sorted order Run produces.
+var corpus = map[string][]want{
+	"set_update.irl":           {{"IRL001", 8, 5, Error}},
+	"nested_indirection.irl":   {{"IRL002", 9, 10, Error}},
+	"multidim_indirection.irl": {{"IRL003", 9, 5, Error}},
+	"reduction_read.irl":       {{"IRL004", 8, 24, Error}},
+	"alias.irl":                {{"IRL005", 6, 5, Error}},
+	"column_range.irl":         {{"IRL006", 9, 13, Error}},
+	"dead_reduction.irl":       {{"IRL007", 9, 5, Warn}},
+	"unused.irl":               {{"IRL008", 6, 1, Warn}, {"IRL009", 10, 5, Warn}},
+	"fission.irl":              {{"IRL010", 9, 1, Info}},
+	"undeclared.irl":           {{"IRL011", 7, 17, Error}},
+	"float_indirection.irl":    {{"IRL012", 8, 7, Error}},
+	"clean.irl":                nil,
+}
+
+func lintFile(t *testing.T, name string) Diagnostics {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunSource(string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return diags
+}
+
+func TestCorpusDiagnostics(t *testing.T) {
+	for name, wants := range corpus {
+		t.Run(name, func(t *testing.T) {
+			diags := lintFile(t, name)
+			if len(diags) != len(wants) {
+				t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(wants), diags.RenderString())
+			}
+			for i, w := range wants {
+				d := diags[i]
+				if d.Code != w.code || d.Line != w.line || d.Col != w.col || d.Severity != w.sev {
+					t.Errorf("finding %d: got %s@%d:%d %s, want %s@%d:%d %s\n%s",
+						i, d.Code, d.Line, d.Col, d.Severity, w.code, w.line, w.col, w.sev, d)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusCoversAllFiles keeps the table and the testdata directory in
+// sync: every .irl file must have an expectation entry.
+func TestCorpusCoversAllFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.irl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, f := range files {
+		if _, ok := corpus[filepath.Base(f)]; !ok {
+			t.Errorf("testdata/%s has no expectation entry in the corpus table", filepath.Base(f))
+		}
+	}
+}
+
+// TestCorpusCodeBreadth asserts the corpus exercises a wide slice of the
+// code space (the acceptance floor is 6 distinct codes).
+func TestCorpusCodeBreadth(t *testing.T) {
+	seen := map[string]bool{}
+	for name := range corpus {
+		for _, d := range lintFile(t, name) {
+			seen[d.Code] = true
+		}
+	}
+	if len(seen) < 6 {
+		t.Fatalf("corpus triggers only %d distinct codes: %v", len(seen), seen)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := lintFile(t, "unused.irl")
+	var buf bytes.Buffer
+	if err := diags.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Diagnostics
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal rendered JSON: %v", err)
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Fatalf("round trip changed diagnostics:\nbefore %v\nafter  %v", diags, back)
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Diagnostics)(nil).RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty diagnostics rendered as %q, want []", got)
+	}
+}
+
+func TestHumanRendering(t *testing.T) {
+	diags := lintFile(t, "reduction_read.irl")
+	out := diags.RenderString()
+	want := `irl:8:24: error: reduction array "x" is read in the loop that updates it`
+	if !strings.Contains(out, want) || !strings.Contains(out, "[IRL004]") {
+		t.Fatalf("rendering missing position/severity/code:\n%s", out)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := Analyzers()
+	if len(all) < 12 {
+		t.Fatalf("only %d analyzers registered", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Code >= all[i].Code {
+			t.Fatalf("analyzers not in code order: %s before %s", all[i-1].Code, all[i].Code)
+		}
+	}
+	a := Lookup("IRL004")
+	if a == nil || a.Name != "reduction-read" {
+		t.Fatalf("Lookup(IRL004) = %+v", a)
+	}
+	if Lookup("reduction-read") != a {
+		t.Fatal("Lookup by name and by code disagree")
+	}
+	if Lookup("IRL999") != nil {
+		t.Fatal("Lookup of unknown code should be nil")
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	for _, s := range []Severity{Info, Warn, Error} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("severity %v round-tripped to %v", s, back)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &bad); err == nil {
+		t.Fatal("unknown severity name should not unmarshal")
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"irred/internal/analysis"
+	"irred/internal/lang"
+)
+
+// Analyzer is one registered pass. Each analyzer owns exactly one stable
+// diagnostic code and a default severity; its Run hook inspects the program
+// through the Pass and reports findings.
+type Analyzer struct {
+	Name     string // kebab-case slug, e.g. "reduction-read"
+	Code     string // stable code, e.g. "IRL004"
+	Severity Severity
+	Doc      string // one-line description for -codes listings
+	Run      func(*Pass)
+}
+
+// Pass carries one program through the analyzers and collects findings.
+type Pass struct {
+	Prog *lang.Program
+	// Analysis is the Section 4 whole-program analysis when it succeeded,
+	// nil when the program is too broken to analyze. Analyzers must tolerate
+	// nil: most findings are exactly the reasons analysis fails.
+	Analysis *analysis.Result
+
+	cur   *Analyzer
+	diags Diagnostics
+}
+
+// Reportf records a finding for the running analyzer at pos.
+func (p *Pass) Reportf(pos lang.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Code:     p.cur.Code,
+		Severity: p.cur.Severity,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+var registry = map[string]*Analyzer{}
+
+// register adds an analyzer at package init; duplicate codes or names are
+// programming errors.
+func register(a *Analyzer) {
+	if a.Name == "" || a.Code == "" || a.Run == nil {
+		panic("lint: incomplete analyzer registration")
+	}
+	for _, prev := range registry {
+		if prev.Name == a.Name {
+			panic(fmt.Sprintf("lint: analyzer name %q registered twice", a.Name))
+		}
+	}
+	if registry[a.Code] != nil {
+		panic(fmt.Sprintf("lint: analyzer code %q registered twice", a.Code))
+	}
+	registry[a.Code] = a
+}
+
+// Analyzers lists every registered analyzer in code order.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Lookup finds an analyzer by code or name, or nil.
+func Lookup(key string) *Analyzer {
+	if a := registry[key]; a != nil {
+		return a
+	}
+	for _, a := range registry {
+		if a.Name == key {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes every registered analyzer over the program and returns the
+// sorted findings. The Section 4 analysis is attempted once and shared;
+// analyzers that need it skip silently when it failed (the AST-level
+// analyzers will have reported the reason).
+func Run(prog *lang.Program) Diagnostics {
+	pass := &Pass{Prog: prog}
+	if res, err := analysis.Analyze(prog); err == nil {
+		pass.Analysis = res
+	}
+	for _, a := range Analyzers() {
+		pass.cur = a
+		a.Run(pass)
+	}
+	pass.diags.Sort()
+	return pass.diags
+}
+
+// RunSource parses IRL source and runs every analyzer. A parse error is
+// returned as an error (the program has no AST to analyze).
+func RunSource(src string) (Diagnostics, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(prog), nil
+}

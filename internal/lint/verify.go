@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+
+	"irred/internal/inspector"
+)
+
+// The schedule verifier checks a whole machine's LightInspector output —
+// all P schedules at once — against the paper's systolic invariants. A
+// clean result is a proof that the phase programs can never produce a
+// cross-processor write conflict: every write in every phase lands either
+// in a portion owned by the writing processor during that phase, or in a
+// processor-private buffer slot with a single element identity that is
+// drained exactly once, in the phase where its element's portion arrives.
+//
+//	IRV001  malformed schedule set (shape/config mismatch)
+//	IRV002  iteration coverage broken (missing, duplicated, wrong processor)
+//	IRV003  iteration scheduled in a phase owning none of its elements
+//	IRV004  illegal write target (non-owned element or buffer identity clash)
+//	IRV005  buffer drain broken (wrong phase, wrong count, wrong element)
+//	IRV006  one element written by two processors in the same phase
+
+// VerifierCode documents one IRV code for listings.
+type VerifierCode struct {
+	Code string
+	Doc  string
+}
+
+// VerifierCodes lists the schedule-verifier codes in order.
+var VerifierCodes = []VerifierCode{
+	{"IRV001", "schedule set malformed: wrong processor count, config mismatch, or ragged phase data"},
+	{"IRV002", "iteration coverage broken: an iteration is missing, duplicated, or on the wrong processor"},
+	{"IRV003", "an iteration executes in a phase where none of its reduction elements is locally owned"},
+	{"IRV004", "a write targets a non-owned element, an out-of-image index, or a buffer slot with two element identities"},
+	{"IRV005", "a buffer slot is not drained exactly once in the phase where its element's portion arrives"},
+	{"IRV006", "one reduction element is written by two processors in the same phase"},
+}
+
+// maxPerCode bounds the findings reported per IRV code so a thoroughly
+// corrupted schedule produces a readable report; a final note records the
+// suppressed remainder.
+const maxPerCode = 16
+
+type verifier struct {
+	diags      Diagnostics
+	counts     map[string]int
+	suppressed map[string]int
+}
+
+func (v *verifier) errf(code, format string, args ...any) {
+	if v.counts[code] >= maxPerCode {
+		v.suppressed[code]++
+		return
+	}
+	v.counts[code]++
+	v.diags = append(v.diags, Diagnostic{
+		Code:     code,
+		Severity: Error,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *verifier) finish() Diagnostics {
+	for _, c := range VerifierCodes {
+		if n := v.suppressed[c.Code]; n > 0 {
+			v.diags = append(v.diags, Diagnostic{
+				Code:     c.Code,
+				Severity: Info,
+				Message:  fmt.Sprintf("%d further %s findings suppressed", n, c.Code),
+			})
+		}
+	}
+	v.diags.Sort()
+	return v.diags
+}
+
+// VerifySchedules exhaustively checks the LightInspector output of all P
+// processors against the systolic invariants. ind, when supplied, holds the
+// original indirection arrays (one per reduction reference) and enables the
+// origin checks: rewritten owned indices must equal the original values,
+// and buffer slots must resolve to the element the iteration referenced.
+// The empty result means the schedule set is conflict-free by construction.
+func VerifySchedules(cfg inspector.Config, scheds []*inspector.Schedule, ind ...[]int32) Diagnostics {
+	v := &verifier{counts: map[string]int{}, suppressed: map[string]int{}}
+
+	// IRV001: shape. Anything wrong here makes the deeper checks
+	// meaningless, so bail out once shape is known bad.
+	if err := cfg.Validate(); err != nil {
+		v.errf("IRV001", "config invalid: %v", err)
+		return v.finish()
+	}
+	if len(scheds) != cfg.P {
+		v.errf("IRV001", "got %d schedules for %d processors", len(scheds), cfg.P)
+		return v.finish()
+	}
+	for r, a := range ind {
+		if len(a) != cfg.NumIters {
+			v.errf("IRV001", "indirection %d has %d entries, want %d", r, len(a), cfg.NumIters)
+			return v.finish()
+		}
+	}
+	nph := cfg.NumPhases()
+	for p, s := range scheds {
+		switch {
+		case s == nil:
+			v.errf("IRV001", "proc %d: schedule missing", p)
+		case s.Cfg != cfg:
+			v.errf("IRV001", "proc %d: schedule built for %+v, verifying against %+v", p, s.Cfg, cfg)
+		case s.Proc != p:
+			v.errf("IRV001", "schedule at position %d claims proc %d", p, s.Proc)
+		case len(s.Phases) != nph:
+			v.errf("IRV001", "proc %d: %d phases, want %d", p, len(s.Phases), nph)
+		case len(ind) > 0 && s.NumRef != len(ind):
+			v.errf("IRV001", "proc %d: schedule has %d references, %d indirection arrays supplied", p, s.NumRef, len(ind))
+		default:
+			for ph := range s.Phases {
+				pp := &s.Phases[ph]
+				for r := range pp.Ind {
+					if len(pp.Ind[r]) != len(pp.Iters) {
+						v.errf("IRV001", "proc %d phase %d: ref %d has %d entries for %d iterations", p, ph, r, len(pp.Ind[r]), len(pp.Iters))
+					}
+				}
+			}
+		}
+	}
+	if len(v.diags) > 0 {
+		return v.finish()
+	}
+
+	// procOf[i] records which processor executed iteration i (-1 = not yet).
+	procOf := make([]int16, cfg.NumIters)
+	for i := range procOf {
+		procOf[i] = -1
+	}
+	// writer maps element -> writing proc within the current phase, rebuilt
+	// per phase across all processors (IRV006).
+	writer := map[int32]int{}
+
+	type bufState struct {
+		elem    int32 // element identity, -1 unknown
+		refs    int
+		drains  int
+		drainPh int
+	}
+	bufs := make([][]bufState, cfg.P)
+	for p, s := range scheds {
+		bufs[p] = make([]bufState, s.BufLen)
+		for b := range bufs[p] {
+			bufs[p][b] = bufState{elem: -1, drainPh: -1}
+		}
+	}
+
+	for ph := 0; ph < nph; ph++ {
+		clear(writer)
+		for p, s := range scheds {
+			prog := &s.Phases[ph]
+			for j, it := range prog.Iters {
+				// IRV002: coverage.
+				if int(it) < 0 || int(it) >= cfg.NumIters {
+					v.errf("IRV002", "proc %d phase %d: iteration %d out of range [0,%d)", p, ph, it, cfg.NumIters)
+					continue
+				}
+				if q := procOf[it]; q >= 0 {
+					v.errf("IRV002", "iteration %d scheduled twice (proc %d and proc %d)", it, q, p)
+				} else {
+					procOf[it] = int16(p)
+					if own := cfg.OwnerOfIter(int(it)); own != p {
+						v.errf("IRV002", "iteration %d executed by proc %d but the %s distribution assigns it to proc %d", it, p, cfg.Dist, own)
+					}
+				}
+
+				// IRV003: the phase must own at least one referenced element.
+				owned := false
+				for r := 0; r < len(prog.Ind) && !owned; r++ {
+					if len(ind) > r {
+						owned = cfg.PhaseOf(p, int(ind[r][it])) == ph
+					} else if x := prog.Ind[r][j]; int(x) < cfg.NumElems {
+						owned = cfg.PhaseOf(p, int(x)) == ph
+					}
+				}
+				if !owned && len(prog.Ind) > 0 {
+					v.errf("IRV003", "proc %d phase %d: iteration %d references no element owned in this phase", p, ph, it)
+				}
+
+				// IRV004: every write target is legal.
+				for r := range prog.Ind {
+					x := prog.Ind[r][j]
+					switch {
+					case int(x) < 0 || int(x) >= s.LocalLen():
+						v.errf("IRV004", "proc %d phase %d: iteration %d ref %d writes index %d outside the local image [0,%d)", p, ph, it, r, x, s.LocalLen())
+					case int(x) < cfg.NumElems:
+						if cfg.PhaseOf(p, int(x)) != ph {
+							v.errf("IRV004", "proc %d phase %d: iteration %d ref %d writes element %d, owned in phase %d", p, ph, it, r, x, cfg.PhaseOf(p, int(x)))
+						}
+						if len(ind) > r && ind[r][it] != x {
+							v.errf("IRV004", "proc %d phase %d: iteration %d ref %d writes element %d but the indirection array names %d", p, ph, it, r, x, ind[r][it])
+						}
+						recordWriter(v, writer, ph, x, p)
+					default:
+						b := &bufs[p][int(x)-cfg.NumElems]
+						b.refs++
+						if len(ind) > r {
+							e := ind[r][it]
+							if b.elem >= 0 && b.elem != e {
+								v.errf("IRV004", "proc %d: buffer slot %d written for elements %d and %d; slots must have exactly one element identity", p, int(x)-cfg.NumElems, b.elem, e)
+							}
+							b.elem = e
+						}
+					}
+				}
+			}
+
+			// IRV005 (and IRV006 for the drain write): copy loops.
+			for _, cp := range prog.Copies {
+				bi := int(cp.Buf) - cfg.NumElems
+				if bi < 0 || bi >= s.BufLen {
+					v.errf("IRV005", "proc %d phase %d: drain reads slot index %d outside the buffer [0,%d)", p, ph, cp.Buf, s.BufLen)
+					continue
+				}
+				b := &bufs[p][bi]
+				b.drains++
+				b.drainPh = ph
+				if arrival := cfg.PhaseOf(p, int(cp.Elem)); arrival != ph {
+					v.errf("IRV005", "proc %d: buffer slot %d drains into element %d in phase %d, but that element's portion arrives in phase %d", p, bi, cp.Elem, ph, arrival)
+				} else {
+					recordWriter(v, writer, ph, cp.Elem, p)
+				}
+				if b.elem >= 0 && b.elem != cp.Elem {
+					v.errf("IRV005", "proc %d: buffer slot %d holds contributions for element %d but drains into element %d", p, bi, b.elem, cp.Elem)
+				}
+			}
+		}
+	}
+
+	// IRV002: completeness.
+	for i, q := range procOf {
+		if q < 0 {
+			v.errf("IRV002", "iteration %d is not scheduled on any processor", i)
+		}
+	}
+
+	// IRV005: every referenced slot drained exactly once per sweep.
+	for p := range bufs {
+		for bi := range bufs[p] {
+			b := &bufs[p][bi]
+			switch {
+			case b.refs > 0 && b.drains == 0:
+				v.errf("IRV005", "proc %d: buffer slot %d is written %d times but never drained", p, bi, b.refs)
+			case b.refs > 0 && b.drains > 1:
+				v.errf("IRV005", "proc %d: buffer slot %d drained %d times; exactly one drain per sweep is required", p, bi, b.drains)
+			case b.refs == 0 && b.drains > 0:
+				v.errf("IRV005", "proc %d: buffer slot %d drained but never written", p, bi)
+			}
+		}
+	}
+
+	return v.finish()
+}
+
+// recordWriter notes a shared-array write and reports IRV006 when a second
+// processor writes the same element in the same phase.
+func recordWriter(v *verifier, writer map[int32]int, ph int, elem int32, proc int) {
+	if q, ok := writer[elem]; ok {
+		if q != proc {
+			v.errf("IRV006", "phase %d: element %d written by proc %d and proc %d", ph, elem, q, proc)
+		}
+		return
+	}
+	writer[elem] = proc
+}

@@ -39,8 +39,18 @@ type Native struct {
 	Consume  ConsumeFunc
 	Update   UpdateFunc
 
-	bufs  [][]float64  // per-processor remote buffers, len BufLen*comp
-	chans []chan token // chans[p]: portions arriving at processor p
+	// Verify enables the debug execution mode: every access to the shared
+	// rotated array is checked against the ownership invariant — the target
+	// element's portion must be owned by the executing processor during the
+	// executing phase — and every buffered contribution must stay inside
+	// the processor-private buffer. Run reports the first violation per
+	// processor after the sweep completes (execution itself is unchanged,
+	// so a verify run still finishes and still passes tokens).
+	Verify bool
+
+	bufs       [][]float64  // per-processor remote buffers, len BufLen*comp
+	chans      []chan token // chans[p]: portions arriving at processor p
+	verifyErrs []error      // first ownership violation per processor
 }
 
 type token struct{ portion int }
@@ -66,6 +76,14 @@ func NewNative(l *Loop) (*Native, error) {
 	return n, nil
 }
 
+// verifyFail records the first ownership violation seen by processor p.
+// Each processor writes only its own slot, so no lock is needed.
+func (n *Native) verifyFail(p int, format string, args ...any) {
+	if n.verifyErrs[p] == nil {
+		n.verifyErrs[p] = fmt.Errorf("rts: verify: "+format, args...)
+	}
+}
+
 // Run executes steps timesteps: each is one full sweep of k*P phases
 // followed by the Update hook (if any) under a global barrier. It returns
 // an error if the mode's required callback is missing.
@@ -82,6 +100,9 @@ func (n *Native) Run(steps int) error {
 		}
 	}
 	P := l.Cfg.P
+	if n.Verify {
+		n.verifyErrs = make([]error, P)
+	}
 	var wg sync.WaitGroup
 	if n.Update == nil {
 		// Pure accumulation: sweeps need no barrier between timesteps —
@@ -97,7 +118,7 @@ func (n *Native) Run(steps int) error {
 			}(p)
 		}
 		wg.Wait()
-		return nil
+		return n.verifyErr()
 	}
 	for step := 0; step < steps; step++ {
 		wg.Add(P)
@@ -116,6 +137,16 @@ func (n *Native) Run(steps int) error {
 			}(p)
 		}
 		wg.Wait()
+	}
+	return n.verifyErr()
+}
+
+// verifyErr joins the per-processor violations after a verify run.
+func (n *Native) verifyErr() error {
+	for _, err := range n.verifyErrs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -143,6 +174,15 @@ func (n *Native) sweep(p int) {
 		// Second (copy) loop: fold buffered contributions into the
 		// just-arrived portion and clear the slots for the next sweep.
 		for _, cp := range prog.Copies {
+			if n.Verify {
+				if int(cp.Buf) < cfg.NumElems || int(cp.Buf) >= s.LocalLen() {
+					n.verifyFail(p, "proc %d phase %d: drain reads %d outside the buffer [%d,%d)", p, ph, cp.Buf, cfg.NumElems, s.LocalLen())
+					continue
+				}
+				if own := cfg.PhaseOf(p, int(cp.Elem)); own != ph {
+					n.verifyFail(p, "proc %d phase %d: drain writes element %d, whose portion is owned in phase %d", p, ph, cp.Elem, own)
+				}
+			}
 			eb := int(cp.Elem) * comp
 			bb := (int(cp.Buf) - cfg.NumElems) * comp
 			for c := 0; c < comp; c++ {
@@ -159,10 +199,19 @@ func (n *Native) sweep(p int) {
 				for r := range prog.Ind {
 					tgt := int(prog.Ind[r][j])
 					if tgt < cfg.NumElems {
+						if n.Verify {
+							if own := cfg.PhaseOf(p, tgt); own != ph {
+								n.verifyFail(p, "proc %d phase %d: iteration %d writes element %d, whose portion is owned in phase %d", p, ph, it, tgt, own)
+							}
+						}
 						for c := 0; c < comp; c++ {
 							n.X[tgt*comp+c] += scratch[r*comp+c]
 						}
 					} else {
+						if n.Verify && tgt >= s.LocalLen() {
+							n.verifyFail(p, "proc %d phase %d: iteration %d writes %d outside the local image [0,%d)", p, ph, it, tgt, s.LocalLen())
+							continue
+						}
 						bb := (tgt - cfg.NumElems) * comp
 						for c := 0; c < comp; c++ {
 							buf[bb+c] += scratch[r*comp+c]
@@ -173,6 +222,15 @@ func (n *Native) sweep(p int) {
 		case Gather:
 			for j, it := range prog.Iters {
 				tgt := int(prog.Ind[0][j])
+				if n.Verify {
+					if tgt >= cfg.NumElems {
+						n.verifyFail(p, "proc %d phase %d: iteration %d gathers %d outside the rotated array [0,%d)", p, ph, it, tgt, cfg.NumElems)
+						continue
+					}
+					if own := cfg.PhaseOf(p, tgt); own != ph {
+						n.verifyFail(p, "proc %d phase %d: iteration %d gathers element %d, whose portion is owned in phase %d", p, ph, it, tgt, own)
+					}
+				}
 				n.Consume(p, int(it), n.X[tgt*comp:tgt*comp+comp])
 			}
 		}

@@ -1,0 +1,130 @@
+package rts
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"irred/internal/inspector"
+)
+
+// corruptOwnedWrite redirects the first owned write in the schedule set to
+// an element owned in a different phase, breaking the ownership invariant
+// while keeping every index inside the local image.
+func corruptOwnedWrite(t *testing.T, cfg inspector.Config, scheds []*inspector.Schedule) {
+	t.Helper()
+	for _, s := range scheds {
+		for ph := range s.Phases {
+			prog := &s.Phases[ph]
+			for r := range prog.Ind {
+				for j, x := range prog.Ind[r] {
+					if int(x) < cfg.NumElems {
+						prog.Ind[r][j] = (x + int32(cfg.PortionSize())) % int32(cfg.NumElems)
+						return
+					}
+				}
+			}
+		}
+	}
+	t.Fatal("no owned write to corrupt")
+}
+
+func TestNativeVerifyClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Verify = true
+	n.Contribs = func(_, i int, out []float64) {
+		for r := range out {
+			out[r] = float64(i + r)
+		}
+	}
+	if err := n.Run(2); err != nil {
+		t.Fatalf("verify rejected a correct run: %v", err)
+	}
+}
+
+func TestNativeVerifyCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOwnedWrite(t, l.Cfg, n.Scheds)
+	n.Verify = true
+	n.Contribs = func(_, i int, out []float64) {
+		for r := range out {
+			out[r] = 1
+		}
+	}
+	err = n.Run(1)
+	if err == nil {
+		t.Fatal("verify mode missed a non-owned write")
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSimVerifyClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	contrib := func(i, r, c int) float64 { return float64(i+1) + float64(r) }
+	ex := &SimExec{
+		Verify: true,
+		Contribs: func(_, i int, out []float64) {
+			for r := range out {
+				out[r] = contrib(i, r, 0)
+			}
+		},
+	}
+	res, err := RunSim(l, SimOptions{Steps: 2, WarmSteps: 1, MeasureSteps: 1, Exec: ex})
+	if err != nil {
+		t.Fatalf("verify rejected a correct simulated run: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if !near(ex.X, scale(seqReduce(l, contrib), 2), 1e-9) {
+		t.Fatal("simulated execution diverged from sequential")
+	}
+}
+
+func scale(x []float64, f float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = f * x[i]
+	}
+	return out
+}
+
+func TestSimVerifyCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	scheds, err := l.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOwnedWrite(t, l.Cfg, scheds)
+	ex := &SimExec{
+		Verify: true,
+		Contribs: func(_, i int, out []float64) {
+			for r := range out {
+				out[r] = 1
+			}
+		},
+	}
+	opt := SimOptions{Steps: 2, WarmSteps: 1, MeasureSteps: 1, Exec: ex}
+	opt.fill()
+	_, err = runSimScheds(l, scheds, opt)
+	if err == nil {
+		t.Fatal("verify mode missed a non-owned simulated write")
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

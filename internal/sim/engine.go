@@ -73,6 +73,7 @@ type Engine struct {
 	queue  eventQueue
 	nRun   uint64
 	closed bool
+	err    error
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
@@ -107,8 +108,26 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	return ev
 }
 
+// Fail aborts the simulation: once the engine has failed, Step (and so Run
+// and RunUntil) executes no further events. The first failure wins; later
+// calls are no-ops. Event callbacks use it to stop a run whose invariants
+// are already known broken — the debug verify mode of the rts executors
+// fails the engine on the first ownership violation instead of simulating
+// millions of further cycles of a racy program.
+func (e *Engine) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// Err reports the failure recorded by Fail, or nil.
+func (e *Engine) Err() error { return e.err }
+
 // Step runs the single earliest pending event and reports whether one ran.
 func (e *Engine) Step() bool {
+	if e.err != nil {
+		return false
+	}
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {
@@ -134,7 +153,7 @@ func (e *Engine) Run() Time {
 // virtual time of the last executed event (or the starting time when no
 // event fired). Events scheduled later than deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.queue) > 0 {
+	for len(e.queue) > 0 && e.err == nil {
 		// Peek at the earliest live event.
 		ev := e.queue[0]
 		if ev.dead {

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineFailStopsRun(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("invariant broken")
+	var after int
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() { e.Fail(boom) })
+	e.Schedule(3, func() { after++ })
+	e.Run()
+	if after != 0 {
+		t.Fatal("event ran after the engine failed")
+	}
+	if e.Err() != boom {
+		t.Fatalf("Err() = %v, want %v", e.Err(), boom)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock at %d, want 2", e.Now())
+	}
+	// The first failure wins.
+	e.Fail(errors.New("second"))
+	if e.Err() != boom {
+		t.Fatal("second Fail overwrote the first")
+	}
+}
+
+func TestEngineFailStopsRunUntil(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("stop")
+	e.Schedule(1, func() { e.Fail(boom) })
+	e.Schedule(2, func() { t.Fatal("event ran after failure") })
+	e.RunUntil(10)
+	if e.Err() != boom {
+		t.Fatalf("Err() = %v", e.Err())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("failed engine should leave later events queued")
+	}
+}
