@@ -22,6 +22,7 @@ import (
 	"irred/internal/mesh"
 	"irred/internal/moldyn"
 	"irred/internal/rts"
+	"irred/internal/service"
 	"irred/internal/sim"
 	"irred/internal/sparse"
 )
@@ -263,6 +264,48 @@ func BenchmarkNativeMoldyn(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScheduleCache measures what the irredd schedule cache buys: a
+// cold miss pays the full P-processor LightInspector pass, a warm hit is a
+// hash of the indirection arrays plus a map lookup. The gap is the
+// amortization the serving layer extends across requests and restarts.
+func BenchmarkScheduleCache(b *testing.B) {
+	eu := getEuler10K()
+	l := eu.Loop(16, 2, inspector.Cyclic)
+	key := inspector.ScheduleKey(l.Cfg, l.Ind...)
+
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Schedules(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(l.Cfg.NumIters), "iters")
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache, err := service.NewCache(8, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		scheds, err := l.Schedules()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cache.Put(key, scheds); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A hit still pays the content hash: that is the real serving
+			// cost, so it stays inside the measured region.
+			k := inspector.ScheduleKey(l.Cfg, l.Ind...)
+			if _, ok := cache.Get(k); !ok {
+				b.Fatal("warm cache missed")
+			}
+		}
+		b.ReportMetric(float64(l.Cfg.NumIters), "iters")
+	})
 }
 
 func BenchmarkCacheModel(b *testing.B) {

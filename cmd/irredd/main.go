@@ -1,0 +1,86 @@
+// Command irredd is the reduction-as-a-service daemon: an HTTP/JSON server
+// over the paper's execution strategy with a persistent LightInspector
+// schedule cache and a bounded native-engine executor pool.
+//
+// The paper's economics hinge on amortization — the inspector runs once and
+// its schedules are reused across ~100 executor iterations. irredd extends
+// that amortization across requests and across restarts: jobs whose
+// indirection arrays and strategy (P, k, dist) have been seen before skip
+// the inspector entirely, and with -cache-dir the warmed cache survives a
+// daemon restart.
+//
+//	irredd -addr :8321 -workers 4 -queue 64 -cache-entries 128 -cache-dir /var/cache/irredd
+//
+//	curl -s localhost:8321/healthz
+//	curl -s -X POST 'localhost:8321/v1/jobs?wait=1' \
+//	     -d '{"kernel":"mvm","dataset":"S","p":4,"k":2,"steps":5}'
+//	curl -s localhost:8321/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"irred/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for a random port)")
+	workers := flag.Int("workers", 0, "executor pool size (0 = GOMAXPROCS/2)")
+	queue := flag.Int("queue", 64, "admission queue bound; beyond it jobs are shed with 429")
+	cacheEntries := flag.Int("cache-entries", 128, "in-memory schedule cache entries (LRU)")
+	cacheDir := flag.String("cache-dir", "", "persist cached schedules here and warm from it on start")
+	flag.Parse()
+
+	svc, err := service.New(service.Options{
+		Workers:      *workers,
+		QueueLen:     *queue,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address line is load-bearing: scripts starting irredd on
+	// :0 parse it to find the port.
+	log.Printf("irredd: listening on http://%s", ln.Addr())
+	if st := svc.Cache().Stats(); st.Entries > 0 {
+		log.Printf("irredd: schedule cache warmed with %d entries from %s", st.Entries, *cacheDir)
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("irredd: %v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), service.ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("irredd: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

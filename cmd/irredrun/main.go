@@ -1,16 +1,24 @@
 // Command irredrun executes one of the paper's kernels under a chosen
 // strategy, either on the simulated EARTH machine (reporting simulated
-// MANNA seconds, like the paper) or natively on goroutines (reporting wall
-// clock and verifying against the sequential kernel).
+// MANNA seconds, like the paper), natively on goroutines (reporting wall
+// clock and verifying against the sequential kernel), or remotely on an
+// irredd reduction service (-server).
 //
 // Examples:
 //
 //	irredrun -kernel euler -dataset 2k -p 32 -k 2 -dist cyclic
 //	irredrun -kernel mvm -dataset W -p 16 -k 2
 //	irredrun -kernel moldyn -dataset 10k -p 8 -k 4 -engine native -steps 10
+//	irredrun -kernel mvm -dataset S -p 4 -k 2 -steps 5 -engine native -json
+//	irredrun -kernel mvm -dataset S -p 4 -k 2 -steps 5 -server http://127.0.0.1:8321
+//
+// -json emits one machine-readable object on stdout (timings, result hash)
+// so tooling can diff local vs server runs.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -25,6 +33,8 @@ import (
 	"irred/internal/mesh"
 	"irred/internal/moldyn"
 	"irred/internal/rts"
+	"irred/internal/service"
+	"irred/internal/service/client"
 	"irred/internal/sim"
 	"irred/internal/sparse"
 )
@@ -44,6 +54,8 @@ func main() {
 	engine := flag.String("engine", "sim", "engine: sim (modelled EARTH) | native (goroutines)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	trace := flag.Bool("trace", false, "print a Gantt chart of EU occupancy (sim engine)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object instead of prose")
+	server := flag.String("server", "", "irredd base URL: submit the job there (native semantics) instead of running locally")
 	flag.Parse()
 
 	var dist inspector.Dist
@@ -56,13 +68,56 @@ func main() {
 		fail("unknown distribution %q", *distName)
 	}
 
-	switch *engine {
-	case "sim":
-		runSim(*kernel, *dataset, *p, *k, dist, *steps, *seed, *trace)
-	case "native":
-		runNative(*kernel, *dataset, *p, *k, dist, *steps, *seed)
+	switch {
+	case *server != "":
+		runServer(*server, *kernel, *dataset, *p, *k, *distName, *steps, *seed, *jsonOut)
+	case *engine == "sim":
+		runSim(*kernel, *dataset, *p, *k, dist, *steps, *seed, *trace, *jsonOut)
+	case *engine == "native":
+		runNative(*kernel, *dataset, *p, *k, dist, *steps, *seed, *jsonOut)
 	default:
 		fail("unknown engine %q", *engine)
+	}
+}
+
+// runReport is the -json payload: one object per run, identical fields for
+// local native and server runs so results can be diffed (result_sha256 is
+// bit-exact across processes for the same job).
+type runReport struct {
+	Engine  string `json:"engine"` // sim | native | server
+	Kernel  string `json:"kernel"`
+	Dataset string `json:"dataset"`
+	P       int    `json:"p"`
+	K       int    `json:"k"`
+	Dist    string `json:"dist"`
+	Steps   int    `json:"steps"`
+	Seed    int64  `json:"seed"`
+
+	// Native/server runs.
+	SeqMS        float64 `json:"seq_ms,omitempty"`
+	ParMS        float64 `json:"par_ms,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	MaxRelDiff   float64 `json:"max_rel_diff,omitempty"`
+	ResultLen    int     `json:"result_len,omitempty"`
+	ResultSHA256 string  `json:"result_sha256,omitempty"`
+
+	// Server runs.
+	JobID    string  `json:"job_id,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	QueuedMS float64 `json:"queued_ms,omitempty"`
+	RunMS    float64 `json:"run_ms,omitempty"`
+
+	// Sim runs.
+	SimSeconds    float64 `json:"sim_seconds,omitempty"`
+	SimSeqSeconds float64 `json:"sim_seq_seconds,omitempty"`
+	MsgsPerStep   float64 `json:"msgs_per_step,omitempty"`
+	BytesPerStep  float64 `json:"bytes_per_step,omitempty"`
+}
+
+func emitJSON(rep runReport) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(rep); err != nil {
+		fail("%v", err)
 	}
 }
 
@@ -116,10 +171,9 @@ func buildLoop(kernel, dataset string, p, k int, dist inspector.Dist, seed int64
 	return nil, ""
 }
 
-func runSim(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64, trace bool) {
+func runSim(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64, trace, jsonOut bool) {
 	l, desc := buildLoop(kernel, dataset, p, k, dist, seed)
 	cm := machine.MANNA()
-	fmt.Printf("%s on simulated EARTH/MANNA: P=%d k=%d %s, %d timesteps\n", desc, p, k, dist, steps)
 
 	opt := rts.SimOptions{Steps: steps}
 	var tr *earth.Trace
@@ -132,8 +186,22 @@ func runSim(kernel, dataset string, p, k int, dist inspector.Dist, steps int, se
 	if err != nil {
 		fail("%v", err)
 	}
+	speedup := float64(seqC) / float64(res.Cycles)
+	if jsonOut {
+		emitJSON(runReport{
+			Engine: "sim", Kernel: kernel, Dataset: dataset, P: p, K: k,
+			Dist: dist.String(), Steps: steps, Seed: seed,
+			Speedup:       speedup,
+			SimSeconds:    res.Seconds,
+			SimSeqSeconds: seqS,
+			MsgsPerStep:   res.MsgsPerStep,
+			BytesPerStep:  res.BytesPerStep,
+		})
+		return
+	}
+	fmt.Printf("%s on simulated EARTH/MANNA: P=%d k=%d %s, %d timesteps\n", desc, p, k, dist, steps)
 	fmt.Printf("sequential:     %10.2fs simulated\n", seqS)
-	fmt.Printf("parallel:       %10.2fs simulated (%.2fx speedup)\n", res.Seconds, float64(seqC)/float64(res.Cycles))
+	fmt.Printf("parallel:       %10.2fs simulated (%.2fx speedup)\n", res.Seconds, speedup)
 	fmt.Printf("per step:       %10.4fs\n", cm.Seconds(res.PerStep))
 	fmt.Printf("inspector:      %10.4fs (run once)\n", cm.Seconds(res.InspectorCycles))
 	fmt.Printf("traffic:        %10.0f messages/step, %.0f bytes/step\n", res.MsgsPerStep, res.BytesPerStep)
@@ -153,8 +221,9 @@ func runSim(kernel, dataset string, p, k int, dist inspector.Dist, steps int, se
 	}
 }
 
-func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64) {
-	fmt.Printf("native run: P=%d goroutines, k=%d, %s, %d timesteps\n", p, k, dist, steps)
+// nativeRun executes one kernel natively and returns the parallel result,
+// the sequential reference, and both durations.
+func nativeRun(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64) (result, want []float64, seqDur, parDur time.Duration) {
 	switch kernel {
 	case "euler":
 		var nodes, edges int
@@ -165,11 +234,9 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		}
 		m := mesh.Generate(nodes, edges, seed)
 		eu := kernels.NewEuler(m, seed)
-
 		t0 := time.Now()
-		want := eu.RunSequential(steps)
-		seqDur := time.Since(t0)
-
+		want = eu.RunSequential(steps)
+		seqDur = time.Since(t0)
 		nat, q, err := eu.NewNative(p, k, dist)
 		if err != nil {
 			fail("%v", err)
@@ -178,9 +245,8 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		if err := nat.Run(steps); err != nil {
 			fail("%v", err)
 		}
-		parDur := time.Since(t0)
-		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
-		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(q, want))
+		parDur = time.Since(t0)
+		result = q
 	case "moldyn":
 		var sys *moldyn.System
 		if strings.ToLower(dataset) == "10k" {
@@ -191,7 +257,7 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		md := kernels.NewMoldyn(sys)
 		t0 := time.Now()
 		wantPos, _ := md.RunSequential(steps)
-		seqDur := time.Since(t0)
+		seqDur = time.Since(t0)
 		nat, pos, _, err := md.NewNative(p, k, dist)
 		if err != nil {
 			fail("%v", err)
@@ -200,9 +266,8 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		if err := nat.Run(steps); err != nil {
 			fail("%v", err)
 		}
-		parDur := time.Since(t0)
-		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
-		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(pos, wantPos))
+		parDur = time.Since(t0)
+		result, want = pos, wantPos
 	case "mvm":
 		var class sparse.Class
 		switch strings.ToUpper(dataset) {
@@ -218,8 +283,8 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		a := sparse.Generate(class, uint64(seed))
 		mv := kernels.NewMVM(a)
 		t0 := time.Now()
-		want := mv.RunSequential(steps)
-		seqDur := time.Since(t0)
+		want = mv.RunSequential(steps)
+		seqDur = time.Since(t0)
 		nat, err := mv.NewNative(p, k, dist)
 		if err != nil {
 			fail("%v", err)
@@ -228,12 +293,78 @@ func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int,
 		if err := nat.Run(steps); err != nil {
 			fail("%v", err)
 		}
-		parDur := time.Since(t0)
-		fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
-		fmt.Printf("verification: max rel diff vs sequential = %.2e\n", maxRelDiff(nat.X, want))
+		parDur = time.Since(t0)
+		result = nat.X
 	default:
 		fail("unknown kernel %q", kernel)
 	}
+	return result, want, seqDur, parDur
+}
+
+func runNative(kernel, dataset string, p, k int, dist inspector.Dist, steps int, seed int64, jsonOut bool) {
+	result, want, seqDur, parDur := nativeRun(kernel, dataset, p, k, dist, steps, seed)
+	diff := maxRelDiff(result, want)
+	if jsonOut {
+		emitJSON(runReport{
+			Engine: "native", Kernel: kernel, Dataset: dataset, P: p, K: k,
+			Dist: dist.String(), Steps: steps, Seed: seed,
+			SeqMS:        float64(seqDur) / float64(time.Millisecond),
+			ParMS:        float64(parDur) / float64(time.Millisecond),
+			Speedup:      seqDur.Seconds() / parDur.Seconds(),
+			MaxRelDiff:   diff,
+			ResultLen:    len(result),
+			ResultSHA256: service.HashResult(result),
+		})
+		return
+	}
+	fmt.Printf("native run: P=%d goroutines, k=%d, %s, %d timesteps\n", p, k, dist, steps)
+	fmt.Printf("sequential: %v   parallel: %v   speedup %.2fx\n", seqDur, parDur, seqDur.Seconds()/parDur.Seconds())
+	fmt.Printf("verification: max rel diff vs sequential = %.2e\n", diff)
+}
+
+// runServer submits the job to an irredd daemon and reports its status.
+// The server runs the same native engine with the same deterministic
+// dataset construction, so result_sha256 matches a local -engine native
+// -json run of the same parameters bit for bit.
+func runServer(base, kernel, dataset string, p, k int, distName string, steps int, seed int64, jsonOut bool) {
+	c := client.New(base)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		fail("server %s not healthy: %v", base, err)
+	}
+	spec := service.JobSpec{
+		Kernel:  kernel,
+		Dataset: dataset,
+		Seed:    seed,
+		P:       p,
+		K:       k,
+		Dist:    strings.ToLower(distName),
+		Steps:   steps,
+	}
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	if st.State != service.StateDone {
+		fail("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	if jsonOut {
+		emitJSON(runReport{
+			Engine: "server", Kernel: kernel, Dataset: dataset, P: p, K: k,
+			Dist: strings.ToLower(distName), Steps: steps, Seed: seed,
+			ParMS:        st.RunMS,
+			ResultLen:    st.ResultLen,
+			ResultSHA256: st.ResultSHA256,
+			JobID:        st.ID,
+			CacheHit:     st.CacheHit,
+			QueuedMS:     st.QueuedMS,
+			RunMS:        st.RunMS,
+		})
+		return
+	}
+	fmt.Printf("server run on %s: job %s, P=%d k=%d %s, %d timesteps\n", base, st.ID, p, k, distName, steps)
+	fmt.Printf("queued: %.1fms   run: %.1fms   schedule cache hit: %v\n", st.QueuedMS, st.RunMS, st.CacheHit)
+	fmt.Printf("result: %d values, sha256 %s\n", st.ResultLen, st.ResultSHA256)
 }
 
 func maxRelDiff(a, b []float64) float64 {

@@ -58,6 +58,14 @@ func NewEuler(m *mesh.Mesh, seed int64) *Euler {
 	return e
 }
 
+// newNative builds a Native for l, reusing scheds when provided.
+func newNative(l *rts.Loop, scheds []*inspector.Schedule) (*rts.Native, error) {
+	if scheds == nil {
+		return rts.NewNative(l)
+	}
+	return rts.NewNativeFrom(l, scheds)
+}
+
 // flux computes the edge flux components into out[0:3] given endpoint
 // states qa, qb (3 values each) and the edge weight w. It is the shared
 // physics of the sequential and parallel paths.
@@ -119,8 +127,14 @@ func (e *Euler) RunSequential(steps int) []float64 {
 // X is the residual array; the evolving state lives in the returned slice,
 // updated under the engine's barrier.
 func (e *Euler) NewNative(p, k int, dist inspector.Dist) (*rts.Native, []float64, error) {
+	return e.NewNativeFrom(nil, p, k, dist)
+}
+
+// NewNativeFrom is NewNative over pre-built schedules (e.g. served from a
+// schedule cache); a nil scheds runs the LightInspector as NewNative does.
+func (e *Euler) NewNativeFrom(scheds []*inspector.Schedule, p, k int, dist inspector.Dist) (*rts.Native, []float64, error) {
 	l := e.Loop(p, k, dist)
-	n, err := rts.NewNative(l)
+	n, err := newNative(l, scheds)
 	if err != nil {
 		return nil, nil, err
 	}

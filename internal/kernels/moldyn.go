@@ -112,8 +112,14 @@ func (m *Moldyn) RunSequential(steps int) (pos, vel []float64) {
 // NewNative wires the kernel onto the native engine. The Native's X is the
 // force array; positions and velocities live in the returned slices.
 func (m *Moldyn) NewNative(p, k int, dist inspector.Dist) (*rts.Native, []float64, []float64, error) {
+	return m.NewNativeFrom(nil, p, k, dist)
+}
+
+// NewNativeFrom is NewNative over pre-built schedules (e.g. served from a
+// schedule cache); a nil scheds runs the LightInspector as NewNative does.
+func (m *Moldyn) NewNativeFrom(scheds []*inspector.Schedule, p, k int, dist inspector.Dist) (*rts.Native, []float64, []float64, error) {
 	l := m.Loop(p, k, dist)
-	n, err := rts.NewNative(l)
+	n, err := newNative(l, scheds)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -83,8 +83,14 @@ func (m *MVM) RunSequential(steps int) (x []float64) {
 // a private partial-y, and the update folds partials into the home rows
 // before the vector op.
 func (m *MVM) NewNative(p, k int, dist inspector.Dist) (*rts.Native, error) {
+	return m.NewNativeFrom(nil, p, k, dist)
+}
+
+// NewNativeFrom is NewNative over pre-built schedules (e.g. served from a
+// schedule cache); a nil scheds runs the LightInspector as NewNative does.
+func (m *MVM) NewNativeFrom(scheds []*inspector.Schedule, p, k int, dist inspector.Dist) (*rts.Native, error) {
 	l := m.Loop(p, k, dist)
-	n, err := rts.NewNative(l)
+	n, err := newNative(l, scheds)
 	if err != nil {
 		return nil, err
 	}

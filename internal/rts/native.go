@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -61,6 +62,36 @@ func NewNative(l *Loop) (*Native, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewNativeFrom(l, scheds)
+}
+
+// NewNativeFrom prepares a native run over previously built schedules —
+// e.g. served from a schedule cache — skipping the LightInspector pass.
+// scheds must be the full processor set for the loop: one schedule per
+// processor in processor order, each built from the loop's configuration
+// and indirection arrays. Schedules are only read during the run, so the
+// same set may back any number of concurrent Natives.
+func NewNativeFrom(l *Loop, scheds []*inspector.Schedule) (*Native, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(scheds) != l.Cfg.P {
+		return nil, fmt.Errorf("rts: %d schedules for P = %d", len(scheds), l.Cfg.P)
+	}
+	for p, s := range scheds {
+		if s == nil {
+			return nil, fmt.Errorf("rts: schedule %d is nil", p)
+		}
+		if s.Proc != p {
+			return nil, fmt.Errorf("rts: schedule %d is for processor %d", p, s.Proc)
+		}
+		if s.Cfg != l.Cfg {
+			return nil, fmt.Errorf("rts: schedule %d built for %+v, loop wants %+v", p, s.Cfg, l.Cfg)
+		}
+		if s.NumRef != len(l.Ind) {
+			return nil, fmt.Errorf("rts: schedule %d has %d references, loop has %d", p, s.NumRef, len(l.Ind))
+		}
+	}
 	comp := l.Cost.comp()
 	n := &Native{
 		Loop:   l,
@@ -88,6 +119,18 @@ func (n *Native) verifyFail(p int, format string, args ...any) {
 // followed by the Update hook (if any) under a global barrier. It returns
 // an error if the mode's required callback is missing.
 func (n *Native) Run(steps int) error {
+	return n.RunContext(context.Background(), steps)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline expires, every worker stops at its next phase boundary or
+// blocking portion receive and RunContext returns ctx.Err(). Cancellation
+// cannot deadlock the token protocol — portion sends are buffered and
+// never block, so a worker that exits early only starves receivers, which
+// themselves select on ctx. After a cancelled run the rotated array holds
+// partial sums and token positions are unspecified; the Native must not be
+// reused.
+func (n *Native) RunContext(ctx context.Context, steps int) error {
 	l := n.Loop
 	switch l.Mode {
 	case Reduce:
@@ -100,6 +143,7 @@ func (n *Native) Run(steps int) error {
 		}
 	}
 	P := l.Cfg.P
+	done := ctx.Done()
 	if n.Verify {
 		n.verifyErrs = make([]error, P)
 	}
@@ -113,11 +157,16 @@ func (n *Native) Run(steps int) error {
 			go func(p int) {
 				defer wg.Done()
 				for step := 0; step < steps; step++ {
-					n.sweep(p)
+					if !n.sweep(p, done) {
+						return
+					}
 				}
 			}(p)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return n.verifyErr()
 	}
 	for step := 0; step < steps; step++ {
@@ -125,10 +174,13 @@ func (n *Native) Run(steps int) error {
 		for p := 0; p < P; p++ {
 			go func(p int) {
 				defer wg.Done()
-				n.sweep(p)
+				n.sweep(p, done)
 			}(p)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		wg.Add(P)
 		for p := 0; p < P; p++ {
 			go func(p int) {
@@ -137,6 +189,9 @@ func (n *Native) Run(steps int) error {
 			}(p)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return n.verifyErr()
 }
@@ -151,8 +206,10 @@ func (n *Native) verifyErr() error {
 	return nil
 }
 
-// sweep runs processor p through one timestep's k*P phases.
-func (n *Native) sweep(p int) {
+// sweep runs processor p through one timestep's k*P phases. done, when
+// non-nil, aborts the sweep at the next phase boundary or blocked portion
+// receive; sweep reports whether it ran to completion.
+func (n *Native) sweep(p int, done <-chan struct{}) bool {
 	l := n.Loop
 	cfg := l.Cfg
 	comp := l.Cost.comp()
@@ -163,11 +220,26 @@ func (n *Native) sweep(p int) {
 
 	scratch := make([]float64, len(l.Ind)*comp)
 	for ph := 0; ph < kp; ph++ {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		// The first k phases use home portions, pre-placed initially and
 		// re-consumed by the drain at the end of the previous sweep; later
 		// phases receive their portion from processor p+1, in phase order.
 		if ph >= cfg.K {
-			<-n.chans[p]
+			if done == nil {
+				<-n.chans[p]
+			} else {
+				select {
+				case <-n.chans[p]:
+				case <-done:
+					return false
+				}
+			}
 		}
 
 		prog := &s.Phases[ph]
@@ -243,6 +315,15 @@ func (n *Native) sweep(p int) {
 	// sweep's first k phases find them "pre-placed" — and so Update runs
 	// only after all contributions to the home block have landed.
 	for i := 0; i < cfg.K; i++ {
-		<-n.chans[p]
+		if done == nil {
+			<-n.chans[p]
+		} else {
+			select {
+			case <-n.chans[p]:
+			case <-done:
+				return false
+			}
+		}
 	}
+	return true
 }

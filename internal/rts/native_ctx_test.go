@@ -1,0 +1,169 @@
+package rts
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"irred/internal/inspector"
+)
+
+func ctxTestLoop(seed int64, p, k, iters, elems int) *Loop {
+	rng := rand.New(rand.NewSource(seed))
+	ind := make([][]int32, 1)
+	ind[0] = make([]int32, iters)
+	for i := range ind[0] {
+		ind[0][i] = int32(rng.Intn(elems))
+	}
+	return &Loop{
+		Cfg:  inspector.Config{P: p, K: k, NumIters: iters, NumElems: elems, Dist: inspector.Cyclic},
+		Mode: Reduce,
+		Ind:  ind,
+	}
+}
+
+func onesContrib(out []float64) ContribFunc {
+	_ = out
+	return func(p, i int, o []float64) { o[0] = 1 }
+}
+
+func TestNewNativeFromValidation(t *testing.T) {
+	l := ctxTestLoop(1, 4, 2, 200, 32)
+	scheds, err := l.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewNativeFrom(l, scheds[:2]); err == nil {
+		t.Fatal("accepted a truncated schedule set")
+	}
+	swapped := append([]*inspector.Schedule(nil), scheds...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := NewNativeFrom(l, swapped); err == nil {
+		t.Fatal("accepted schedules out of processor order")
+	}
+	withNil := append([]*inspector.Schedule(nil), scheds...)
+	withNil[2] = nil
+	if _, err := NewNativeFrom(l, withNil); err == nil {
+		t.Fatal("accepted a nil schedule")
+	}
+	other := ctxTestLoop(2, 4, 1, 200, 32) // same P, different k
+	otherScheds, err := other.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNativeFrom(l, otherScheds); err == nil {
+		t.Fatal("accepted schedules built for a different configuration")
+	}
+}
+
+// TestNewNativeFromEquivalence: a run over injected (cached) schedules is
+// bitwise identical to a run that built its own.
+func TestNewNativeFromEquivalence(t *testing.T) {
+	l := ctxTestLoop(3, 4, 2, 1000, 65)
+	built, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Contribs = onesContrib(nil)
+	if err := built.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	scheds, err := l.Schedules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := NewNativeFrom(l, scheds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected.Contribs = onesContrib(nil)
+	if err := injected.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range built.X {
+		if built.X[i] != injected.X[i] {
+			t.Fatalf("element %d: built %v, injected %v", i, built.X[i], injected.X[i])
+		}
+	}
+}
+
+// runCancelled starts a long run, cancels it, and asserts prompt return.
+func runCancelled(t *testing.T, n *Native, steps int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- n.RunContext(ctx, steps) }()
+	time.Sleep(20 * time.Millisecond) // let the sweep get going
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return; token protocol deadlocked")
+	}
+}
+
+func TestRunContextCancelPipelined(t *testing.T) {
+	// No Update hook → the pipelined (barrier-free) path.
+	n, err := NewNative(ctxTestLoop(4, 4, 2, 500, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = onesContrib(nil)
+	runCancelled(t, n, 1_000_000)
+}
+
+func TestRunContextCancelBarrier(t *testing.T) {
+	// An Update hook forces the per-step barrier path.
+	n, err := NewNative(ctxTestLoop(5, 4, 2, 500, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = onesContrib(nil)
+	n.Update = func(p, step int) {}
+	runCancelled(t, n, 1_000_000)
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	n, err := NewNative(ctxTestLoop(6, 4, 2, 500, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = onesContrib(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = n.RunContext(ctx, 1_000_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline honoured only after %v", elapsed)
+	}
+}
+
+func TestRunContextCompletesUncancelled(t *testing.T) {
+	// A background context changes nothing: same totals as Run.
+	l := ctxTestLoop(7, 2, 2, 400, 33)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = onesContrib(nil)
+	if err := n.RunContext(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range n.X {
+		total += v
+	}
+	if want := float64(2 * l.Cfg.NumIters); total != want {
+		t.Fatalf("total = %v, want %v", total, want)
+	}
+}

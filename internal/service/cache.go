@@ -1,0 +1,347 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"irred/internal/inspector"
+)
+
+// Cache is the LightInspector schedule cache: the serving-path embodiment
+// of the paper's amortization argument. The inspector runs once per
+// (indirection contents, strategy) pair — keyed by inspector.ScheduleKey —
+// and every later job with the same key reuses the full P-processor
+// schedule set. Entries are immutable after insertion (the native engine
+// only reads schedules), so one entry may back any number of concurrent
+// executions.
+//
+// The in-memory tier is a strict LRU bounded by entry count. When a
+// persistence directory is configured, every inserted entry is also written
+// to disk via the inspector/serialize codec; misses fall through to disk,
+// and a restarted daemon warms itself from the directory — turning the
+// paper's per-run amortization into cross-process amortization. Disk files
+// survive in-memory eviction.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	dir       string
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+	diskHits  int64
+}
+
+type cacheEntry struct {
+	key    string
+	scheds []*inspector.Schedule
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	DiskHits  int64 `json:"disk_hits"` // subset of Hits served from the persistence dir
+}
+
+// HitRatio reports hits/(hits+misses), 0 when idle.
+func (s CacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewCache builds a cache bounded to capacity in-memory entries. dir, when
+// non-empty, enables disk persistence: the directory is created if needed
+// and existing entries are loaded (most recent first) up to capacity, so a
+// restarted daemon starts warm.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		capacity: capacity,
+		dir:      dir,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+		if err := c.warm(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Get returns the schedule set for key and whether it was present. Memory
+// is consulted first, then the persistence directory; a disk hit is
+// promoted into memory.
+func (c *Cache) Get(key string) ([]*inspector.Schedule, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		scheds := el.Value.(*cacheEntry).scheds
+		c.mu.Unlock()
+		return scheds, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir == "" {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	scheds, err := readCacheFile(c.path(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.misses++
+		return nil, false
+	}
+	// Re-check: a concurrent Get may have promoted the same key already.
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).scheds, true
+	}
+	c.insertLocked(key, scheds)
+	c.hits++
+	c.diskHits++
+	return scheds, true
+}
+
+// Put inserts (or refreshes) the schedule set for key, evicting the least
+// recently used entries beyond capacity and persisting to disk when
+// configured. The caller must not mutate scheds afterwards.
+func (c *Cache) Put(key string, scheds []*inspector.Schedule) error {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).scheds = scheds
+		c.ll.MoveToFront(el)
+	} else {
+		c.insertLocked(key, scheds)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return writeCacheFile(c.path(key), scheds)
+}
+
+// insertLocked adds a fresh entry and evicts beyond capacity. Eviction
+// drops only the in-memory copy; the disk file, if any, remains and can
+// re-warm the entry later.
+func (c *Cache) insertLocked(key string, scheds []*inspector.Schedule) {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, scheds: scheds})
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+cacheFileExt)
+}
+
+// warm loads persisted entries newest-first until capacity.
+func (c *Cache) warm() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("service: cache warm: %w", err)
+	}
+	type cand struct {
+		key string
+		mod int64
+	}
+	var cands []cand
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, cacheFileExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{key: strings.TrimSuffix(name, cacheFileExt), mod: info.ModTime().UnixNano()})
+	}
+	// Newest first, so the LRU keeps the most recently written entries
+	// when the directory holds more than capacity.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].mod > cands[j-1].mod; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if len(cands) > c.capacity {
+		cands = cands[:c.capacity]
+	}
+	// Insert oldest-first so the newest ends up at the LRU front.
+	for i := len(cands) - 1; i >= 0; i-- {
+		scheds, err := readCacheFile(c.path(cands[i].key))
+		if err != nil {
+			continue // corrupt or partial file: skip, a future Put rewrites it
+		}
+		c.insertLocked(cands[i].key, scheds)
+	}
+	return nil
+}
+
+// Persistence file format: magic "IRSS" + version byte + varint schedule
+// count + per schedule a varint byte length and the inspector/serialize
+// encoding. Length prefixes keep decoding independent of the codec's
+// internal buffering.
+const (
+	cacheFileMagic   = "IRSS"
+	cacheFileVersion = 1
+	cacheFileExt     = ".irs"
+)
+
+func writeCacheFile(path string, scheds []*inspector.Schedule) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: cache persist: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err := bw.WriteString(cacheFileMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(cacheFileVersion); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(vbuf[:], v)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	if err := putVarint(int64(len(scheds))); err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	for _, s := range scheds {
+		body.Reset()
+		if _, err := s.WriteTo(&body); err != nil {
+			return err
+		}
+		if err := putVarint(int64(body.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(body.Bytes()); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ok = true
+	return os.Rename(tmp, path)
+}
+
+func readCacheFile(path string) ([]*inspector.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(cacheFileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("service: cache file %s: %w", path, err)
+	}
+	if string(magic) != cacheFileMagic {
+		return nil, fmt.Errorf("service: cache file %s: bad magic %q", path, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != cacheFileVersion {
+		return nil, fmt.Errorf("service: cache file %s: unsupported version %d", path, ver)
+	}
+	count, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 || count > 4096 {
+		return nil, fmt.Errorf("service: cache file %s: %d schedules", path, count)
+	}
+	scheds := make([]*inspector.Schedule, count)
+	for i := range scheds {
+		ln, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if ln < 0 || ln > 1<<31 {
+			return nil, fmt.Errorf("service: cache file %s: schedule %d length %d", path, i, ln)
+		}
+		raw := make([]byte, ln)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		// ReadSchedule runs the full structural Check, so a corrupt or
+		// tampered file cannot produce a racy schedule.
+		s, err := inspector.ReadSchedule(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("service: cache file %s: schedule %d: %w", path, i, err)
+		}
+		scheds[i] = s
+	}
+	// The set must be a coherent P-processor family.
+	p0 := scheds[0].Cfg.P
+	if int(count) != p0 {
+		return nil, fmt.Errorf("service: cache file %s: %d schedules for P = %d", path, count, p0)
+	}
+	for i, s := range scheds {
+		if s.Proc != i || s.Cfg != scheds[0].Cfg {
+			return nil, fmt.Errorf("service: cache file %s: schedule %d out of order", path, i)
+		}
+	}
+	return scheds, nil
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"irred/internal/inspector"
+)
+
+// testSchedules builds a full P-processor schedule set over random
+// indirection arrays.
+func testSchedules(t *testing.T, seed int64, p, k, iters, elems int) (inspector.Config, [][]int32, []*inspector.Schedule) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := inspector.Config{P: p, K: k, NumIters: iters, NumElems: elems, Dist: inspector.Cyclic}
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	scheds := make([]*inspector.Schedule, p)
+	for q := 0; q < p; q++ {
+		s, err := inspector.Light(cfg, q, ind...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds[q] = s
+	}
+	return cfg, ind, scheds
+}
+
+func TestCacheLRUAndCounters(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 3)
+	for i := range keys {
+		cfg, ind, scheds := testSchedules(t, int64(i+1), 2, 2, 50, 16)
+		keys[i] = inspector.ScheduleKey(cfg, ind...)
+		if err := c.Put(keys[i], scheds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2: key 0 must have been evicted, 1 and 2 retained.
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("evicted entry still present")
+	}
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Fatal("retained entry missing")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Fatal("retained entry missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want entries 2, evictions 1, hits 2, misses 1", st)
+	}
+	// Getting key 1 made it most-recent; inserting a new key must evict 2.
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Fatal("entry missing")
+	}
+	cfg, ind, scheds := testSchedules(t, 9, 2, 2, 50, 16)
+	if err := c.Put(inspector.ScheduleKey(cfg, ind...), scheds); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keys[2]); ok {
+		t.Fatal("LRU order wrong: key 2 should have been evicted")
+	}
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Fatal("LRU order wrong: key 1 should have survived")
+	}
+}
+
+func TestCachePersistenceWarmsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg, ind, scheds := testSchedules(t, 7, 4, 2, 200, 33)
+	key := inspector.ScheduleKey(cfg, ind...)
+
+	c1, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key, scheds); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory starts warm: the first Get is
+	// a hit with no inspector run anywhere in sight.
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Entries != 1 {
+		t.Fatalf("restarted cache has %d entries, want 1", st.Entries)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("restarted cache missed a persisted key")
+	}
+	if len(got) != cfg.P {
+		t.Fatalf("loaded %d schedules, want %d", len(got), cfg.P)
+	}
+	for p, s := range got {
+		if s.Proc != p || s.Cfg != cfg {
+			t.Fatalf("schedule %d loaded wrong: proc %d cfg %+v", p, s.Proc, s.Cfg)
+		}
+		if err := s.Check(ind...); err != nil {
+			t.Fatalf("loaded schedule %d fails invariants: %v", p, err)
+		}
+	}
+	if st := c2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after warm get = %+v", st)
+	}
+}
+
+func TestCacheDiskFallthroughAfterEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA, indA, schedsA := testSchedules(t, 11, 2, 1, 60, 20)
+	cfgB, indB, schedsB := testSchedules(t, 12, 2, 1, 60, 20)
+	keyA := inspector.ScheduleKey(cfgA, indA...)
+	keyB := inspector.ScheduleKey(cfgB, indB...)
+	if err := c.Put(keyA, schedsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyB, schedsB); err != nil {
+		t.Fatal(err)
+	}
+	// keyA was evicted from memory but survives on disk.
+	if _, ok := c.Get(keyA); !ok {
+		t.Fatal("disk fallthrough failed for evicted entry")
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want one disk hit", st)
+	}
+}
+
+func TestCacheIgnoresCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.irs"), []byte("not a schedule"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("corrupt file loaded: %+v", st)
+	}
+	if _, ok := c.Get("deadbeef"); ok {
+		t.Fatal("corrupt file served")
+	}
+}
+
+func TestCacheFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg, ind, scheds := testSchedules(t, 21, 3, 2, 150, 41)
+	path := filepath.Join(dir, "x.irs")
+	if err := writeCacheFile(path, scheds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scheds) {
+		t.Fatalf("got %d schedules, want %d", len(got), len(scheds))
+	}
+	for p := range got {
+		if got[p].Cfg != cfg || got[p].Proc != p || got[p].BufLen != scheds[p].BufLen {
+			t.Fatalf("schedule %d header changed", p)
+		}
+		if err := got[p].Check(ind...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

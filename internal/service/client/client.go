@@ -1,0 +1,163 @@
+// Package client is the Go client for the irredd reduction service: job
+// submission, polling, cancellation, and metrics over the HTTP/JSON API.
+// It is used by the service end-to-end tests, the CI smoke job, and
+// irredrun -server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"irred/internal/service"
+)
+
+// Client talks to one irredd instance.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP is the underlying client; defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New builds a client for the given base URL.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// IsShed reports whether the error is the service's 429 load-shed answer.
+func IsShed(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// do issues a request and decodes the JSON answer into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Submit enqueues a job and returns immediately with its queued status.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitWait enqueues a job and blocks until it completes (server-side
+// wait), returning the terminal status including the result.
+func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a job's status including its result when done.
+func (c *Client) Get(ctx context.Context, id string) (*service.JobStatus, error) {
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case service.StateDone, service.StateFailed, service.StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the server counters.
+func (c *Client) Metrics(ctx context.Context) (*service.Snapshot, error) {
+	var snap service.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

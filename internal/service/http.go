@@ -1,0 +1,108 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxJobBody bounds a job submission (raw indirection arrays can be large,
+// but not unbounded).
+const maxJobBody = 256 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202; ?wait=1 blocks, 200)
+//	GET    /v1/jobs/{id}        job status + result (?result=0 to omit)
+//	POST   /v1/jobs/{id}/cancel request cancellation
+//	DELETE /v1/jobs/{id}        same as cancel
+//	GET    /healthz             liveness
+//	GET    /metrics             expvar-style JSON counters
+//
+// A full admission queue answers 429 with Retry-After, the explicit
+// load-shedding contract.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.Status(true))
+		case <-r.Context().Done():
+			// The caller went away; the job keeps running and remains
+			// queryable by id.
+			writeJSON(w, http.StatusAccepted, j.Status(false))
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status(false))
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	includeResult := r.URL.Query().Get("result") != "0"
+	writeJSON(w, http.StatusOK, j.Status(includeResult))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status(false))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}

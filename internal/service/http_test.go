@@ -1,0 +1,256 @@
+// End-to-end tests over the real HTTP stack: httptest server, JSON wire
+// format, and the Go client — the same path cmd/irredd serves.
+package service_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"irred/internal/service"
+	"irred/internal/service/client"
+)
+
+func startServer(t *testing.T, opt service.Options) (*service.Service, *client.Client) {
+	t.Helper()
+	svc, err := service.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, client.New(ts.URL)
+}
+
+func httpRawSpec(seed int64, p, k, iters, elems, steps int) service.JobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	w := make([]float64, iters)
+	for i := range w {
+		w[i] = float64(1 + rng.Intn(8))
+	}
+	return service.JobSpec{
+		NumIters: iters,
+		NumElems: elems,
+		Ind:      ind,
+		Contrib:  &service.ContribSpec{Kind: "weights", Weights: w},
+		P:        p, K: k, Steps: steps,
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 2})
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	spec := httpRawSpec(31, 4, 2, 2000, 129, 2)
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Async submit + poll.
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateDone {
+		t.Fatalf("job %s: %s", fin.State, fin.Error)
+	}
+	if len(fin.Result) != len(want) {
+		t.Fatalf("result len %d, want %d", len(fin.Result), len(want))
+	}
+	for i := range want {
+		if fin.Result[i] != want[i] {
+			t.Fatalf("element %d: got %v, want %v (bitwise)", i, fin.Result[i], want[i])
+		}
+	}
+	if fin.ResultSHA256 != service.HashResult(want) {
+		t.Fatal("result hash mismatch over the wire")
+	}
+
+	// Synchronous submit of the same spec: must hit the schedule cache and
+	// produce the identical result.
+	again, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != service.StateDone {
+		t.Fatalf("resubmit: %s: %s", again.State, again.Error)
+	}
+	if !again.CacheHit {
+		t.Fatal("resubmitting identical arrays + strategy must hit the schedule cache")
+	}
+	if again.ResultSHA256 != fin.ResultSHA256 {
+		t.Fatal("cache-hit run diverged from cold run")
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cache.Hits < 1 || snap.Cache.Misses != 1 {
+		t.Fatalf("metrics cache = %+v, want ≥1 hit and exactly 1 miss", snap.Cache)
+	}
+	if snap.Jobs["done"] != 2 {
+		t.Fatalf("metrics jobs = %+v", snap.Jobs)
+	}
+	if snap.Latency.Count != 2 {
+		t.Fatalf("latency = %+v", snap.Latency)
+	}
+}
+
+// TestHTTPRestartPersistence is the acceptance criterion: with -cache-dir
+// persistence, a restarted daemon answers the same submission with a
+// schedule cache hit — no second LightInspector run.
+func TestHTTPRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := httpRawSpec(32, 4, 2, 1500, 97, 1)
+
+	var coldSum string
+	{
+		_, c := startServer(t, service.Options{Workers: 1, CacheDir: dir})
+		st, err := c.SubmitWait(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != service.StateDone || st.CacheHit {
+			t.Fatalf("cold run: state %s cacheHit %v", st.State, st.CacheHit)
+		}
+		coldSum = st.ResultSHA256
+	}
+
+	// "Restart": a brand-new service over the same cache directory.
+	svc, c := startServer(t, service.Options{Workers: 1, CacheDir: dir})
+	if st := svc.Cache().Stats(); st.Entries != 1 {
+		t.Fatalf("restarted cache holds %d entries, want 1 warmed from disk", st.Entries)
+	}
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("warm run: %s: %s", st.State, st.Error)
+	}
+	if !st.CacheHit {
+		t.Fatal("restarted daemon must serve the schedule from the persisted cache")
+	}
+	if st.ResultSHA256 != coldSum {
+		t.Fatal("post-restart result diverged")
+	}
+	if cs := svc.Cache().Stats(); cs.Misses != 0 {
+		t.Fatalf("restarted cache ran the inspector anyway: %+v", cs)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	svc, c := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	long := httpRawSpec(33, 4, 2, 500, 64, 1)
+	long.Steps = 1_000_000
+	st, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := svc.Job(st.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != service.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != service.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", fin.State)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 1, QueueLen: 1})
+	ctx := context.Background()
+
+	// Unknown job id → 404.
+	if _, err := c.Get(ctx, "j999999"); err == nil {
+		t.Fatal("expected 404 for unknown job")
+	} else if se, ok := err.(*client.StatusError); !ok || se.Code != 404 {
+		t.Fatalf("err = %v, want 404 StatusError", err)
+	}
+
+	// Invalid spec → 400.
+	if _, err := c.Submit(ctx, service.JobSpec{Kernel: "nope", P: 2, K: 1}); err == nil {
+		t.Fatal("expected 400 for invalid spec")
+	} else if se, ok := err.(*client.StatusError); !ok || se.Code != 400 {
+		t.Fatalf("err = %v, want 400 StatusError", err)
+	}
+
+	// Saturate the single worker + single queue slot, then expect a shed.
+	long := httpRawSpec(34, 4, 2, 500, 64, 1)
+	long.Steps = 1_000_000
+	first, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Get(ctx, first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatalf("queue slot should accept: %v", err)
+	}
+	_, err = c.Submit(ctx, long)
+	if !client.IsShed(err) {
+		t.Fatalf("err = %v, want a 429 shed", err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, id, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned when the admission queue is at capacity: the
+// service sheds load with an explicit error (HTTP 429) instead of letting
+// latency collapse under unbounded queueing.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrClosed is returned for submissions after shutdown began.
+var ErrClosed = errors.New("service: closed")
+
+// pool runs jobs on a fixed set of worker goroutines behind a bounded
+// admission queue. Submission never blocks: a full queue is a shed, not a
+// wait. Each worker owns one rts native run at a time, so at most Workers
+// reductions execute concurrently regardless of offered load.
+type pool struct {
+	queue chan *Job
+	run   func(*Job)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, queueLen int, run func(*Job)) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	p := &pool{queue: make(chan *Job, queueLen), run: run}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				p.run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job or sheds it. The lock is held across the send so
+// close cannot race the channel close against a send.
+func (p *pool) submit(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth reports the number of queued-but-not-yet-running jobs.
+func (p *pool) depth() int { return len(p.queue) }
+
+// close stops admissions, lets workers drain the queue (cancelled jobs
+// complete immediately), and waits for them to exit.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

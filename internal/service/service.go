@@ -1,0 +1,396 @@
+// Package service is the reduction-as-a-service layer: a job-oriented
+// server over the paper's execution strategy. It turns the paper's
+// amortization economics — LightInspector runs once, its schedules serve
+// ~100 executor iterations, and the communication schedule is independent
+// of the values flowing through — into a long-running daemon that caches
+// schedules across *requests*: any job arriving with indirection arrays
+// and strategy already seen reuses the cached P-processor schedule set and
+// goes straight to execution on the native engine.
+//
+// The package has four parts: the schedule Cache (LRU + optional disk
+// persistence via inspector/serialize), the executor pool (bounded
+// concurrency, bounded admission queue, per-job context cancellation
+// plumbed into the rts native run loops), the HTTP API (http.go, exposed by
+// cmd/irredd), and the client (subpackage client) used by tests and
+// irredrun -server.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"irred/internal/inspector"
+	"irred/internal/kernels"
+	"irred/internal/mesh"
+	"irred/internal/moldyn"
+	"irred/internal/rts"
+	"irred/internal/sparse"
+)
+
+// ShutdownGrace is how long graceful HTTP shutdown waits for in-flight
+// requests before giving up (daemon and core.Serve both honour it).
+const ShutdownGrace = 10 * time.Second
+
+// Options configures a Service. Zero values pick serving-friendly defaults.
+type Options struct {
+	// Workers is the executor pool size: at most this many reductions run
+	// concurrently. Default: GOMAXPROCS/2, at least 1.
+	Workers int
+	// QueueLen bounds the admission queue; submissions beyond it are shed
+	// with ErrQueueFull. Default 64.
+	QueueLen int
+	// CacheEntries bounds the in-memory schedule cache. Default 128.
+	CacheEntries int
+	// CacheDir, when non-empty, persists cached schedules to disk and warms
+	// the cache from it on startup.
+	CacheDir string
+	// MaxFinished bounds how many terminal jobs are retained for status
+	// queries; older ones are forgotten. Default 1024.
+	MaxFinished int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0) / 2
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
+	}
+	if o.QueueLen < 1 {
+		o.QueueLen = 64
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 128
+	}
+	if o.MaxFinished < 1 {
+		o.MaxFinished = 1024
+	}
+	return o
+}
+
+// Service accepts reduction jobs, serves schedules from the cache, and
+// executes on the native engine under bounded concurrency.
+type Service struct {
+	opt   Options
+	cache *Cache
+	pool  *pool
+	met   *metrics
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job ids, oldest first, for pruning
+	nextID   int64
+	closed   bool
+}
+
+// New builds a Service and starts its worker pool.
+func New(opt Options) (*Service, error) {
+	opt = opt.withDefaults()
+	cache, err := NewCache(opt.CacheEntries, opt.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opt:   opt,
+		cache: cache,
+		met:   newMetrics(),
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+	}
+	s.pool = newPool(opt.Workers, opt.QueueLen, s.runJob)
+	return s, nil
+}
+
+// Cache exposes the schedule cache (stats, warming).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Submit validates a spec and enqueues it. It returns ErrQueueFull when
+// the admission queue is at capacity and ErrClosed after shutdown.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("service: invalid job: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(spec.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j := &Job{
+		ID:      id,
+		Spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.pool.submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		cancel()
+		s.met.shedJob()
+		return nil, err
+	}
+	s.met.submittedJob()
+	return j, nil
+}
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job; it reports whether the id exists.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if ok {
+		j.Cancel()
+	}
+	return ok
+}
+
+// Close stops admissions, cancels outstanding jobs, and waits for workers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.pool.close()
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Snapshot {
+	jobs, busy, lat := s.met.snapshot()
+	cs := s.cache.Stats()
+	return Snapshot{
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Jobs:          jobs,
+		Cache:         cs,
+		CacheHitRatio: cs.HitRatio(),
+		QueueDepth:    s.pool.depth(),
+		Workers:       s.opt.Workers,
+		WorkersBusy:   busy,
+		Latency:       lat,
+	}
+}
+
+// runJob is the worker entry: it drives one job through its lifecycle.
+func (s *Service) runJob(j *Job) {
+	// A job cancelled (or expired) while queued completes immediately,
+	// without charging a worker.
+	if err := j.ctx.Err(); err != nil {
+		s.finishJob(j, StateQueued, nil, "", false, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.met.startJob()
+
+	result, hit, key, err := s.execute(j)
+	j.mu.Lock()
+	j.key = key
+	j.cacheHit = hit
+	j.mu.Unlock()
+	s.finishJob(j, StateRunning, result, key, hit, err)
+}
+
+// finishJob drives a job to its terminal state and releases its context.
+func (s *Service) finishJob(j *Job, from State, result []float64, key string, hit bool, err error) {
+	to := StateDone
+	var msg string
+	switch {
+	case err == nil:
+	case j.ctx.Err() != nil:
+		// Cancellation or deadline beat (or caused) the failure.
+		to = StateCancelled
+		msg = j.ctx.Err().Error()
+	default:
+		to = StateFailed
+		msg = err.Error()
+	}
+	j.mu.Lock()
+	j.state = to
+	j.errMsg = msg
+	if to == StateDone {
+		j.result = result
+		j.resultSum = HashResult(result)
+	}
+	j.finished = time.Now()
+	total := j.finished.Sub(j.created)
+	j.mu.Unlock()
+	j.cancel() // release the context's timer resources
+	close(j.done)
+	s.met.finishJob(from, to, total)
+	s.pruneFinished(j.ID)
+}
+
+// pruneFinished retains at most MaxFinished terminal jobs.
+func (s *Service) pruneFinished(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.opt.MaxFinished {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// schedules serves the loop's schedule set from the cache, running the
+// LightInspector only on a miss. Concurrent misses on the same key may both
+// inspect; the duplicate Put is harmless (entries are content-determined).
+func (s *Service) schedules(l *rts.Loop) ([]*inspector.Schedule, bool, string, error) {
+	key := inspector.ScheduleKey(l.Cfg, l.Ind...)
+	if scheds, ok := s.cache.Get(key); ok {
+		return scheds, true, key, nil
+	}
+	scheds, err := l.Schedules()
+	if err != nil {
+		return nil, false, key, err
+	}
+	if err := s.cache.Put(key, scheds); err != nil {
+		// Persistence failure degrades to in-memory-only; the job itself
+		// proceeds. (Put inserts in memory before touching disk.)
+		_ = err
+	}
+	return scheds, false, key, nil
+}
+
+// execute builds the job's loop, obtains schedules through the cache, and
+// runs the reduction on the native engine under the job's context.
+func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err error) {
+	spec := &j.Spec
+	dist, err := spec.dist()
+	if err != nil {
+		return nil, false, "", err
+	}
+	steps := spec.steps()
+
+	if spec.IsRaw() {
+		l := &rts.Loop{
+			Cfg: inspector.Config{
+				P: spec.P, K: spec.K,
+				NumIters: spec.NumIters,
+				NumElems: spec.NumElems,
+				Dist:     dist,
+			},
+			Mode: rts.Reduce,
+			Ind:  spec.Ind,
+		}
+		scheds, hit, key, err := s.schedules(l)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n, err := rts.NewNativeFrom(l, scheds)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n.Contribs = spec.contrib()
+		if err := n.RunContext(j.ctx, steps); err != nil {
+			return nil, hit, key, err
+		}
+		return n.X, hit, key, nil
+	}
+
+	switch spec.Kernel {
+	case "mvm":
+		class := sparse.ClassS
+		switch strings.ToUpper(spec.Dataset) {
+		case "W":
+			class = sparse.ClassW
+		case "A":
+			class = sparse.ClassA
+		case "B":
+			class = sparse.ClassB
+		}
+		mv := kernels.NewMVM(sparse.Generate(class, uint64(spec.Seed)))
+		l := mv.Loop(spec.P, spec.K, dist)
+		scheds, hit, key, err := s.schedules(l)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n, err := mv.NewNativeFrom(scheds, spec.P, spec.K, dist)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		if err := n.RunContext(j.ctx, steps); err != nil {
+			return nil, hit, key, err
+		}
+		return n.X, hit, key, nil
+	case "euler":
+		nodes, edges := mesh.Paper2K()
+		if strings.ToLower(spec.Dataset) == "10k" {
+			nodes, edges = mesh.Paper10K()
+		}
+		eu := kernels.NewEuler(mesh.Generate(nodes, edges, spec.Seed), spec.Seed)
+		l := eu.Loop(spec.P, spec.K, dist)
+		scheds, hit, key, err := s.schedules(l)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n, q, err := eu.NewNativeFrom(scheds, spec.P, spec.K, dist)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		if err := n.RunContext(j.ctx, steps); err != nil {
+			return nil, hit, key, err
+		}
+		return q, hit, key, nil
+	case "moldyn":
+		var sys *moldyn.System
+		if strings.ToLower(spec.Dataset) == "10k" {
+			sys = moldyn.Paper10K(spec.Seed)
+		} else {
+			sys = moldyn.Paper2K(spec.Seed)
+		}
+		md := kernels.NewMoldyn(sys)
+		l := md.Loop(spec.P, spec.K, dist)
+		scheds, hit, key, err := s.schedules(l)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n, pos, _, err := md.NewNativeFrom(scheds, spec.P, spec.K, dist)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		if err := n.RunContext(j.ctx, steps); err != nil {
+			return nil, hit, key, err
+		}
+		return pos, hit, key, nil
+	default:
+		return nil, false, "", fmt.Errorf("service: unknown kernel %q", spec.Kernel)
+	}
+}

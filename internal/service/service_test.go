@@ -1,0 +1,321 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"irred/internal/kernels"
+	"irred/internal/sparse"
+)
+
+// rawSpec builds a raw reduction job with integral weights: contributions
+// are exactly representable, so floating-point addition is exact and the
+// parallel result must equal the sequential reference bit for bit,
+// whatever the summation order.
+func rawSpec(seed int64, p, k, iters, elems, steps int) JobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	w := make([]float64, iters)
+	for i := range w {
+		w[i] = float64(1 + rng.Intn(8))
+	}
+	return JobSpec{
+		NumIters: iters,
+		NumElems: elems,
+		Ind:      ind,
+		Contrib:  &ContribSpec{Kind: "weights", Weights: w},
+		P:        p, K: k, Steps: steps,
+	}
+}
+
+func newTestService(t *testing.T, opt Options) *Service {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// waitJob blocks until the job is terminal, with a hard timeout so a
+// broken service fails fast instead of hanging the suite.
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in %s", j.ID, j.State())
+	}
+	return j.Status(true)
+}
+
+func TestRawJobMatchesSequentialBitwise(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	spec := rawSpec(1, 4, 2, 3000, 257, 3)
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	if len(st.Result) != len(want) {
+		t.Fatalf("result len %d, want %d", len(st.Result), len(want))
+	}
+	for i := range want {
+		if st.Result[i] != want[i] {
+			t.Fatalf("element %d: got %v, want %v (bitwise)", i, st.Result[i], want[i])
+		}
+	}
+	if st.ResultSHA256 != HashResult(want) {
+		t.Fatal("result hash does not match sequential reference")
+	}
+}
+
+func TestNamedKernelMatchesSequential(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	j, err := s.Submit(JobSpec{Kernel: "mvm", Dataset: "S", Seed: 1, P: 4, K: 2, Dist: "block", Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	mv := kernels.NewMVM(sparse.Generate(sparse.ClassS, 1))
+	want := mv.RunSequential(3)
+	if len(st.Result) != len(want) {
+		t.Fatalf("result len %d, want %d", len(st.Result), len(want))
+	}
+	for i := range want {
+		d := st.Result[i] - want[i]
+		if d < 0 {
+			d = -d
+		}
+		scale := 1.0
+		if want[i] < 0 {
+			scale = 1 - want[i]
+		} else {
+			scale = 1 + want[i]
+		}
+		if d/scale > 1e-10 {
+			t.Fatalf("element %d: got %v, want %v", i, st.Result[i], want[i])
+		}
+	}
+}
+
+func TestScheduleCacheReuseAcrossJobs(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	spec := rawSpec(2, 4, 2, 1000, 101, 2)
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitJob(t, first)
+	if st1.State != StateDone || st1.CacheHit {
+		t.Fatalf("first job: state %s cacheHit %v", st1.State, st1.CacheHit)
+	}
+	second, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitJob(t, second)
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("second job: state %s cacheHit %v, want a schedule cache hit", st2.State, st2.CacheHit)
+	}
+	if st1.ScheduleKey == "" || st1.ScheduleKey != st2.ScheduleKey {
+		t.Fatalf("schedule keys differ: %q vs %q", st1.ScheduleKey, st2.ScheduleKey)
+	}
+	if st1.ResultSHA256 != st2.ResultSHA256 {
+		t.Fatal("same job produced different results")
+	}
+	cs := s.Cache().Stats()
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss + 1 hit", cs)
+	}
+	// A different strategy over the same arrays is a different key.
+	spec.K = 1
+	third, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, third); st.CacheHit {
+		t.Fatal("different strategy must not hit the cache")
+	}
+}
+
+// longSpec is a job that runs for many seconds if not cancelled: a small
+// sweep repeated a million times, so cancellation has thousands of phase
+// boundaries per second to land on.
+func longSpec() JobSpec {
+	sp := rawSpec(3, 4, 2, 500, 64, 1)
+	sp.Steps = 1_000_000
+	return sp
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	j, err := s.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up, then cancel mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Cancel(j.ID) {
+		t.Fatal("Cancel reported unknown job")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled job did not stop; worker still held")
+	}
+	if st := j.Status(false); st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	// The worker must be free again: a quick job completes.
+	quick, err := s.Submit(rawSpec(4, 2, 1, 100, 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, quick); st.State != StateDone {
+		t.Fatalf("post-cancel job: %s (%s) — worker not released", st.State, st.Error)
+	}
+}
+
+func TestDeadlineExpiryCancelsJob(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	sp := longSpec()
+	sp.TimeoutMS = 50
+	j, err := s.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("deadline-bound job did not stop")
+	}
+	if st := j.Status(false); st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled on deadline", st.State)
+	}
+}
+
+func TestQueueSheddingUnderLoad(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, QueueLen: 1})
+	running, err := s.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for running.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := s.Submit(longSpec())
+	if err != nil {
+		t.Fatalf("queue slot should have accepted the second job: %v", err)
+	}
+	if _, err := s.Submit(longSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submission: err = %v, want ErrQueueFull", err)
+	}
+	snap := s.Metrics()
+	if snap.Jobs["shed"] != 1 {
+		t.Fatalf("shed = %d, want 1", snap.Jobs["shed"])
+	}
+	if snap.QueueDepth != 1 {
+		t.Fatalf("queue depth = %d, want 1", snap.QueueDepth)
+	}
+	running.Cancel()
+	queued.Cancel()
+	<-running.Done()
+	<-queued.Done()
+	// The queued job was cancelled before a worker ran it.
+	if st := queued.Status(false); st.State != StateCancelled {
+		t.Fatalf("queued job state = %s", st.State)
+	}
+}
+
+func TestInvalidSpecsRejected(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	bad := []JobSpec{
+		{Kernel: "mvm", Dataset: "Z", P: 2, K: 1},
+		{Kernel: "nope", Dataset: "S", P: 2, K: 1},
+		{Kernel: "mvm", Dataset: "S", P: 0, K: 1},
+		{Kernel: "mvm", Dataset: "S", P: 2, K: 0},
+		{Kernel: "mvm", Dataset: "S", P: 2, K: 1, Dist: "diagonal"},
+		{NumIters: 4, NumElems: 8, P: 2, K: 1},                                                            // raw without ind
+		{NumIters: 4, NumElems: 8, Ind: [][]int32{{0, 1, 2, 9}}, Contrib: &ContribSpec{Kind: "ones"}, P: 2, K: 1}, // out of range
+		{NumIters: 2, NumElems: 8, Ind: [][]int32{{0, 1}}, Contrib: &ContribSpec{Kind: "pair", Weights: []float64{1, 1}}, P: 2, K: 1}, // pair needs 2 refs
+	}
+	for i, sp := range bad {
+		if _, err := s.Submit(sp); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, sp)
+		}
+	}
+}
+
+func TestMetricsLatencyAndStates(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(rawSpec(int64(10+i), 2, 2, 500, 77, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+	}
+	snap := s.Metrics()
+	if snap.Jobs["done"] != 5 || snap.Jobs["submitted"] != 5 {
+		t.Fatalf("jobs = %+v", snap.Jobs)
+	}
+	if snap.Jobs["running"] != 0 || snap.Jobs["queued"] != 0 {
+		t.Fatalf("gauges not drained: %+v", snap.Jobs)
+	}
+	if snap.Latency.Count != 5 || snap.Latency.P95MS < snap.Latency.P50MS {
+		t.Fatalf("latency = %+v", snap.Latency)
+	}
+	// 5 jobs with distinct seeds → 5 distinct keys → all misses.
+	if snap.CacheHitRatio != 0 || snap.Cache.Misses != 5 {
+		t.Fatalf("cache = %+v ratio %v", snap.Cache, snap.CacheHitRatio)
+	}
+}
+
+func TestFinishedJobPruning(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, MaxFinished: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(rawSpec(int64(20+i), 2, 1, 50, 16, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+		ids = append(ids, j.ID)
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Fatal("oldest finished job not pruned")
+	}
+	if _, ok := s.Job(ids[3]); !ok {
+		t.Fatal("newest finished job pruned")
+	}
+}
