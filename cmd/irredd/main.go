@@ -11,6 +11,12 @@
 //
 //	irredd -addr :8321 -workers 4 -queue 64 -cache-entries 128 -cache-dir /var/cache/irredd
 //
+// With -debug-addr a second loopback listener serves pprof, expvar, and the
+// phase-level span trace:
+//
+//	irredd -addr :8321 -debug-addr 127.0.0.1:8322
+//	curl -s 'localhost:8322/debug/trace?format=table'
+//
 //	curl -s localhost:8321/healthz
 //	curl -s -X POST 'localhost:8321/v1/jobs?wait=1' \
 //	     -d '{"kernel":"mvm","dataset":"S","p":4,"k":2,"steps":5}'
@@ -19,11 +25,13 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +45,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue bound; beyond it jobs are shed with 429")
 	cacheEntries := flag.Int("cache-entries", 128, "in-memory schedule cache entries (LRU)")
 	cacheDir := flag.String("cache-dir", "", "persist cached schedules here and warm from it on start")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, and /debug/trace on this extra listener (empty = off)")
+	traceSpans := flag.Int("trace-spans", 0, "phase-trace ring capacity in spans (0 = default, <0 = disable tracing)")
 	flag.Parse()
 
 	svc, err := service.New(service.Options{
@@ -44,6 +54,7 @@ func main() {
 		QueueLen:     *queue,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		TraceSpans:   *traceSpans,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
@@ -66,6 +77,34 @@ func main() {
 	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The debug listener is separate from the API listener on purpose: it
+	// can stay loopback-only (or firewalled) while the API is exposed, and
+	// profiling traffic never competes with job submissions for the same
+	// accept queue.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredd: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		expvar.Publish("irredd", expvar.Func(func() any { return svc.Metrics() }))
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dmux.Handle("/debug/trace", svc.TraceHandler())
+		log.Printf("irredd: debug listener on http://%s", dln.Addr())
+		go func() {
+			dsrv := &http.Server{Handler: dmux}
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("irredd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,340 @@
+// Command irredload is a closed-loop load generator and soak harness for
+// irredd. It drives a configurable mix of named kernels (mvm, euler,
+// moldyn) through the HTTP API with N concurrent workers, optionally
+// paced to a target aggregate QPS, and reports a latency histogram with
+// percentiles, the cache-hit ratio observed server-side, and 429
+// load-shed counts.
+//
+// It doubles as a correctness soak: the native engine is deterministic
+// (per-element accumulation order is fixed by the portion rotation), so
+// the result SHA-256 of a given (kernel, dataset, seed, P, k, steps)
+// job is stable. irredload remembers the first SHA it sees per job key
+// and counts any later disagreement as a mismatch; a nonzero mismatch
+// count fails the run. CI runs this against a race-detector build of
+// irredd.
+//
+//	irredload -addr http://127.0.0.1:8321 -duration 10s -concurrency 8
+//	irredload -mix mvm=1,euler=2,moldyn=1 -qps 50 -duration 30s -json
+//
+// Exit status: 0 on a clean run, 1 on result mismatches or job failures,
+// 2 on usage/connection errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"irred/internal/service"
+	"irred/internal/service/client"
+)
+
+// jobKey identifies a deterministic job; equal keys must yield equal
+// result hashes.
+type jobKey struct {
+	Kernel  string
+	Dataset string
+	Seed    int64
+	P, K    int
+	Steps   int
+}
+
+// spec builds the wire JobSpec for the key.
+func (k jobKey) spec() service.JobSpec {
+	return service.JobSpec{
+		Kernel:  k.Kernel,
+		Dataset: k.Dataset,
+		Seed:    k.Seed,
+		P:       k.P, K: k.K, Steps: k.Steps,
+	}
+}
+
+// mixEntry is one kernel with a selection weight.
+type mixEntry struct {
+	kernel string
+	weight int
+}
+
+// parseMix parses "mvm=1,euler=2" into a weighted kernel list.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(wstr); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		switch name {
+		case "mvm", "euler", "moldyn":
+		default:
+			return nil, fmt.Errorf("unknown kernel %q (want mvm, euler, or moldyn)", name)
+		}
+		if w > 0 {
+			mix = append(mix, mixEntry{kernel: name, weight: w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return mix, nil
+}
+
+// pick selects a kernel by weight.
+func pick(mix []mixEntry, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.kernel
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].kernel
+}
+
+// histogram is a fixed-bucket log-spaced latency histogram. Percentiles
+// are computed from the raw samples (bounded by -max-samples, reservoir
+// beyond that) so small runs stay exact.
+type histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    int64
+	max     int
+	rng     *rand.Rand
+}
+
+func newHistogram(maxSamples int) *histogram {
+	return &histogram{max: maxSamples, rng: rand.New(rand.NewSource(1))}
+}
+
+func (h *histogram) add(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seen++
+	if len(h.samples) < h.max {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir sampling keeps the percentile estimate unbiased on long
+	// soaks without unbounded memory.
+	if i := h.rng.Int63n(h.seen); int(i) < h.max {
+		h.samples[i] = d
+	}
+}
+
+// quantiles returns the requested quantiles in ms (sorted copy).
+func (h *histogram) quantiles(qs ...float64) []float64 {
+	h.mu.Lock()
+	s := make([]time.Duration, len(h.samples))
+	copy(s, h.samples)
+	h.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(s) == 0 {
+		return out
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, q := range qs {
+		idx := int(q * float64(len(s)-1))
+		out[i] = float64(s[idx]) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	Duration    string  `json:"duration"`
+	Concurrency int     `json:"concurrency"`
+	Jobs        int64   `json:"jobs"`
+	Failures    int64   `json:"failures"`
+	Mismatches  int64   `json:"mismatches"`
+	Sheds       int64   `json:"sheds"`
+	QPS         float64 `json:"qps"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheRatio  float64 `json:"cache_hit_ratio"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8321", "irredd base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
+	qps := flag.Float64("qps", 0, "target aggregate submissions/sec (0 = unpaced, full closed loop)")
+	mixFlag := flag.String("mix", "mvm=1,euler=1,moldyn=1", "kernel mix as name=weight,...")
+	seeds := flag.Int("seeds", 8, "distinct seeds per kernel (smaller = hotter schedule cache)")
+	steps := flag.Int("steps", 3, "executor steps per job")
+	maxP := flag.Int("max-p", 4, "processors drawn from 1..max-p")
+	maxK := flag.Int("max-k", 2, "phase blocking factor drawn from 1..max-k")
+	mvmDataset := flag.String("mvm-dataset", "S", "mvm dataset class (S, W, A, B)")
+	meshDataset := flag.String("mesh-dataset", "2k", "euler/moldyn dataset (2k, 10k)")
+	maxSamples := flag.Int("max-samples", 1<<16, "latency samples retained for percentiles")
+	jsonOut := flag.Bool("json", false, "print the summary as JSON (for CI assertions)")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: %v\n", err)
+		os.Exit(2)
+	}
+
+	c := client.New(*addr)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	if err := c.Health(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: server not reachable at %s: %v\n", *addr, err)
+		os.Exit(2)
+	}
+	before, err := c.Metrics(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
+		os.Exit(2)
+	}
+
+	var (
+		hist      = newHistogram(*maxSamples)
+		mu        sync.Mutex
+		firstSHA  = map[jobKey]string{}
+		jobs      int64
+		failures  int64
+		mismatch  int64
+		shedTotal int64
+	)
+
+	// Pacing: a shared ticker-fed token channel. Unpaced runs use a nil
+	// channel (never selected) and each worker loops as fast as the server
+	// answers — the classic closed loop.
+	var pace <-chan time.Time
+	if *qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *qps))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 17))
+			for {
+				if pace != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case <-pace:
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				kernel := pick(mix, rng)
+				ds := *mvmDataset
+				if kernel != "mvm" {
+					ds = *meshDataset
+				}
+				key := jobKey{
+					Kernel:  kernel,
+					Dataset: ds,
+					Seed:    int64(rng.Intn(*seeds)),
+					P:       1 + rng.Intn(*maxP),
+					K:       1 + rng.Intn(*maxK),
+					Steps:   *steps,
+				}
+				t0 := time.Now()
+				st, sheds, err := c.SubmitWaitRetry(ctx, key.spec())
+				lat := time.Since(t0)
+				mu.Lock()
+				shedTotal += int64(sheds)
+				mu.Unlock()
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					continue
+				}
+				hist.add(lat)
+				mu.Lock()
+				jobs++
+				if st.State != service.StateDone || st.ResultSHA256 == "" {
+					failures++
+				} else if prev, ok := firstSHA[key]; !ok {
+					firstSHA[key] = st.ResultSHA256
+				} else if prev != st.ResultSHA256 {
+					mismatch++
+					fmt.Fprintf(os.Stderr, "irredload: MISMATCH %+v: %s != %s\n", key, st.ResultSHA256, prev)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := c.Metrics(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
+		os.Exit(2)
+	}
+	hits := after.Cache.Hits - before.Cache.Hits
+	misses := after.Cache.Misses - before.Cache.Misses
+
+	qs := hist.quantiles(0.5, 0.9, 0.99, 1.0)
+	rep := report{
+		Duration:    elapsed.Round(time.Millisecond).String(),
+		Concurrency: *concurrency,
+		Jobs:        jobs,
+		Failures:    failures,
+		Mismatches:  mismatch,
+		Sheds:       shedTotal,
+		QPS:         float64(jobs) / elapsed.Seconds(),
+		P50ms:       qs[0], P90ms: qs[1], P99ms: qs[2], MaxMs: qs[3],
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+	if hits+misses > 0 {
+		rep.CacheRatio = float64(hits) / float64(hits+misses)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("irredload: %d jobs in %s (%.1f QPS, %d workers)\n",
+			rep.Jobs, rep.Duration, rep.QPS, rep.Concurrency)
+		fmt.Printf("  latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			rep.P50ms, rep.P90ms, rep.P99ms, rep.MaxMs)
+		fmt.Printf("  cache: %d hits / %d misses (%.0f%% hit)\n",
+			hits, misses, rep.CacheRatio*100)
+		fmt.Printf("  sheds=%d failures=%d mismatches=%d\n",
+			rep.Sheds, rep.Failures, rep.Mismatches)
+	}
+
+	if failures > 0 || mismatch > 0 {
+		os.Exit(1)
+	}
+}

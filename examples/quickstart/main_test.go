@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the example in-process, capturing stdout.
+// It guards the public-API surface the README points newcomers at: if
+// core.NewReduction, Schedules, RunNative, or Simulate change shape, this
+// fails at compile time; if the worked example stops verifying against the
+// sequential loop, main() calls log.Fatal and the test dies with it.
+func TestQuickstartRuns(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		outc <- buf.String()
+	}()
+
+	main()
+
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+
+	for _, want := range []string{
+		"processor 0:",
+		"processor 1:",
+		"native result matches the sequential reduction",
+		"simulated on EARTH",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package difftest holds the cross-engine differential tests: the same
+// irregular reduction is pushed through every execution engine the repo
+// has — the native goroutine engine, the discrete-event simulator with
+// attached computation (SimExec), and the IRL interpreter — and the
+// results are compared elementwise against a plain sequential loop.
+//
+// The package intentionally contains no non-test code: it exists because
+// the engines live in packages that cannot all import each other
+// (rts would cycle with codegen/interp), so the only place they can meet
+// is a leaf test package that imports all of them.
+package difftest

@@ -1,6 +1,10 @@
 package inspector
 
-import "fmt"
+import (
+	"fmt"
+
+	"irred/internal/obs"
+)
 
 // CopyPair is one iteration of the second (copy) loop: when the owning
 // phase begins, X[Elem] += X[Buf] folds a buffered contribution into the
@@ -54,6 +58,15 @@ type Schedule struct {
 //  3. build the per-phase copy loops that apply buffered contributions when
 //     the portion arrives.
 func Light(cfg Config, proc int, ind ...[]int32) (*Schedule, error) {
+	return LightTraced(cfg, proc, nil, ind...)
+}
+
+// LightTraced is Light recording one obs.SpanInspect span per invocation
+// (tagged with the processor), so a serving layer can show how much
+// inspector cost each schedule build amortizes. A nil tracer traces
+// nothing.
+func LightTraced(cfg Config, proc int, tr *obs.Tracer, ind ...[]int32) (*Schedule, error) {
+	defer tr.End(obs.SpanInspect, proc, -1, -1, -1, tr.Begin())
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -160,9 +160,21 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 		return nil, fmt.Errorf("inspector: corrupt schedule: %d references", s.NumRef)
 	}
 
-	s.Phases = make([]PhaseProgram, nPhases)
-	for ph := range s.Phases {
-		p := &s.Phases[ph]
+	// Claimed counts are untrusted until the stream backs them: every entry
+	// costs at least one byte on the wire, so a short corrupt stream hits
+	// EOF long before an append-grown slice gets large. Preallocation is
+	// therefore capped — a corrupt header claiming 2^31 phases or
+	// iterations must not translate into a multi-gigabyte make() up front.
+	const preallocCap = 1 << 16
+	capAt := func(n int) int {
+		if n > preallocCap {
+			return preallocCap
+		}
+		return n
+	}
+	s.Phases = make([]PhaseProgram, 0, capAt(nPhases))
+	for ph := 0; ph < nPhases; ph++ {
+		var p PhaseProgram
 		n, err := geti()
 		if err != nil {
 			return nil, err
@@ -170,7 +182,7 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 		if n > s.Cfg.NumIters {
 			return nil, fmt.Errorf("inspector: corrupt schedule: phase %d has %d iterations", ph, n)
 		}
-		p.Iters = make([]int32, n)
+		p.Iters = make([]int32, 0, capAt(n))
 		prev := int64(0)
 		for j := 0; j < n; j++ {
 			d, err := get()
@@ -178,17 +190,17 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 				return nil, err
 			}
 			prev += d
-			p.Iters[j] = int32(prev)
+			p.Iters = append(p.Iters, int32(prev))
 		}
 		p.Ind = make([][]int32, s.NumRef)
 		for r := 0; r < s.NumRef; r++ {
-			p.Ind[r] = make([]int32, n)
+			p.Ind[r] = make([]int32, 0, capAt(n))
 			for j := 0; j < n; j++ {
 				v, err := get()
 				if err != nil {
 					return nil, err
 				}
-				p.Ind[r][j] = int32(v)
+				p.Ind[r] = append(p.Ind[r], int32(v))
 			}
 		}
 		nc, err := geti()
@@ -198,7 +210,7 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 		if nc > s.BufLen {
 			return nil, fmt.Errorf("inspector: corrupt schedule: phase %d has %d copies for %d buffers", ph, nc, s.BufLen)
 		}
-		p.Copies = make([]CopyPair, nc)
+		p.Copies = make([]CopyPair, 0, capAt(nc))
 		for j := 0; j < nc; j++ {
 			e, err := get()
 			if err != nil {
@@ -208,8 +220,9 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 			if err != nil {
 				return nil, err
 			}
-			p.Copies[j] = CopyPair{Elem: int32(e), Buf: int32(b)}
+			p.Copies = append(p.Copies, CopyPair{Elem: int32(e), Buf: int32(b)})
 		}
+		s.Phases = append(s.Phases, p)
 	}
 	if err := s.Check(); err != nil {
 		return nil, fmt.Errorf("inspector: deserialized schedule invalid: %w", err)

@@ -1,0 +1,50 @@
+package lang
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse hammers the IRL parser with arbitrary input. Properties:
+//
+//  1. Parse never panics — it either returns a Program or an error.
+//  2. Accepted programs survive a format/reparse round trip: Format is a
+//     fixed point after one application (pretty-printing is canonical),
+//     and the reparse must succeed — anything Format emits is valid IRL.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"param n\narray x[n]\nloop i = 0, n {\n    x[i] = 1.0\n}\n",
+		"param nnz, n\narray row[nnz] int\narray a[nnz]\narray y[n]\nloop i = 0, nnz {\n    y[row[i]] += a[i]\n}\n",
+		"param m\narray ia[m, 2] int\narray r[m]\nloop i = 0, m {\n    f = r[ia[i, 0]] - r[ia[i, 1]]\n    r[ia[i, 0]] += f * 0.5\n}\n",
+		"loop i = 0, 10 {\n}\n",
+		"param n array x[n",
+		"loop i = 0 n { x[i] = }",
+		"# comment only\n",
+		"param n\nloop i = 0, n {\n    x = ((1 + 2) * (3 - 4)) / 5\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) {
+			t.Skip()
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program without error")
+		}
+		out1 := Format(prog)
+		prog2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("formatted program does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, out1)
+		}
+		out2 := Format(prog2)
+		if out1 != out2 {
+			t.Fatalf("Format not canonical:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	start := tr.Begin()
+	if start != 0 {
+		t.Fatalf("nil Begin = %d", start)
+	}
+	tr.End(SpanCompute, 0, 0, 0, 0, start) // must not panic
+	tr.Event("x", 0, 0, 0, 0)
+	tr.Reset()
+	if spans, total := tr.Snapshot(); spans != nil || total != 0 {
+		t.Fatalf("nil Snapshot = %v, %d", spans, total)
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	tr := New(16)
+	s0 := tr.Begin()
+	time.Sleep(time.Millisecond)
+	tr.End(SpanCompute, 1, 2, 3, 4, s0)
+	tr.Event(SpanWait, 0, 1, 2, 3)
+
+	spans, total := tr.Snapshot()
+	if total != 2 || len(spans) != 2 {
+		t.Fatalf("got %d spans, total %d", len(spans), total)
+	}
+	c := spans[0]
+	if c.Name != SpanCompute || c.Proc != 1 || c.Phase != 2 || c.Step != 3 || c.Portion != 4 {
+		t.Fatalf("bad span tags: %+v", c)
+	}
+	if c.DurNS < int64(time.Millisecond)/2 {
+		t.Fatalf("compute span too short: %d ns", c.DurNS)
+	}
+	if spans[1].DurNS != 0 {
+		t.Fatalf("event has duration %d", spans[1].DurNS)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 20; i++ {
+		tr.End(SpanCopy, i, 0, 0, 0, tr.Begin())
+	}
+	spans, total := tr.Snapshot()
+	if total != 20 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	// Oldest-first: procs 12..19.
+	for i, s := range spans {
+		if int(s.Proc) != 12+i {
+			t.Fatalf("span %d has proc %d, want %d", i, s.Proc, 12+i)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	tr := New(4)
+	tr.Event("x", 0, 0, 0, 0)
+	tr.Reset()
+	if spans, total := tr.Snapshot(); len(spans) != 0 || total != 0 {
+		t.Fatalf("after reset: %d spans, total %d", len(spans), total)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spans := []Span{
+		{Name: SpanCompute, Phase: 0, DurNS: 100},
+		{Name: SpanCompute, Phase: 0, DurNS: 300},
+		{Name: SpanCompute, Phase: 1, DurNS: 50},
+		{Name: SpanWait, Phase: 1, DurNS: 10},
+	}
+	byName := Aggregate(spans, false)
+	if len(byName) != 2 {
+		t.Fatalf("by-name rows: %d", len(byName))
+	}
+	c := byName[0]
+	if c.Name != SpanCompute || c.Count != 3 || c.TotalNS != 450 || c.MinNS != 50 || c.MaxNS != 300 {
+		t.Fatalf("compute row: %+v", c)
+	}
+	if c.AvgNS != 150 {
+		t.Fatalf("avg = %v", c.AvgNS)
+	}
+
+	byPhase := Aggregate(spans, true)
+	if len(byPhase) != 3 {
+		t.Fatalf("by-phase rows: %d", len(byPhase))
+	}
+	if byPhase[0].Phase != 0 || byPhase[0].Count != 2 || byPhase[1].Phase != 1 || byPhase[1].Count != 1 {
+		t.Fatalf("by-phase rows: %+v", byPhase)
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	rows := Aggregate([]Span{
+		{Name: SpanCompute, Phase: 2, DurNS: 1e6},
+		{Name: SpanWait, Phase: -1, DurNS: 5e5},
+	}, true)
+	tab := Table(rows)
+	for _, want := range []string{"span", "compute", "wait", "count"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+// TestConcurrentRecord exercises the ring under parallel writers and a
+// concurrent reader, for the race detector.
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.End(SpanCompute, p, i%8, i, -1, tr.Begin())
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if _, total := tr.Snapshot(); total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+}

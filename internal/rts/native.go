@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"irred/internal/inspector"
+	"irred/internal/obs"
 )
 
 // ContribFunc computes the contributions of iteration i for a reduce-mode
@@ -48,6 +49,14 @@ type Native struct {
 	// processor after the sweep completes (execution itself is unchanged,
 	// so a verify run still finishes and still passes tokens).
 	Verify bool
+
+	// Trace, when non-nil, records one span per unit of phase work — the
+	// rotation wait (obs.SpanWait), the copy loop (obs.SpanCopy), the main
+	// loop (obs.SpanCompute) and the Update hook (obs.SpanUpdate) — tagged
+	// with processor, phase, step and portion, on both the pipelined and
+	// the barrier paths. NewNativeFrom seeds it from Loop.Trace; callers
+	// may override before Run.
+	Trace *obs.Tracer
 
 	bufs       [][]float64  // per-processor remote buffers, len BufLen*comp
 	chans      []chan token // chans[p]: portions arriving at processor p
@@ -97,6 +106,7 @@ func NewNativeFrom(l *Loop, scheds []*inspector.Schedule) (*Native, error) {
 		Loop:   l,
 		Scheds: scheds,
 		X:      make([]float64, l.Cfg.NumElems*comp),
+		Trace:  l.Trace,
 		bufs:   make([][]float64, l.Cfg.P),
 		chans:  make([]chan token, l.Cfg.P),
 	}
@@ -157,7 +167,7 @@ func (n *Native) RunContext(ctx context.Context, steps int) error {
 			go func(p int) {
 				defer wg.Done()
 				for step := 0; step < steps; step++ {
-					if !n.sweep(p, done) {
+					if !n.sweep(p, step, done) {
 						return
 					}
 				}
@@ -174,7 +184,7 @@ func (n *Native) RunContext(ctx context.Context, steps int) error {
 		for p := 0; p < P; p++ {
 			go func(p int) {
 				defer wg.Done()
-				n.sweep(p, done)
+				n.sweep(p, step, done)
 			}(p)
 		}
 		wg.Wait()
@@ -185,7 +195,9 @@ func (n *Native) RunContext(ctx context.Context, steps int) error {
 		for p := 0; p < P; p++ {
 			go func(p int) {
 				defer wg.Done()
+				us := n.Trace.Begin()
 				n.Update(p, step)
+				n.Trace.End(obs.SpanUpdate, p, -1, step, -1, us)
 			}(p)
 		}
 		wg.Wait()
@@ -206,10 +218,10 @@ func (n *Native) verifyErr() error {
 	return nil
 }
 
-// sweep runs processor p through one timestep's k*P phases. done, when
+// sweep runs processor p through timestep step's k*P phases. done, when
 // non-nil, aborts the sweep at the next phase boundary or blocked portion
 // receive; sweep reports whether it ran to completion.
-func (n *Native) sweep(p int, done <-chan struct{}) bool {
+func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 	l := n.Loop
 	cfg := l.Cfg
 	comp := l.Cost.comp()
@@ -217,6 +229,7 @@ func (n *Native) sweep(p int, done <-chan struct{}) bool {
 	buf := n.bufs[p]
 	kp := cfg.NumPhases()
 	prev := (p - 1 + cfg.P) % cfg.P
+	tr := n.Trace
 
 	scratch := make([]float64, len(l.Ind)*comp)
 	for ph := 0; ph < kp; ph++ {
@@ -231,18 +244,23 @@ func (n *Native) sweep(p int, done <-chan struct{}) bool {
 		// re-consumed by the drain at the end of the previous sweep; later
 		// phases receive their portion from processor p+1, in phase order.
 		if ph >= cfg.K {
+			ws := tr.Begin()
+			var tok token
 			if done == nil {
-				<-n.chans[p]
+				tok = <-n.chans[p]
 			} else {
 				select {
-				case <-n.chans[p]:
+				case tok = <-n.chans[p]:
 				case <-done:
 					return false
 				}
 			}
+			tr.End(obs.SpanWait, p, ph, step, tok.portion, ws)
 		}
 
+		portion := cfg.PortionAt(p, ph)
 		prog := &s.Phases[ph]
+		cs := tr.Begin()
 		// Second (copy) loop: fold buffered contributions into the
 		// just-arrived portion and clear the slots for the next sweep.
 		for _, cp := range prog.Copies {
@@ -262,8 +280,10 @@ func (n *Native) sweep(p int, done <-chan struct{}) bool {
 				buf[bb+c] = 0
 			}
 		}
+		tr.End(obs.SpanCopy, p, ph, step, portion, cs)
 
 		// Main loop.
+		ms := tr.Begin()
 		switch l.Mode {
 		case Reduce:
 			for j, it := range prog.Iters {
@@ -306,24 +326,28 @@ func (n *Native) sweep(p int, done <-chan struct{}) bool {
 				n.Consume(p, int(it), n.X[tgt*comp:tgt*comp+comp])
 			}
 		}
+		tr.End(obs.SpanCompute, p, ph, step, portion, ms)
 
 		// Pass the portion on to processor p-1.
-		n.chans[prev] <- token{portion: cfg.PortionAt(p, ph)}
+		n.chans[prev] <- token{portion: portion}
 	}
 
 	// Consume the k home portions returning at sweep end so the next
 	// sweep's first k phases find them "pre-placed" — and so Update runs
 	// only after all contributions to the home block have landed.
 	for i := 0; i < cfg.K; i++ {
+		ws := tr.Begin()
+		var tok token
 		if done == nil {
-			<-n.chans[p]
+			tok = <-n.chans[p]
 		} else {
 			select {
-			case <-n.chans[p]:
+			case tok = <-n.chans[p]:
 			case <-done:
 				return false
 			}
 		}
+		tr.End(obs.SpanWait, p, -1, step, tok.portion, ws)
 	}
 	return true
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"irred/internal/inspector"
+	"irred/internal/obs"
 )
 
 // Mode distinguishes how the rotated array is used.
@@ -95,6 +96,11 @@ type Loop struct {
 	// the output accumulator it adds into (mvm's row index per nonzero).
 	// Optional; used for cost modelling and by the native engine.
 	GatherOut []int32
+	// Trace, when non-nil, receives phase-level spans from the
+	// LightInspector (via Schedules) and the native engine built over this
+	// loop: per-phase compute, copy-loop and rotation-wait intervals. Nil
+	// disables tracing at the cost of a nil check per phase.
+	Trace *obs.Tracer
 }
 
 // Validate checks loop well-formedness beyond Config.Validate.
@@ -123,7 +129,7 @@ func (l *Loop) Schedules() ([]*inspector.Schedule, error) {
 	}
 	out := make([]*inspector.Schedule, l.Cfg.P)
 	for p := 0; p < l.Cfg.P; p++ {
-		s, err := inspector.Light(l.Cfg, p, l.Ind...)
+		s, err := inspector.LightTraced(l.Cfg, p, l.Trace, l.Ind...)
 		if err != nil {
 			return nil, err
 		}

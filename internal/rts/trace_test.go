@@ -1,0 +1,134 @@
+package rts
+
+import (
+	"math/rand"
+	"testing"
+
+	"irred/internal/inspector"
+	"irred/internal/obs"
+)
+
+// traceLoop builds a small 2-reference reduce loop with a tracer attached.
+func traceLoop(t *testing.T, p, k int) *Loop {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	const iters, elems = 400, 64
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	return &Loop{
+		Cfg:   inspector.Config{P: p, K: k, NumIters: iters, NumElems: elems, Dist: inspector.Cyclic},
+		Mode:  Reduce,
+		Ind:   ind,
+		Trace: obs.New(1 << 16),
+	}
+}
+
+// countSpans tallies snapshot spans by name, checking tag ranges.
+func countSpans(t *testing.T, l *Loop, steps int) map[string]int {
+	t.Helper()
+	spans, _ := l.Trace.Snapshot()
+	counts := map[string]int{}
+	kp := l.Cfg.NumPhases()
+	for _, s := range spans {
+		counts[s.Name]++
+		if s.Proc < -1 || int(s.Proc) >= l.Cfg.P {
+			t.Fatalf("span %+v: proc out of range", s)
+		}
+		if s.Phase < -1 || int(s.Phase) >= kp {
+			t.Fatalf("span %+v: phase out of range", s)
+		}
+		if s.Step < -1 || int(s.Step) >= steps {
+			t.Fatalf("span %+v: step out of range", s)
+		}
+		if s.Name == obs.SpanCompute && (s.Portion < 0 || int(s.Portion) >= kp) {
+			t.Fatalf("span %+v: portion out of range", s)
+		}
+		if s.DurNS < 0 {
+			t.Fatalf("span %+v: negative duration", s)
+		}
+	}
+	return counts
+}
+
+// TestNativeTracePipelined checks the span census on the no-Update
+// (pipelined) path: per processor and step, kp compute + kp copy spans,
+// and (kp-K) mid-sweep + K drain waits.
+func TestNativeTracePipelined(t *testing.T) {
+	const P, K, steps = 3, 2, 4
+	l := traceLoop(t, P, K)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = func(_, i int, out []float64) { out[0], out[1] = 1, -1 }
+	if err := n.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := countSpans(t, l, steps)
+	kp := l.Cfg.NumPhases()
+	if want := P * steps * kp; counts[obs.SpanCompute] != want {
+		t.Fatalf("compute spans = %d, want %d", counts[obs.SpanCompute], want)
+	}
+	if want := P * steps * kp; counts[obs.SpanCopy] != want {
+		t.Fatalf("copy spans = %d, want %d", counts[obs.SpanCopy], want)
+	}
+	if want := P * steps * kp; counts[obs.SpanWait] != want {
+		// (kp - K) mid-sweep receives + K end-of-sweep drains = kp.
+		t.Fatalf("wait spans = %d, want %d", counts[obs.SpanWait], want)
+	}
+	if counts[obs.SpanInspect] != P {
+		t.Fatalf("inspect spans = %d, want %d", counts[obs.SpanInspect], P)
+	}
+	if counts[obs.SpanUpdate] != 0 {
+		t.Fatalf("update spans on pipelined path: %d", counts[obs.SpanUpdate])
+	}
+}
+
+// TestNativeTraceBarrier checks the barrier path records update spans and
+// the same per-phase census.
+func TestNativeTraceBarrier(t *testing.T) {
+	const P, K, steps = 2, 2, 3
+	l := traceLoop(t, P, K)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Contribs = func(_, i int, out []float64) { out[0], out[1] = 1, 1 }
+	n.Update = func(p, step int) {}
+	if err := n.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := countSpans(t, l, steps)
+	kp := l.Cfg.NumPhases()
+	if want := P * steps * kp; counts[obs.SpanCompute] != want {
+		t.Fatalf("compute spans = %d, want %d", counts[obs.SpanCompute], want)
+	}
+	if want := P * steps; counts[obs.SpanUpdate] != want {
+		t.Fatalf("update spans = %d, want %d", counts[obs.SpanUpdate], want)
+	}
+}
+
+// TestNativeNoTraceIsDefault confirms an untraced run records nothing and
+// does not allocate a tracer.
+func TestNativeNoTraceIsDefault(t *testing.T) {
+	l := traceLoop(t, 2, 1)
+	l.Trace = nil
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Trace != nil {
+		t.Fatal("tracer appeared from nowhere")
+	}
+	n.Contribs = func(_, i int, out []float64) { out[0], out[1] = 1, 1 }
+	if err := n.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}

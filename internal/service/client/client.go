@@ -8,9 +8,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +43,9 @@ func (c *Client) http() *http.Client {
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the parsed Retry-After header of a load-shed answer
+	// (zero when absent or unparseable).
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -49,8 +54,8 @@ func (e *StatusError) Error() string {
 
 // IsShed reports whether the error is the service's 429 load-shed answer.
 func IsShed(err error) bool {
-	se, ok := err.(*StatusError)
-	return ok && se.Code == http.StatusTooManyRequests
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
 }
 
 // do issues a request and decodes the JSON answer into out (when non-nil).
@@ -83,7 +88,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae) == nil && ae.Error != "" {
 			msg = ae.Error
 		}
-		return &StatusError{Code: resp.StatusCode, Message: msg}
+		se := &StatusError{Code: resp.StatusCode, Message: msg}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
 	}
 	if out == nil {
 		return nil
@@ -113,6 +124,41 @@ func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (*service
 		return nil, err
 	}
 	return &st, nil
+}
+
+// shedRetryFloor is the wait before retrying a 429 whose Retry-After is
+// absent or zero.
+const shedRetryFloor = 50 * time.Millisecond
+
+// SubmitWaitRetry enqueues a job with server-side wait, retrying 429
+// load-shed answers and honoring their Retry-After header, until ctx is
+// cancelled. The answer omits the result vector (its length and SHA-256
+// still come back), making this the load-generator path: cheap on the wire
+// while still verifiable. It reports how many times the job was shed
+// before admission.
+func (c *Client) SubmitWaitRetry(ctx context.Context, spec service.JobSpec) (st *service.JobStatus, sheds int, err error) {
+	for {
+		var s service.JobStatus
+		err = c.do(ctx, http.MethodPost, "/v1/jobs?wait=1&result=0", spec, &s)
+		if err == nil {
+			return &s, sheds, nil
+		}
+		if !IsShed(err) {
+			return nil, sheds, err
+		}
+		sheds++
+		var se *StatusError
+		errors.As(err, &se)
+		d := se.RetryAfter
+		if d <= 0 {
+			d = shedRetryFloor
+		}
+		select {
+		case <-ctx.Done():
+			return nil, sheds, ctx.Err()
+		case <-time.After(d):
+		}
+	}
 }
 
 // Get fetches a job's status including its result when done.
@@ -160,4 +206,14 @@ func (c *Client) Metrics(ctx context.Context) (*service.Snapshot, error) {
 		return nil, err
 	}
 	return &snap, nil
+}
+
+// Trace fetches the phase-level span aggregates from /debug/trace (raw
+// spans omitted to keep the payload small).
+func (c *Client) Trace(ctx context.Context) (*service.TraceDump, error) {
+	var dump service.TraceDump
+	if err := c.do(ctx, http.MethodGet, "/debug/trace?spans=0", nil, &dump); err != nil {
+		return nil, err
+	}
+	return &dump, nil
 }

@@ -1,0 +1,196 @@
+// Unit tests for the service client against httptest servers: the
+// retry-on-429 loop and its Retry-After handling, context cancellation,
+// and malformed-response error paths — the wire-level behaviours the
+// end-to-end tests (which always talk to a healthy service) never hit.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"irred/internal/service"
+	"irred/internal/service/client"
+)
+
+func doneStatus(id string) service.JobStatus {
+	return service.JobStatus{ID: id, State: service.StateDone, ResultSHA256: "abc"}
+}
+
+// TestSubmitWaitRetryOn429 verifies the retry loop: two shed answers, then
+// success, with the shed count reported.
+func TestSubmitWaitRetryOn429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("j1"))
+	}))
+	defer ts.Close()
+
+	st, sheds, err := client.New(ts.URL).SubmitWaitRetry(context.Background(), service.JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sheds != 2 {
+		t.Fatalf("sheds = %d, want 2", sheds)
+	}
+	if st.State != service.StateDone || st.ID != "j1" {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+// TestRetryAfterParsed verifies the Retry-After header lands on the
+// StatusError, so callers (and the retry loop) honor the server's pacing.
+func TestRetryAfterParsed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer ts.Close()
+
+	_, err := client.New(ts.URL).Submit(context.Background(), service.JobSpec{})
+	var se *client.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.Code != http.StatusTooManyRequests || se.RetryAfter != 7*time.Second {
+		t.Fatalf("StatusError = %+v, want 429 with RetryAfter 7s", se)
+	}
+	if !client.IsShed(err) {
+		t.Fatal("IsShed must recognise the 429")
+	}
+}
+
+// TestSubmitWaitRetryContextCancel verifies the retry loop gives up with
+// ctx.Err() when the server sheds forever.
+func TestSubmitWaitRetryContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, sheds, err := client.New(ts.URL).SubmitWaitRetry(ctx, service.JobSpec{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if sheds < 1 {
+		t.Fatalf("sheds = %d, want at least one before the deadline", sheds)
+	}
+}
+
+// TestSubmitContextCancelMidRequest verifies cancellation of an in-flight
+// request (server hangs) surfaces the context error.
+func TestSubmitContextCancelMidRequest(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.New(ts.URL).SubmitWait(ctx, service.JobSpec{})
+	if err == nil {
+		t.Fatal("expected an error from a cancelled request")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the request")
+	}
+}
+
+// TestMalformedJSON verifies the error paths for responses that are not
+// what the client expects.
+func TestMalformedJSON(t *testing.T) {
+	t.Run("2xx with garbage body", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("{not json"))
+		}))
+		defer ts.Close()
+		_, err := client.New(ts.URL).SubmitWait(context.Background(), service.JobSpec{})
+		if err == nil {
+			t.Fatal("expected a decode error")
+		}
+		var se *client.StatusError
+		if errors.As(err, &se) {
+			t.Fatalf("decode failure must not be a StatusError, got %v", err)
+		}
+	})
+
+	t.Run("non-2xx with garbage body", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte("<html>oops</html>"))
+		}))
+		defer ts.Close()
+		_, err := client.New(ts.URL).Get(context.Background(), "j1")
+		var se *client.StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v, want StatusError", err)
+		}
+		// The message falls back to the HTTP status line.
+		if se.Code != http.StatusInternalServerError || se.Message == "" {
+			t.Fatalf("StatusError = %+v", se)
+		}
+	})
+
+	t.Run("non-2xx with JSON error payload", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no such job"})
+		}))
+		defer ts.Close()
+		_, err := client.New(ts.URL).Get(context.Background(), "j1")
+		var se *client.StatusError
+		if !errors.As(err, &se) || se.Message != "no such job" {
+			t.Fatalf("err = %v, want StatusError with the payload message", err)
+		}
+	})
+}
+
+// TestWaitPollsToTerminal verifies Wait keeps polling through non-terminal
+// states.
+func TestWaitPollsToTerminal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := service.JobStatus{ID: "j1", State: service.StateRunning}
+		if calls.Add(1) >= 3 {
+			st.State = service.StateDone
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	st, err := client.New(ts.URL).Wait(context.Background(), "j1", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || calls.Load() != 3 {
+		t.Fatalf("state %s after %d polls", st.State, calls.Load())
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+
+	"irred/internal/obs"
 )
 
 // maxJobBody bounds a job submission (raw indirection arrays can be large,
@@ -12,12 +15,14 @@ const maxJobBody = 256 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs             submit a job (202; ?wait=1 blocks, 200)
+//	POST   /v1/jobs             submit a job (202; ?wait=1 blocks, 200;
+//	                            ?result=0 omits the result vector)
 //	GET    /v1/jobs/{id}        job status + result (?result=0 to omit)
 //	POST   /v1/jobs/{id}/cancel request cancellation
 //	DELETE /v1/jobs/{id}        same as cancel
 //	GET    /healthz             liveness
 //	GET    /metrics             expvar-style JSON counters
+//	GET    /debug/trace         phase-level span dump + aggregate tables
 //
 // A full admission queue answers 429 with Retry-After, the explicit
 // load-shedding contract.
@@ -34,7 +39,66 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
+}
+
+// TraceHandler returns just the /debug/trace endpoint, so cmd/irredd can
+// also mount it on a separate debug listener next to pprof and expvar.
+func (s *Service) TraceHandler() http.Handler {
+	return http.HandlerFunc(s.handleTrace)
+}
+
+// TraceDump is the /debug/trace payload: the retained span window plus the
+// aggregate tables derived from it. ByPhase is the per-phase table the
+// paper's overlap argument is read from: compute vs copy vs wait, phase by
+// phase.
+type TraceDump struct {
+	Enabled       bool       `json:"enabled"`
+	TotalRecorded uint64     `json:"total_recorded"`
+	Dropped       uint64     `json:"dropped"` // overwritten by ring wrap
+	Aggregate     []obs.Agg  `json:"aggregate"`
+	ByPhase       []obs.Agg  `json:"by_phase"`
+	Spans         []obs.Span `json:"spans,omitempty"`
+}
+
+// handleTrace serves the span dump. Query parameters:
+//
+//	spans=0        omit the raw span list (aggregates only)
+//	n=<max>        cap the raw span list to the newest n
+//	format=table   render the aggregate tables as text instead of JSON
+//	reset=1        clear the ring after snapshotting
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.trace == nil {
+		writeJSON(w, http.StatusOK, TraceDump{Enabled: false})
+		return
+	}
+	spans, total := s.trace.Snapshot()
+	if r.URL.Query().Get("reset") == "1" {
+		s.trace.Reset()
+	}
+	dump := TraceDump{
+		Enabled:       true,
+		TotalRecorded: total,
+		Dropped:       total - uint64(len(spans)),
+		Aggregate:     obs.Aggregate(spans, false),
+		ByPhase:       obs.Aggregate(spans, true),
+		Spans:         spans,
+	}
+	if r.URL.Query().Get("spans") == "0" {
+		dump.Spans = nil
+	} else if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(dump.Spans) {
+			dump.Spans = dump.Spans[len(dump.Spans)-n:]
+		}
+	}
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("== aggregate ==\n" + obs.Table(dump.Aggregate) +
+			"\n== by phase ==\n" + obs.Table(dump.ByPhase)))
+		return
+	}
+	writeJSON(w, http.StatusOK, dump)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -59,9 +123,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("wait") == "1" {
+		includeResult := r.URL.Query().Get("result") != "0"
 		select {
 		case <-j.Done():
-			writeJSON(w, http.StatusOK, j.Status(true))
+			writeJSON(w, http.StatusOK, j.Status(includeResult))
 		case <-r.Context().Done():
 			// The caller went away; the job keeps running and remains
 			// queryable by id.

@@ -4,8 +4,11 @@ package service_test
 
 import (
 	"context"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -252,5 +255,85 @@ func TestHTTPErrors(t *testing.T) {
 		if _, err := c.Wait(ctx, id, 10*time.Millisecond); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestHTTPDebugTrace submits a job and checks /debug/trace exposes the
+// per-phase compute/copy/rotation spans from the run, the table rendering,
+// and the reset knob.
+func TestHTTPDebugTrace(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+
+	if _, err := c.SubmitWait(ctx, httpRawSpec(47, 3, 2, 1500, 97, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	dump, err := c.Trace(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dump.Enabled {
+		t.Fatal("tracing disabled by default")
+	}
+	if dump.TotalRecorded == 0 {
+		t.Fatal("no spans recorded for a completed job")
+	}
+	have := map[string]bool{}
+	for _, a := range dump.Aggregate {
+		have[a.Name] = true
+	}
+	for _, want := range []string{"compute", "copy", "wait", "inspect", "cache/miss", "job/raw"} {
+		if !have[want] {
+			t.Fatalf("aggregate table missing %q span (have %v)", want, have)
+		}
+	}
+	// The by-phase table must carry real phase tags for compute spans.
+	phased := false
+	for _, a := range dump.ByPhase {
+		if a.Name == "compute" && a.Phase >= 0 {
+			phased = true
+		}
+	}
+	if !phased {
+		t.Fatal("no per-phase compute rows in by_phase table")
+	}
+
+	// Text rendering.
+	resp, err := http.Get(c.Base + "/debug/trace?format=table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "compute") || !strings.Contains(string(body), "== by phase ==") {
+		t.Fatalf("table rendering missing content:\n%s", body)
+	}
+
+	// Reset clears the ring.
+	resp, err = http.Get(c.Base + "/debug/trace?reset=1&spans=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dump, err = c.Trace(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.TotalRecorded != 0 {
+		t.Fatalf("ring not cleared after reset: %d spans", dump.TotalRecorded)
+	}
+}
+
+// TestHTTPTraceDisabled checks TraceSpans<0 turns the endpoint into a
+// benign "disabled" answer rather than a 404.
+func TestHTTPTraceDisabled(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 1, TraceSpans: -1})
+	dump, err := c.Trace(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Enabled {
+		t.Fatal("tracer should be disabled")
 	}
 }

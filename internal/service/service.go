@@ -27,6 +27,7 @@ import (
 	"irred/internal/kernels"
 	"irred/internal/mesh"
 	"irred/internal/moldyn"
+	"irred/internal/obs"
 	"irred/internal/rts"
 	"irred/internal/sparse"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	// MaxFinished bounds how many terminal jobs are retained for status
 	// queries; older ones are forgotten. Default 1024.
 	MaxFinished int
+	// TraceSpans bounds the phase-level trace ring exposed at /debug/trace
+	// (oldest spans are overwritten). 0 picks obs.DefaultCapacity; a
+	// negative value disables tracing entirely.
+	TraceSpans int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +84,7 @@ type Service struct {
 	cache *Cache
 	pool  *pool
 	met   *metrics
+	trace *obs.Tracer
 	start time.Time
 
 	mu       sync.Mutex
@@ -102,12 +108,20 @@ func New(opt Options) (*Service, error) {
 		start: time.Now(),
 		jobs:  make(map[string]*Job),
 	}
+	if opt.TraceSpans >= 0 {
+		s.trace = obs.New(opt.TraceSpans)
+	}
 	s.pool = newPool(opt.Workers, opt.QueueLen, s.runJob)
 	return s, nil
 }
 
 // Cache exposes the schedule cache (stats, warming).
 func (s *Service) Cache() *Cache { return s.cache }
+
+// Trace exposes the phase-level span tracer (nil when disabled). Every
+// executed job records inspector, per-phase compute/copy/wait, update and
+// whole-job spans into it.
+func (s *Service) Trace() *obs.Tracer { return s.trace }
 
 // Submit validates a spec and enqueues it. It returns ErrQueueFull when
 // the admission queue is at capacity and ErrClosed after shutdown.
@@ -219,7 +233,13 @@ func (s *Service) runJob(j *Job) {
 	j.mu.Unlock()
 	s.met.startJob()
 
+	kind := j.Spec.Kernel
+	if kind == "" {
+		kind = "raw"
+	}
+	js := s.trace.Begin()
 	result, hit, key, err := s.execute(j)
+	s.trace.End("job/"+kind, -1, -1, -1, -1, js)
 	j.mu.Lock()
 	j.key = key
 	j.cacheHit = hit
@@ -273,10 +293,13 @@ func (s *Service) pruneFinished(id string) {
 // LightInspector only on a miss. Concurrent misses on the same key may both
 // inspect; the duplicate Put is harmless (entries are content-determined).
 func (s *Service) schedules(l *rts.Loop) ([]*inspector.Schedule, bool, string, error) {
+	l.Trace = s.trace
 	key := inspector.ScheduleKey(l.Cfg, l.Ind...)
 	if scheds, ok := s.cache.Get(key); ok {
+		s.trace.Event("cache/hit", -1, -1, -1, -1)
 		return scheds, true, key, nil
 	}
+	s.trace.Event("cache/miss", -1, -1, -1, -1)
 	scheds, err := l.Schedules()
 	if err != nil {
 		return nil, false, key, err
@@ -346,6 +369,7 @@ func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err e
 		if err != nil {
 			return nil, hit, key, err
 		}
+		n.Trace = s.trace
 		if err := n.RunContext(j.ctx, steps); err != nil {
 			return nil, hit, key, err
 		}
@@ -365,6 +389,7 @@ func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err e
 		if err != nil {
 			return nil, hit, key, err
 		}
+		n.Trace = s.trace
 		if err := n.RunContext(j.ctx, steps); err != nil {
 			return nil, hit, key, err
 		}
@@ -386,6 +411,7 @@ func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err e
 		if err != nil {
 			return nil, hit, key, err
 		}
+		n.Trace = s.trace
 		if err := n.RunContext(j.ctx, steps); err != nil {
 			return nil, hit, key, err
 		}

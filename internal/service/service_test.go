@@ -265,7 +265,7 @@ func TestInvalidSpecsRejected(t *testing.T) {
 		{Kernel: "mvm", Dataset: "S", P: 0, K: 1},
 		{Kernel: "mvm", Dataset: "S", P: 2, K: 0},
 		{Kernel: "mvm", Dataset: "S", P: 2, K: 1, Dist: "diagonal"},
-		{NumIters: 4, NumElems: 8, P: 2, K: 1},                                                            // raw without ind
+		{NumIters: 4, NumElems: 8, P: 2, K: 1},                                                                    // raw without ind
 		{NumIters: 4, NumElems: 8, Ind: [][]int32{{0, 1, 2, 9}}, Contrib: &ContribSpec{Kind: "ones"}, P: 2, K: 1}, // out of range
 		{NumIters: 2, NumElems: 8, Ind: [][]int32{{0, 1}}, Contrib: &ContribSpec{Kind: "pair", Weights: []float64{1, 1}}, P: 2, K: 1}, // pair needs 2 refs
 	}
