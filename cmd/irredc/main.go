@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	irredc [-lint] [-describe] [-fissioned] [-threaded] [file.irl]
+//	irredc [-lint] [-describe] [-fissioned] [-threaded] [-opt-report] [file.irl]
 //
 // With no file, source is read from standard input. With no mode flags,
 // everything is printed. -lint runs the static analyzers first and refuses
-// to generate code when any finding is Error-level.
+// to generate code when any finding is Error-level. -opt-report prints the
+// bounds-proof artifact of every irregular loop: which subscript
+// obligations the interval analysis discharged symbolically (unproven
+// accesses fall back to checked execution at run time, when the proof is
+// re-attempted against concrete parameters and scanned indirection
+// contents).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 
 	"irred/internal/codegen"
+	"irred/internal/interp"
 	"irred/internal/lang"
 	"irred/internal/lint"
 )
@@ -30,6 +36,7 @@ func main() {
 	fissioned := flag.Bool("fissioned", false, "print the program after loop fission")
 	threaded := flag.Bool("threaded", false, "print the generated Threaded-C-style listing")
 	doLint := flag.Bool("lint", false, "run the static analyzers; refuse codegen on error findings")
+	optReport := flag.Bool("opt-report", false, "print the bounds-proof artifact per irregular loop")
 	flag.Parse()
 
 	var src []byte
@@ -71,7 +78,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	all := !*describe && !*fissioned && !*threaded
+	if *optReport {
+		fmt.Println("=== bounds proof (symbolic) ===")
+		env := interp.NewEnv(unit.Fissioned)
+		for _, p := range unit.Plans {
+			if p.Kind != codegen.Irregular {
+				continue
+			}
+			fmt.Printf("%s: %s", p.Name, p.ComputeFacts(env).Report())
+		}
+	}
+
+	all := !*describe && !*fissioned && !*threaded && !*optReport
 	if *describe || all {
 		fmt.Println("=== analysis ===")
 		fmt.Print(unit.Describe())

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	irredlint [-json] [-codes] [file.irl ...]
+//	irredlint [-json] [-codes] [-prove] [-fix] [file.irl ...]
 //
 // With no files, source is read from standard input. -json emits the
 // findings as a JSON array for tooling; -codes prints the catalogue of
 // diagnostic codes (source analyzers and schedule-verifier invariants) and
-// exits. The exit status is 1 when any file fails to parse or any finding
-// is Error-level, 0 otherwise (warnings and notes do not fail the run).
+// exits. -prove first model-checks the systolic ownership protocol over
+// every (P <= 8, k <= 4) strategy — exhaustively verifying the rotation,
+// single-writer and bijection invariants the runtime relies on — and fails
+// the run if any strategy violates them, before linting the files as
+// usual. -fix removes dataflow-dead statements (IRL007/IRL009/IRL014) from
+// the named files in place (or from stdin to stdout) instead of reporting.
+// The exit status is 1 when any file fails to parse or any finding is
+// Error-level, 0 otherwise (warnings and notes do not fail the run).
 package main
 
 import (
@@ -18,16 +24,36 @@ import (
 	"io"
 	"os"
 
+	"irred/internal/dataflow"
 	"irred/internal/lint"
 )
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
 	codes := flag.Bool("codes", false, "list all diagnostic codes and exit")
+	prove := flag.Bool("prove", false, "model-check the ownership protocol for all P <= 8, k <= 4 before linting")
+	fix := flag.Bool("fix", false, "remove dataflow-dead statements in place instead of reporting")
 	flag.Parse()
 
 	if *codes {
 		printCodes()
+		return
+	}
+
+	if *prove {
+		checked, violations := dataflow.ProveAll(8, 4)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "irredlint: prove:", v.Error())
+			}
+			fmt.Fprintf(os.Stderr, "irredlint: prove: %d invariant violation(s) across %d strategies\n", len(violations), checked)
+			os.Exit(1)
+		}
+		fmt.Printf("prove: %d ownership strategies (P <= 8, k <= 4) satisfy the systolic invariants\n", checked)
+	}
+
+	if *fix {
+		runFix(flag.Args())
 		return
 	}
 
@@ -75,6 +101,52 @@ func main() {
 		all.Render(os.Stdout)
 	}
 	if failed || all.HasErrors() {
+		os.Exit(1)
+	}
+}
+
+// runFix applies the dead-statement fixer: in place for named files,
+// stdin to stdout otherwise.
+func runFix(files []string) {
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			os.Exit(1)
+		}
+		out, _, err := lint.FixSource(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	failed := false
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			failed = true
+			continue
+		}
+		out, removed, err := lint.FixSource(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredlint: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if removed == 0 {
+			continue
+		}
+		if err := os.WriteFile(name, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "irredlint:", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: removed %d dead statement(s)\n", name, removed)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -7,10 +7,12 @@
 package codegen
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"irred/internal/analysis"
+	"irred/internal/dataflow"
 	"irred/internal/inspector"
 	"irred/internal/interp"
 	"irred/internal/lang"
@@ -37,6 +39,18 @@ type Plan struct {
 	Info *analysis.LoopInfo // analysis of this loop (single reference group)
 	Prog *lang.Program      // the fissioned program (declarations)
 	Name string             // stable name for listings: loop0, loop0_g1, ...
+
+	// Facts is the bounds proof computed by the most recent BuildLoop (or
+	// ComputeFacts) against a concrete environment: which subscript
+	// obligations were discharged, whether the compiled body runs without
+	// range checks, and whether the native engine may skip per-write
+	// target validation. Nil until a proof has been computed.
+	Facts *dataflow.Facts
+
+	// codes holds the per-processor bytecode evaluators of the most recent
+	// BuildLoop, so runtime faults recorded by checked execution can be
+	// surfaced after a run (RuntimeErr).
+	codes []*interp.Code
 }
 
 // Unit is a fully compiled IRL program.
@@ -129,15 +143,38 @@ func (p *Plan) ReductionArrays() []string {
 	return out
 }
 
+// BuildOpts controls proof-carrying optimization during BuildLoop.
+type BuildOpts struct {
+	// ForceChecked keeps every range check and the native engine's
+	// per-write target validation even when the bounds proof would allow
+	// eliding them — for differential testing and benchmarking the checks
+	// themselves. The proof is still computed and recorded.
+	ForceChecked bool
+}
+
 // BuildLoop wires an irregular plan onto the runtime for a machine of
 // `procs` processors with unrolling factor k: it extracts the indirection
 // columns from the environment, estimates the kernel cost from the loop
 // body, and returns the rts loop plus the contribution hook that evaluates
 // the body per iteration.
 //
+// BuildLoop is proof-carrying: it runs the dataflow interval analysis
+// seeded with the environment's concrete parameters and a one-pass min/max
+// scan of every bound indirection array, records the resulting
+// dataflow.Facts artifact on the plan and the loop, compiles the body with
+// range checks elided exactly for the proven references (unproven accesses
+// stay checked and fault gracefully — see RuntimeErr), and marks the loop
+// so the native engine skips per-write target validation when the
+// indirection contents are proven in range.
+//
 // Multiple reduction arrays in one group are packed as components of the
 // rotated array; component c of element e holds array c's element e.
 func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*rts.Loop, rts.ContribFunc, error) {
+	return p.BuildLoopOpts(env, procs, k, dist, BuildOpts{})
+}
+
+// BuildLoopOpts is BuildLoop with explicit optimization control.
+func (p *Plan) BuildLoopOpts(env *interp.Env, procs, k int, dist inspector.Dist, bopts BuildOpts) (*rts.Loop, rts.ContribFunc, error) {
 	if p.Kind != Irregular {
 		return nil, nil, fmt.Errorf("codegen: %s is a regular loop", p.Name)
 	}
@@ -177,6 +214,15 @@ func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*r
 		ind[r] = col
 	}
 
+	// Prove what we can about the loop's subscripts from the concrete
+	// parameters and a one-pass scan of the bound indirection arrays, then
+	// check the runtime side of the rotated-array claim against the
+	// extracted columns.
+	facts := p.ComputeFacts(env)
+	facts.NumElems = nElems
+	facts.IndProven = dataflow.ProveIndirection(nElems, ind...)
+	p.Facts = facts
+
 	loop := &rts.Loop{
 		Cfg: inspector.Config{
 			P: procs, K: k,
@@ -187,6 +233,9 @@ func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*r
 		Mode: rts.Reduce,
 		Ind:  ind,
 		Cost: p.EstimateCost(len(arrays)),
+	}
+	if !bopts.ForceChecked {
+		loop.Proof = facts
 	}
 
 	exprs := make([]lang.Expr, len(reds))
@@ -200,8 +249,13 @@ func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*r
 	}
 	// Compile the body to bytecode once; each simulated processor gets an
 	// independent evaluator (private register/stack state) plus a private
-	// scratch buffer.
-	code, err := env.CompileIter(p.Loop, exprs)
+	// scratch buffer. Range checks are elided per reference exactly where
+	// the proof covers the access.
+	copts := interp.CompileOpts{}
+	if !bopts.ForceChecked {
+		copts.Unchecked = facts.RefProven
+	}
+	code, err := env.CompileIterOpts(p.Loop, exprs, copts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,8 +265,10 @@ func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*r
 		vals []float64
 	}
 	states := make([]evalState, procs)
+	p.codes = p.codes[:0]
 	for q := range states {
 		states[q] = evalState{code: code.Clone(), vals: make([]float64, len(reds))}
+		p.codes = append(p.codes, states[q].code)
 	}
 	contribs := func(proc, i int, out []float64) {
 		st := &states[proc]
@@ -225,6 +281,36 @@ func (p *Plan) BuildLoop(env *interp.Env, procs, k int, dist inspector.Dist) (*r
 		}
 	}
 	return loop, contribs, nil
+}
+
+// ComputeFacts runs the dataflow bounds analysis for this plan's loop
+// against an environment: concrete parameter values plus min/max scans of
+// every bound indirection array seed the interval domain. The result does
+// not carry the rotated-array claim (IndProven) — BuildLoop fills that in
+// from the extracted columns.
+func (p *Plan) ComputeFacts(env *interp.Env) *dataflow.Facts {
+	opts := dataflow.Options{Params: env.Params, Contents: map[string]dataflow.Interval{}}
+	var scanned []string
+	for name, data := range env.Ints {
+		opts.Contents[name] = dataflow.ScanInt32(data)
+		scanned = append(scanned, name)
+	}
+	lf := dataflow.AnalyzeLoop(p.Prog, p.Loop, opts)
+	return lf.Proof(scanned)
+}
+
+// RuntimeErr reports the first range fault recorded by any processor's
+// checked bytecode during runs since the last BuildLoop, or nil. Proven
+// (unchecked) accesses never fault; unproven accesses clamp to a safe
+// index, finish the run, and surface here.
+func (p *Plan) RuntimeErr() error {
+	var errs []error
+	for _, c := range p.codes {
+		if err := c.Err(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Scatter unpacks the runtime's rotated array back into the environment's

@@ -1,0 +1,657 @@
+// Package dataflow is an abstract-interpretation engine over the IRL AST:
+// interval (value-range) analysis of scalars, subscripts and
+// indirection-array contents, reaching definitions, and liveness over
+// straight-line loop bodies. Its results feed three consumers:
+//
+//   - precise lint diagnostics (IRL013+): provable out-of-bounds
+//     subscripts, dataflow-dead statements, reads of never-written array
+//     ranges, loop-invariant subexpressions;
+//   - proof-carrying bounds-check elimination: when every subscript of a
+//     compiled loop is proven in-bounds, the bytecode compiler and the
+//     native runtime drop per-access validation, recording the discharged
+//     obligations in a Facts artifact attached to the loop;
+//   - a bounded model checker (modelcheck.go) for the systolic ownership
+//     protocol, proving the single-writer and rotation invariants for all
+//     small (P, k) strategies.
+//
+// The interval domain is symbolic: a bound is a constant or `param + c`
+// where param is a declared program parameter, assumed to be a nonnegative
+// integer (parameters are array extents and trip counts). That one
+// assumption discharges the canonical obligation — `i` in [0, n-1] is
+// inside an extent-n array — without knowing n. Concrete parameter values
+// and one-pass min/max scans of indirection arrays (ScanInt32) tighten the
+// same analysis at compile time for the proof-carrying path.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"irred/internal/lang"
+)
+
+// Options seeds the analysis with optional concrete knowledge.
+type Options struct {
+	// Params binds parameters to concrete values. Unbound parameters stay
+	// symbolic (each is assumed only to be a nonnegative integer).
+	Params map[string]int
+	// Contents gives the value interval of an int (indirection) array's
+	// contents, typically from ScanInt32 over the bound data. Arrays
+	// without an entry are assumed to hold any integer.
+	Contents map[string]Interval
+}
+
+// Status classifies one bounds obligation.
+type Status int
+
+const (
+	// Unknown: the interval neither proves the access in-bounds nor out.
+	Unknown Status = iota
+	// Proven: every value of the subscript interval is an integer inside
+	// [0, extent).
+	Proven
+	// OOB: every value of the subscript interval lies outside [0, extent) —
+	// the access faults whenever it executes.
+	OOB
+)
+
+func (s Status) String() string {
+	switch s {
+	case Proven:
+		return "proven"
+	case OOB:
+		return "out-of-bounds"
+	default:
+		return "unknown"
+	}
+}
+
+// Access records the interval analysis of one subscript dimension of one
+// array reference occurrence.
+type Access struct {
+	Ref    *lang.IndexExpr // the referencing expression (identity matters)
+	Stmt   int             // body index of the owning statement
+	Dim    int             // subscript dimension
+	Write  bool            // true when Ref is the statement's target
+	Index  Interval        // interval of the subscript expression
+	Extent Bound           // declared extent of the dimension
+	Status Status
+}
+
+// LoopFacts is the dataflow result for one loop.
+type LoopFacts struct {
+	Loop *lang.Loop
+	// Var is the interval of the loop variable over [lo, hi).
+	Var Interval
+	// Scalars maps each body-defined scalar to the interval of its value
+	// (after its definition, within one iteration).
+	Scalars map[string]Interval
+	// RHS holds the interval of each body statement's right-hand side.
+	RHS []Interval
+	// Accesses lists every subscript obligation in body order (targets and
+	// right-hand sides, including subscripts of indirection arrays).
+	Accesses []Access
+	// Dead lists body indices of dataflow-dead statements: reductions whose
+	// contribution is provably zero, and scalar definitions whose value can
+	// never reach a live statement. Sorted ascending.
+	Dead []int
+	// ZeroRed is the subset of Dead that are provably-zero reductions.
+	ZeroRed []int
+	// Reaching maps, per body statement, each scalar the statement reads to
+	// the body index of the definition that reaches the read; -1 means no
+	// definition reaches it (the read faults at runtime, since scalars are
+	// reset every iteration).
+	Reaching []map[string]int
+	// Invariant lists the maximal non-trivial loop-invariant subexpressions
+	// of right-hand sides, in body order.
+	Invariant []InvariantExpr
+}
+
+// InvariantExpr is one loop-invariant right-hand-side subexpression.
+type InvariantExpr struct {
+	Stmt int // body index
+	Expr lang.Expr
+}
+
+// AllProven reports whether every subscript obligation of the loop is
+// proven in-bounds — the condition for unchecked execution.
+func (lf *LoopFacts) AllProven() bool {
+	if len(lf.Accesses) == 0 {
+		return false
+	}
+	for _, a := range lf.Accesses {
+		if a.Status != Proven {
+			return false
+		}
+	}
+	return true
+}
+
+// RefProven reports whether every dimension of the given reference
+// occurrence is proven in-bounds. The lookup is by node identity.
+func (lf *LoopFacts) RefProven(ix *lang.IndexExpr) bool {
+	found := false
+	for _, a := range lf.Accesses {
+		if a.Ref == ix {
+			found = true
+			if a.Status != Proven {
+				return false
+			}
+		}
+	}
+	return found
+}
+
+// IsDead reports whether body statement idx is dataflow-dead.
+func (lf *LoopFacts) IsDead(idx int) bool {
+	for _, d := range lf.Dead {
+		if d == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// StaleRead is a cross-loop finding: a later loop reads elements of an
+// array that the program writes, at indices provably disjoint from
+// everything written — the read can only observe initial (input) data.
+type StaleRead struct {
+	Array   string
+	Ref     *lang.IndexExpr
+	Loop    int // index of the reading loop in Program.Loops
+	Read    Interval
+	Written Interval
+}
+
+// Result is the whole-program analysis.
+type Result struct {
+	Prog  *lang.Program
+	Opts  Options
+	Loops []*LoopFacts
+	// Stale lists reads of never-written element ranges, program order.
+	Stale []StaleRead
+}
+
+// AnalyzeProgram runs the loop analysis on every loop and the cross-loop
+// written-range analysis. The analysis is total: malformed references
+// (undeclared arrays, wrong dimensionality) simply contribute no facts —
+// the parser and Section 4 analysis own those rejections.
+func AnalyzeProgram(prog *lang.Program, opts Options) *Result {
+	res := &Result{Prog: prog, Opts: opts}
+	// written tracks, per float array, the hull of all element intervals
+	// written by loops seen so far.
+	written := map[string]Interval{}
+	for li, l := range prog.Loops {
+		lf := AnalyzeLoop(prog, l, opts)
+		res.Loops = append(res.Loops, lf)
+
+		// Reads of previously-written arrays at provably disjoint indices.
+		wroteHere := map[string]bool{}
+		for _, a := range lf.Accesses {
+			if a.Write {
+				wroteHere[a.Ref.Array] = true
+			}
+		}
+		for _, a := range lf.Accesses {
+			decl := prog.Array(a.Ref.Array)
+			if a.Write || decl == nil || decl.Int || len(decl.Dims) != 1 {
+				continue
+			}
+			w, ok := written[a.Ref.Array]
+			if !ok || wroteHere[a.Ref.Array] {
+				continue
+			}
+			if disjoint(a.Index, w) {
+				res.Stale = append(res.Stale, StaleRead{
+					Array: a.Ref.Array, Ref: a.Ref, Loop: li,
+					Read: a.Index, Written: w,
+				})
+			}
+		}
+		for _, a := range lf.Accesses {
+			decl := prog.Array(a.Ref.Array)
+			if !a.Write || decl == nil || decl.Int {
+				continue
+			}
+			iv := a.Index
+			if len(decl.Dims) != 1 {
+				// Multi-dimensional writes: give up on range tracking and
+				// treat the whole array as written.
+				iv = Top()
+			}
+			if w, ok := written[a.Ref.Array]; ok {
+				written[a.Ref.Array] = Join(w, iv)
+			} else {
+				written[a.Ref.Array] = iv
+			}
+		}
+	}
+	return res
+}
+
+// disjoint reports whether the two intervals are provably disjoint.
+func disjoint(a, b Interval) bool {
+	return lt(a.Hi, b.Lo) || lt(b.Hi, a.Lo)
+}
+
+// AnalyzeLoop runs interval analysis, reaching definitions, liveness, dead
+// statement detection and invariant detection over one loop body.
+func AnalyzeLoop(prog *lang.Program, l *lang.Loop, opts Options) *LoopFacts {
+	lf := &LoopFacts{Loop: l, Scalars: map[string]Interval{}}
+	ev := &evaluator{prog: prog, loop: l, opts: opts, lf: lf, env: lf.Scalars}
+
+	// Loop variable: [lo, hi-1]. The bound expressions are evaluated with
+	// the loop variable itself unknown (referencing it there is a runtime
+	// error anyway).
+	ev.varKnown = false
+	loIv := ev.evalNoRecord(l.Lo)
+	hiIv := ev.evalNoRecord(l.Hi)
+	lf.Var = Interval{
+		Lo:  loIv.Lo,
+		Hi:  addB(hiIv.Hi, Finite(-1), +1),
+		Int: loIv.Int && hiIv.Int,
+		// Not exact: the loop may run zero iterations, in which case the
+		// endpoints are never attained.
+	}
+	ev.varKnown = true
+
+	// Forward pass over the straight-line body. Scalars are reset every
+	// iteration by the reference semantics, so a use before its definition
+	// is a runtime fault, not a loop-carried dependence: a single pass
+	// reaches the fixpoint. Reaching definitions fall out of the same walk.
+	lastDef := map[string]int{}
+	lf.RHS = make([]Interval, len(l.Body))
+	lf.Reaching = make([]map[string]int, len(l.Body))
+	for idx, st := range l.Body {
+		ev.stmt = idx
+		lf.Reaching[idx] = reachingOf(ev, st, lastDef)
+		rhs := ev.eval(st.RHS)
+		lf.RHS[idx] = rhs
+		if st.Scalar != "" {
+			lf.Scalars[st.Scalar] = rhs
+			lastDef[st.Scalar] = idx
+		} else if st.Target != nil {
+			ev.access(st.Target, true)
+		}
+	}
+
+	lf.Dead, lf.ZeroRed = deadStatements(ev, l, lf)
+	lf.Invariant = invariants(prog, l, lf)
+	return lf
+}
+
+// reachingOf records which definition reaches each scalar read of st.
+func reachingOf(ev *evaluator, st *lang.Assign, lastDef map[string]int) map[string]int {
+	var m map[string]int
+	note := func(e lang.Expr) {
+		lang.Walk(e, func(x lang.Expr) {
+			id, ok := x.(*lang.Ident)
+			if !ok || !ev.isScalar(id.Name) {
+				return
+			}
+			if m == nil {
+				m = map[string]int{}
+			}
+			if d, ok := lastDef[id.Name]; ok {
+				m[id.Name] = d
+			} else {
+				m[id.Name] = -1
+			}
+		})
+	}
+	note(st.RHS)
+	if st.Target != nil {
+		for _, sub := range st.Target.Index {
+			note(sub)
+		}
+	}
+	return m
+}
+
+// evaluator computes expression intervals, recording subscript obligations
+// as it descends through array references.
+type evaluator struct {
+	prog     *lang.Program
+	loop     *lang.Loop
+	opts     Options
+	lf       *LoopFacts
+	env      map[string]Interval
+	stmt     int
+	varKnown bool
+	record   bool
+}
+
+// isParam reports whether name is a declared parameter.
+func (ev *evaluator) isParam(name string) bool {
+	for _, p := range ev.prog.Params {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isScalar reports whether name is a loop-body temporary: not the loop
+// variable, not a parameter, not an array.
+func (ev *evaluator) isScalar(name string) bool {
+	return name != ev.loop.Var && !ev.isParam(name) && ev.prog.Array(name) == nil
+}
+
+// evalNoRecord evaluates without recording Access entries (loop bounds).
+func (ev *evaluator) evalNoRecord(e lang.Expr) Interval {
+	saved := ev.record
+	ev.record = false
+	iv := ev.evalInner(e)
+	ev.record = saved
+	return iv
+}
+
+// eval evaluates a body expression, recording every subscript obligation.
+func (ev *evaluator) eval(e lang.Expr) Interval {
+	ev.record = true
+	return ev.evalInner(e)
+}
+
+func (ev *evaluator) evalInner(e lang.Expr) Interval {
+	switch x := e.(type) {
+	case *lang.Num:
+		return Singleton(x.Val)
+	case *lang.Ident:
+		if x.Name == ev.loop.Var {
+			if ev.varKnown {
+				return ev.lf.Var
+			}
+			return Top()
+		}
+		if iv, ok := ev.env[x.Name]; ok {
+			return iv
+		}
+		if ev.isParam(x.Name) {
+			return paramInterval(x.Name, ev.opts.Params)
+		}
+		return Top()
+	case *lang.IndexExpr:
+		if ev.record {
+			ev.access(x, false)
+		} else {
+			for _, sub := range x.Index {
+				ev.evalInner(sub)
+			}
+		}
+		decl := ev.prog.Array(x.Array)
+		if decl != nil && decl.Int {
+			if iv, ok := ev.opts.Contents[x.Array]; ok {
+				return iv
+			}
+			return TopInt()
+		}
+		return Top()
+	case *lang.BinExpr:
+		a := ev.evalInner(x.L)
+		b := ev.evalInner(x.R)
+		switch x.Op {
+		case '+':
+			return a.Add(b)
+		case '-':
+			return a.Sub(b)
+		case '*':
+			return a.Mul(b)
+		case '/':
+			return a.Div(b)
+		}
+		return Top()
+	case *lang.UnExpr:
+		return ev.evalInner(x.X).Neg()
+	case *lang.CallExpr:
+		args := make([]Interval, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ev.evalInner(a)
+		}
+		switch x.Fn {
+		case "sqrt":
+			if len(args) == 1 {
+				return args[0].Sqrt()
+			}
+		case "abs":
+			if len(args) == 1 {
+				return args[0].Abs()
+			}
+		case "min":
+			if len(args) == 2 {
+				return args[0].Min(args[1])
+			}
+		case "max":
+			if len(args) == 2 {
+				return args[0].Max(args[1])
+			}
+		}
+		return Top()
+	}
+	return Top()
+}
+
+// access records the bounds obligations of one array reference, evaluating
+// (and thereby recording) its subscripts first.
+func (ev *evaluator) access(ix *lang.IndexExpr, write bool) {
+	decl := ev.prog.Array(ix.Array)
+	if decl == nil || len(ix.Index) != len(decl.Dims) {
+		// Malformed; the parser/analysis layers reject these. Still walk the
+		// subscripts so nested references are recorded.
+		for _, sub := range ix.Index {
+			ev.evalInner(sub)
+		}
+		return
+	}
+	for d, sub := range ix.Index {
+		iv := ev.evalInner(sub)
+		ext := extentBound(decl.Dims[d], ev.opts.Params)
+		st := Unknown
+		switch {
+		case iv.Within(ext):
+			st = Proven
+		case iv.DefinitelyOutside(ext):
+			st = OOB
+		}
+		ev.lf.Accesses = append(ev.lf.Accesses, Access{
+			Ref: ix, Stmt: ev.stmt, Dim: d, Write: write,
+			Index: iv, Extent: ext, Status: st,
+		})
+	}
+}
+
+// paramInterval is the interval of a parameter reference: its concrete
+// value when bound, else the symbolic point [p, p] (p assumed >= 0).
+func paramInterval(name string, params map[string]int) Interval {
+	if v, ok := params[name]; ok {
+		return Singleton(float64(v))
+	}
+	return Interval{Lo: Bound{Sym: name}, Hi: Bound{Sym: name}, Int: true, Exact: true}
+}
+
+// extentBound is the declared extent of one dimension as a bound.
+func extentBound(x lang.Extent, params map[string]int) Bound {
+	if x.Param == "" {
+		return Finite(float64(x.Lit))
+	}
+	if v, ok := params[x.Param]; ok {
+		return Finite(float64(v))
+	}
+	return Bound{Sym: x.Param}
+}
+
+// deadStatements runs the liveness pass: reductions with provably-zero
+// contributions are dead outright; a scalar definition is dead when no
+// live statement after it (before any redefinition) reads the scalar.
+// Bodies are straight-line and scalars reset per iteration, so one
+// backward pass is the fixpoint.
+func deadStatements(ev *evaluator, l *lang.Loop, lf *LoopFacts) (dead, zero []int) {
+	isZeroRed := func(idx int) bool {
+		st := l.Body[idx]
+		if st.Target == nil || st.Op == lang.OpSet {
+			return false
+		}
+		iv := lf.RHS[idx]
+		v, ok := iv.IsSingleton()
+		return ok && iv.Exact && v == 0
+	}
+	live := map[string]bool{}
+	markReads := func(st *lang.Assign) {
+		note := func(e lang.Expr) {
+			lang.Walk(e, func(x lang.Expr) {
+				if id, ok := x.(*lang.Ident); ok && ev.isScalar(id.Name) {
+					live[id.Name] = true
+				}
+			})
+		}
+		note(st.RHS)
+		if st.Target != nil {
+			for _, sub := range st.Target.Index {
+				note(sub)
+			}
+		}
+	}
+	deadSet := map[int]bool{}
+	for idx := len(l.Body) - 1; idx >= 0; idx-- {
+		st := l.Body[idx]
+		if st.Target != nil {
+			if isZeroRed(idx) {
+				deadSet[idx] = true
+				zero = append(zero, idx)
+				continue
+			}
+			markReads(st)
+			continue
+		}
+		if !live[st.Scalar] {
+			deadSet[idx] = true
+			continue
+		}
+		delete(live, st.Scalar)
+		markReads(st)
+	}
+	for idx := range deadSet {
+		dead = append(dead, idx)
+	}
+	sort.Ints(dead)
+	sort.Ints(zero)
+	return dead, zero
+}
+
+// invariants finds the maximal non-trivial loop-invariant subexpressions
+// of each statement's right-hand side. An expression is invariant when it
+// references neither the loop variable nor any body-defined scalar, and
+// every array it reads has invariant subscripts and is not written by the
+// loop. Trivial candidates (literals, bare identifiers, pure-constant
+// arithmetic) are skipped — only BinExpr/CallExpr nodes that mention at
+// least one identifier or array element are worth hoisting.
+func invariants(prog *lang.Program, l *lang.Loop, lf *LoopFacts) []InvariantExpr {
+	writtenArrays := map[string]bool{}
+	scalars := map[string]bool{}
+	for _, st := range l.Body {
+		if st.Target != nil {
+			writtenArrays[st.Target.Array] = true
+		} else {
+			scalars[st.Scalar] = true
+		}
+	}
+	var isInv func(e lang.Expr) bool
+	isInv = func(e lang.Expr) bool {
+		switch x := e.(type) {
+		case *lang.Num:
+			return true
+		case *lang.Ident:
+			return x.Name != l.Var && !scalars[x.Name]
+		case *lang.IndexExpr:
+			if writtenArrays[x.Array] {
+				return false
+			}
+			for _, sub := range x.Index {
+				if !isInv(sub) {
+					return false
+				}
+			}
+			return true
+		case *lang.BinExpr:
+			return isInv(x.L) && isInv(x.R)
+		case *lang.UnExpr:
+			return isInv(x.X)
+		case *lang.CallExpr:
+			for _, a := range x.Args {
+				if !isInv(a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	nonTrivial := func(e lang.Expr) bool {
+		switch e.(type) {
+		case *lang.BinExpr, *lang.CallExpr:
+		default:
+			return false
+		}
+		mentions := false
+		lang.Walk(e, func(x lang.Expr) {
+			switch x.(type) {
+			case *lang.Ident, *lang.IndexExpr:
+				mentions = true
+			}
+		})
+		return mentions
+	}
+	var out []InvariantExpr
+	for idx, st := range l.Body {
+		var visit func(e lang.Expr)
+		visit = func(e lang.Expr) {
+			if isInv(e) && nonTrivial(e) {
+				out = append(out, InvariantExpr{Stmt: idx, Expr: e})
+				return // maximal: don't descend into a reported node
+			}
+			switch x := e.(type) {
+			case *lang.IndexExpr:
+				// Subscripts of a varying reference are expected to vary;
+				// constant-subscript reads inside them were handled above.
+			case *lang.BinExpr:
+				visit(x.L)
+				visit(x.R)
+			case *lang.UnExpr:
+				visit(x.X)
+			case *lang.CallExpr:
+				for _, a := range x.Args {
+					visit(a)
+				}
+			}
+		}
+		visit(st.RHS)
+	}
+	return out
+}
+
+// Describe renders the loop facts as a human-readable multi-line summary,
+// used by tests and debug output.
+func (lf *LoopFacts) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s: var %s\n", lf.Loop.Var, lf.Var)
+	names := make([]string, 0, len(lf.Scalars))
+	for n := range lf.Scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  scalar %s %s\n", n, lf.Scalars[n])
+	}
+	for _, a := range lf.Accesses {
+		kind := "read"
+		if a.Write {
+			kind = "write"
+		}
+		fmt.Fprintf(&b, "  %s %s dim %d: %s vs [0, %s): %s\n",
+			kind, a.Ref, a.Dim, a.Index, a.Extent, a.Status)
+	}
+	if len(lf.Dead) > 0 {
+		fmt.Fprintf(&b, "  dead: %v\n", lf.Dead)
+	}
+	return b.String()
+}

@@ -1,0 +1,404 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"irred/internal/inspector"
+)
+
+// Bound is one endpoint of an interval. A bound is either infinite, a
+// finite constant Off, or the symbolic form Sym + Off where Sym names a
+// program parameter. Parameters are array extents and loop trip counts, so
+// the domain assumes every parameter is a nonnegative integer; that single
+// assumption is what lets `i <= n-1 < n` discharge the in-bounds obligation
+// of y[i] against extent n without knowing n's value.
+type Bound struct {
+	Inf int8    // -1 = -infinity, +1 = +infinity, 0 = finite
+	Sym string  // parameter name; "" for a plain constant
+	Off float64 // constant part
+}
+
+// NegInf and PosInf are the infinite endpoints.
+var (
+	NegInf = Bound{Inf: -1}
+	PosInf = Bound{Inf: +1}
+)
+
+// Finite is the constant bound v.
+func Finite(v float64) Bound { return Bound{Off: v} }
+
+// Sym is the symbolic bound sym + off.
+func Sym(sym string, off float64) Bound { return Bound{Sym: sym, Off: off} }
+
+func (b Bound) String() string {
+	switch {
+	case b.Inf < 0:
+		return "-inf"
+	case b.Inf > 0:
+		return "+inf"
+	case b.Sym == "":
+		return trimFloat(b.Off)
+	case b.Off == 0:
+		return b.Sym
+	case b.Off < 0:
+		return fmt.Sprintf("%s-%s", b.Sym, trimFloat(-b.Off))
+	default:
+		return fmt.Sprintf("%s+%s", b.Sym, trimFloat(b.Off))
+	}
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Resolve substitutes a concrete parameter value when one is known,
+// turning a symbolic bound into a constant.
+func (b Bound) Resolve(params map[string]int) Bound {
+	if b.Inf != 0 || b.Sym == "" {
+		return b
+	}
+	if v, ok := params[b.Sym]; ok {
+		return Finite(float64(v) + b.Off)
+	}
+	return b
+}
+
+// leq reports whether a <= b is *provable* under the domain's assumption
+// that every parameter is >= 0. Unprovable comparisons return false — the
+// caller must treat false as "unknown", never as "greater".
+func leq(a, b Bound) bool {
+	switch {
+	case a.Inf < 0 || b.Inf > 0:
+		return true
+	case a.Inf > 0 || b.Inf < 0:
+		return false
+	case a.Sym == b.Sym:
+		return a.Off <= b.Off
+	case a.Sym == "":
+		// c <= s + d holds whenever c <= d, since s >= 0.
+		return a.Off <= b.Off
+	default:
+		// s + c <= d is unprovable (s unbounded above), as is s + c <= t + d
+		// for distinct parameters s, t.
+		return false
+	}
+}
+
+// lt reports whether a < b is provable.
+func lt(a, b Bound) bool {
+	switch {
+	case a.Inf != 0 || b.Inf != 0:
+		// Strict comparison against an infinity is provable exactly when the
+		// non-strict one is and the bounds are not the same infinity.
+		return leq(a, b) && !(a.Inf != 0 && a.Inf == b.Inf)
+	case a.Sym == b.Sym:
+		return a.Off < b.Off
+	case a.Sym == "":
+		return a.Off < b.Off
+	default:
+		return false
+	}
+}
+
+// addB adds two bounds, rounding toward `dir` (-1 = down to -inf, +1 = up
+// to +inf) when the sum leaves the representable sym+off form.
+func addB(a, b Bound, dir int8) Bound {
+	if a.Inf != 0 {
+		return a
+	}
+	if b.Inf != 0 {
+		return b
+	}
+	switch {
+	case a.Sym == "":
+		return Bound{Sym: b.Sym, Off: a.Off + b.Off}
+	case b.Sym == "":
+		return Bound{Sym: a.Sym, Off: a.Off + b.Off}
+	default:
+		return Bound{Inf: dir}
+	}
+}
+
+// subB subtracts two bounds, rounding toward dir when the difference
+// leaves the representable form. Crucially, identical symbols cancel:
+// (n + a) - (n + b) = a - b exactly, which is what lets `i - n` for
+// i in [0, n-1] keep the finite upper bound -1.
+func subB(a, b Bound, dir int8) Bound {
+	if a.Inf != 0 {
+		return a
+	}
+	if b.Inf != 0 {
+		return Bound{Inf: -b.Inf}
+	}
+	switch {
+	case a.Sym == b.Sym:
+		return Finite(a.Off - b.Off)
+	case b.Sym == "":
+		return Bound{Sym: a.Sym, Off: a.Off - b.Off}
+	default:
+		return Bound{Inf: dir}
+	}
+}
+
+// negB negates a bound, rounding toward dir when -sym is unrepresentable.
+func negB(b Bound, dir int8) Bound {
+	switch {
+	case b.Inf != 0:
+		return Bound{Inf: -b.Inf}
+	case b.Sym == "":
+		return Finite(-b.Off)
+	default:
+		return Bound{Inf: dir}
+	}
+}
+
+// constVal reports the bound's value when it is a finite constant.
+func (b Bound) constVal() (float64, bool) {
+	if b.Inf == 0 && b.Sym == "" {
+		return b.Off, true
+	}
+	return 0, false
+}
+
+// minB / maxB pick the provably smaller / larger bound, rounding toward
+// the safe infinity when the comparison is unprovable.
+func minB(a, b Bound) Bound {
+	if leq(a, b) {
+		return a
+	}
+	if leq(b, a) {
+		return b
+	}
+	return NegInf
+}
+
+func maxB(a, b Bound) Bound {
+	if leq(b, a) {
+		return a
+	}
+	if leq(a, b) {
+		return b
+	}
+	return PosInf
+}
+
+// Interval is the abstract value of a scalar expression: a closed range
+// [Lo, Hi] plus two qualifiers. Int records that every concrete value is
+// an integer (required before an in-bounds range implies a safe subscript).
+// Exact records that the interval is tight — both endpoints are attained
+// over the loop's iteration space — which is what licenses *definite*
+// out-of-bounds reports rather than mere may-overflow warnings.
+type Interval struct {
+	Lo, Hi Bound
+	Int    bool
+	Exact  bool
+}
+
+// Top is the unconstrained interval.
+func Top() Interval { return Interval{Lo: NegInf, Hi: PosInf} }
+
+// TopInt is the unconstrained integer interval (e.g. the contents of an
+// indirection array that has not been scanned).
+func TopInt() Interval { return Interval{Lo: NegInf, Hi: PosInf, Int: true} }
+
+// Singleton is the exact one-point interval.
+func Singleton(v float64) Interval {
+	return Interval{Lo: Finite(v), Hi: Finite(v), Int: v == math.Trunc(v) && !math.IsInf(v, 0), Exact: true}
+}
+
+// Range is the interval [lo, hi] of integers.
+func Range(lo, hi Bound) Interval { return Interval{Lo: lo, Hi: hi, Int: true} }
+
+func (iv Interval) String() string {
+	qual := ""
+	if iv.Int {
+		qual = " int"
+	}
+	if iv.Exact {
+		qual += " exact"
+	}
+	return fmt.Sprintf("[%s, %s]%s", iv.Lo, iv.Hi, qual)
+}
+
+// IsSingleton reports the single constant value the interval holds, if any.
+func (iv Interval) IsSingleton() (float64, bool) {
+	a, aok := iv.Lo.constVal()
+	b, bok := iv.Hi.constVal()
+	if aok && bok && a == b {
+		return a, true
+	}
+	return 0, false
+}
+
+// Resolve substitutes known parameter values into both endpoints.
+func (iv Interval) Resolve(params map[string]int) Interval {
+	iv.Lo = iv.Lo.Resolve(params)
+	iv.Hi = iv.Hi.Resolve(params)
+	return iv
+}
+
+// Join is the least upper bound (union hull) of two intervals.
+func Join(a, b Interval) Interval {
+	return Interval{
+		Lo:  minB(a.Lo, b.Lo),
+		Hi:  maxB(a.Hi, b.Hi),
+		Int: a.Int && b.Int,
+		// The hull of two exact intervals is exact only when one contains
+		// the other; proving that symbolically is rarely possible, so the
+		// join conservatively drops exactness unless the intervals coincide.
+		Exact: a.Exact && b.Exact && a.Lo == b.Lo && a.Hi == b.Hi,
+	}
+}
+
+// Add returns the interval of x + y.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{
+		Lo:    addB(iv.Lo, o.Lo, -1),
+		Hi:    addB(iv.Hi, o.Hi, +1),
+		Int:   iv.Int && o.Int,
+		Exact: iv.Exact && o.Exact && (iv.isPoint() || o.isPoint()),
+	}
+}
+
+// Sub returns the interval of x - y: [Lo - o.Hi, Hi - o.Lo], with
+// same-symbol cancellation via subB.
+func (iv Interval) Sub(o Interval) Interval {
+	return Interval{
+		Lo:    subB(iv.Lo, o.Hi, -1),
+		Hi:    subB(iv.Hi, o.Lo, +1),
+		Int:   iv.Int && o.Int,
+		Exact: iv.Exact && o.Exact && (iv.isPoint() || o.isPoint()),
+	}
+}
+
+// Neg returns the interval of -x.
+func (iv Interval) Neg() Interval {
+	return Interval{Lo: negB(iv.Hi, -1), Hi: negB(iv.Lo, +1), Int: iv.Int, Exact: iv.Exact}
+}
+
+// isPoint reports whether the interval is structurally a single value
+// (identical endpoints, possibly symbolic).
+func (iv Interval) isPoint() bool { return iv.Lo.Inf == 0 && iv.Lo == iv.Hi }
+
+// Mul returns the interval of x * y. Symbolic endpoints survive only
+// through multiplication by an exact zero (which annihilates) — any other
+// symbolic product widens to infinity on the affected side.
+func (iv Interval) Mul(o Interval) Interval {
+	if v, ok := iv.IsSingleton(); ok && v == 0 && iv.Exact {
+		return Singleton(0)
+	}
+	if v, ok := o.IsSingleton(); ok && v == 0 && o.Exact {
+		return Singleton(0)
+	}
+	a1, ok1 := iv.Lo.constVal()
+	a2, ok2 := iv.Hi.constVal()
+	b1, ok3 := o.Lo.constVal()
+	b2, ok4 := o.Hi.constVal()
+	if !(ok1 && ok2 && ok3 && ok4) {
+		return Interval{Lo: NegInf, Hi: PosInf, Int: iv.Int && o.Int}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range [4]float64{a1 * b1, a1 * b2, a2 * b1, a2 * b2} {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return Interval{
+		Lo: Finite(lo), Hi: Finite(hi),
+		Int:   iv.Int && o.Int,
+		Exact: iv.Exact && o.Exact && iv.isPoint() && o.isPoint(),
+	}
+}
+
+// Div returns the interval of x / y. Division never preserves integrality
+// (IRL has no integer division), and any divisor range containing zero
+// widens to the full line (IEEE division by zero yields an infinity, which
+// the in-bounds checks must treat as fatal anyway).
+func (iv Interval) Div(o Interval) Interval {
+	a1, ok1 := iv.Lo.constVal()
+	a2, ok2 := iv.Hi.constVal()
+	b1, ok3 := o.Lo.constVal()
+	b2, ok4 := o.Hi.constVal()
+	if !(ok1 && ok2 && ok3 && ok4) || b1 <= 0 && b2 >= 0 {
+		return Top()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range [4]float64{a1 / b1, a1 / b2, a2 / b1, a2 / b2} {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return Interval{Lo: Finite(lo), Hi: Finite(hi)}
+}
+
+// Sqrt returns the interval of sqrt(x).
+func (iv Interval) Sqrt() Interval {
+	lo, hi := Finite(0), PosInf
+	if v, ok := iv.Lo.constVal(); ok && v > 0 {
+		lo = Finite(math.Sqrt(v))
+	}
+	if v, ok := iv.Hi.constVal(); ok && v >= 0 {
+		hi = Finite(math.Sqrt(v))
+	}
+	if v, ok := iv.Hi.constVal(); ok && v < 0 {
+		// sqrt of a provably negative range is NaN everywhere; treat as top
+		// (the access analysis will refuse integrality anyway).
+		return Top()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Abs returns the interval of abs(x).
+func (iv Interval) Abs() Interval {
+	if leq(Finite(0), iv.Lo) {
+		return Interval{Lo: iv.Lo, Hi: iv.Hi, Int: iv.Int, Exact: iv.Exact}
+	}
+	if leq(iv.Hi, Finite(0)) {
+		n := iv.Neg()
+		return Interval{Lo: n.Lo, Hi: n.Hi, Int: iv.Int, Exact: iv.Exact}
+	}
+	hi := maxB(iv.Hi, negB(iv.Lo, +1))
+	return Interval{Lo: Finite(0), Hi: hi, Int: iv.Int}
+}
+
+// Min returns the interval of min(x, y).
+func (iv Interval) Min(o Interval) Interval {
+	return Interval{Lo: minB(iv.Lo, o.Lo), Hi: minB(iv.Hi, o.Hi), Int: iv.Int && o.Int}
+}
+
+// Max returns the interval of max(x, y).
+func (iv Interval) Max(o Interval) Interval {
+	return Interval{Lo: maxB(iv.Lo, o.Lo), Hi: maxB(iv.Hi, o.Hi), Int: iv.Int && o.Int}
+}
+
+// Within reports whether the interval provably lies inside [0, extent):
+// 0 <= Lo and Hi <= extent-1, plus integrality of every value.
+func (iv Interval) Within(extent Bound) bool {
+	return iv.Int && leq(Finite(0), iv.Lo) && lt(iv.Hi, extent)
+}
+
+// DefinitelyOutside reports whether *every* value of the interval lies
+// outside [0, extent): the whole range is negative, or at or above the
+// extent. This needs no exactness — an overapproximation entirely outside
+// the legal range still proves each concrete access faults.
+func (iv Interval) DefinitelyOutside(extent Bound) bool {
+	return lt(iv.Hi, Finite(0)) || leq(extent, iv.Lo)
+}
+
+// Escapes reports whether some value of the interval provably lies outside
+// [0, extent). It requires exactness: for a tight interval the endpoints
+// are attained, so Lo < 0 or Hi >= extent exhibits a faulting access.
+func (iv Interval) Escapes(extent Bound) bool {
+	if iv.DefinitelyOutside(extent) {
+		return true
+	}
+	return iv.Exact && (lt(iv.Lo, Finite(0)) || leq(extent, iv.Hi))
+}
+
+// ScanInt32 is the one-pass runtime min/max scan of an indirection array:
+// the exact observed content range, the fact the proof-carrying pipeline
+// feeds back into the analysis as the array's value interval.
+func ScanInt32(data []int32) Interval {
+	lo, hi, ok := inspector.ContentRange(data)
+	if !ok {
+		return Interval{Lo: Finite(0), Hi: Finite(-1), Int: true, Exact: true}
+	}
+	return Interval{Lo: Finite(float64(lo)), Hi: Finite(float64(hi)), Int: true, Exact: true}
+}

@@ -1,0 +1,205 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundOrdering(t *testing.T) {
+	n := Bound{Sym: "n"}
+	cases := []struct {
+		a, b      Bound
+		leq, less bool
+	}{
+		{Finite(1), Finite(2), true, true},
+		{Finite(2), Finite(2), true, false},
+		{Finite(3), Finite(2), false, false},
+		{NegInf, Finite(0), true, true},
+		{Finite(0), PosInf, true, true},
+		{NegInf, NegInf, true, false},
+		{PosInf, PosInf, true, false},
+		// c <= n + d iff c <= d (n >= 0 assumed).
+		{Finite(0), n, true, false},          // 0 <= n but 0 < n unprovable (n may be 0)
+		{Finite(-1), n, true, true},          // -1 <= n and -1 < n
+		{Finite(0), Sym("n", 1), true, true}, // 0 < n+1
+		{Finite(1), n, false, false},         // 1 <= n unprovable
+		// n + c vs n + d compares offsets.
+		{Sym("n", -1), n, true, true},
+		{n, n, true, false},
+		{Sym("n", 1), n, false, false},
+		// sym vs const and distinct syms: unprovable.
+		{n, Finite(100), false, false},
+		{n, Bound{Sym: "m"}, false, false},
+	}
+	for _, c := range cases {
+		if got := leq(c.a, c.b); got != c.leq {
+			t.Errorf("leq(%s, %s) = %v, want %v", c.a, c.b, got, c.leq)
+		}
+		if got := lt(c.a, c.b); got != c.less {
+			t.Errorf("lt(%s, %s) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	a := Range(Finite(0), Finite(10))
+	b := Range(Finite(-3), Finite(3))
+	sum := a.Add(b)
+	if !leq(sum.Lo, Finite(-3)) || !leq(Finite(13), sum.Hi) || !sum.Int {
+		t.Errorf("Add: got %s", sum)
+	}
+	prod := a.Mul(b)
+	if got, _ := prod.Lo.constVal(); got != -30 {
+		t.Errorf("Mul lo: got %s", prod)
+	}
+	if got, _ := prod.Hi.constVal(); got != 30 {
+		t.Errorf("Mul hi: got %s", prod)
+	}
+	diff := a.Sub(a)
+	if got, _ := diff.Lo.constVal(); got != -10 {
+		t.Errorf("Sub: got %s", diff)
+	}
+
+	// Symbolic: [0, n-1] + 1 = [1, n].
+	iv := Range(Finite(0), Sym("n", -1)).Add(Singleton(1))
+	if iv.Lo != Finite(1) || iv.Hi != (Bound{Sym: "n"}) || !iv.Int {
+		t.Errorf("symbolic add: got %s", iv)
+	}
+	// Symbolic + symbolic widens to infinity.
+	wide := Range(Finite(0), Sym("n", 0)).Add(Range(Finite(0), Sym("m", 0)))
+	if wide.Hi.Inf != 1 {
+		t.Errorf("symbolic+symbolic should widen: got %s", wide)
+	}
+	// Exact zero annihilates even a symbolic interval.
+	zero := Singleton(0).Mul(Range(Finite(0), Sym("n", 0)))
+	if v, ok := zero.IsSingleton(); !ok || v != 0 || !zero.Exact {
+		t.Errorf("0 * [0,n] should be exactly 0: got %s", zero)
+	}
+	// Non-exact zero does not.
+	nz := Interval{Lo: Finite(0), Hi: Finite(0), Int: true}.Mul(Range(NegInf, PosInf))
+	if _, ok := nz.IsSingleton(); ok && nz.Exact {
+		t.Errorf("non-exact zero must not annihilate: got %s", nz)
+	}
+}
+
+func TestIntervalDiv(t *testing.T) {
+	a := Range(Finite(2), Finite(8))
+	if iv := a.Div(Range(Finite(2), Finite(4))); iv.Int {
+		t.Errorf("division must drop integrality: %s", iv)
+	} else if lo, _ := iv.Lo.constVal(); lo != 0.5 {
+		t.Errorf("div lo: %s", iv)
+	}
+	// Divisor range containing zero widens to top.
+	if iv := a.Div(Range(Finite(-1), Finite(1))); iv.Lo.Inf != -1 || iv.Hi.Inf != 1 {
+		t.Errorf("div by range containing 0: %s", iv)
+	}
+}
+
+func TestIntervalCalls(t *testing.T) {
+	sq := Range(Finite(4), Finite(9)).Sqrt()
+	if lo, _ := sq.Lo.constVal(); lo != 2 {
+		t.Errorf("sqrt lo: %s", sq)
+	}
+	if hi, _ := sq.Hi.constVal(); hi != 3 {
+		t.Errorf("sqrt hi: %s", sq)
+	}
+	abs := Range(Finite(-5), Finite(3)).Abs()
+	if lo, _ := abs.Lo.constVal(); lo != 0 {
+		t.Errorf("abs lo: %s", abs)
+	}
+	if hi, _ := abs.Hi.constVal(); hi != 5 {
+		t.Errorf("abs hi: %s", abs)
+	}
+	mn := Range(Finite(0), Finite(10)).Min(Range(Finite(5), Finite(7)))
+	if hi, _ := mn.Hi.constVal(); hi != 7 {
+		t.Errorf("min hi: %s", mn)
+	}
+	mx := Range(Finite(0), Finite(10)).Max(Range(Finite(5), Finite(20)))
+	if lo, _ := mx.Lo.constVal(); lo != 5 {
+		t.Errorf("max lo: %s", mx)
+	}
+}
+
+func TestWithinAndOutside(t *testing.T) {
+	n := Bound{Sym: "n"}
+	// The canonical obligation: i in [0, n-1] is inside extent n.
+	if !Range(Finite(0), Sym("n", -1)).Within(n) {
+		t.Error("[0, n-1] should be within [0, n)")
+	}
+	// i in [0, n] is not (the endpoint n escapes).
+	if Range(Finite(0), n).Within(n) {
+		t.Error("[0, n] must not be within [0, n)")
+	}
+	// A float interval is never within.
+	if (Interval{Lo: Finite(0), Hi: Finite(1)}).Within(Finite(10)) {
+		t.Error("non-integer interval must not be within")
+	}
+	// [n, 2n] is definitely outside [0, n)... only when n's positivity
+	// gives n >= extent — extent is the same symbol, so leq(n, n) holds.
+	if !Range(n, PosInf).DefinitelyOutside(n) {
+		t.Error("[n, +inf] should be definitely outside [0, n)")
+	}
+	if !Range(Finite(-5), Finite(-1)).DefinitelyOutside(n) {
+		t.Error("negative range should be definitely outside")
+	}
+	if Range(Finite(0), Finite(5)).DefinitelyOutside(Finite(10)) {
+		t.Error("[0,5] is not outside [0,10)")
+	}
+	// Escapes needs exactness for the partial case.
+	partial := Range(Finite(-1), Finite(5))
+	if partial.Escapes(Finite(10)) {
+		t.Error("inexact [-1,5] must not claim escape")
+	}
+	partial.Exact = true
+	if !partial.Escapes(Finite(10)) {
+		t.Error("exact [-1,5] attains -1, so it escapes")
+	}
+}
+
+func TestScanInt32(t *testing.T) {
+	iv := ScanInt32([]int32{3, 0, 7, 2})
+	if lo, _ := iv.Lo.constVal(); lo != 0 {
+		t.Errorf("scan lo: %s", iv)
+	}
+	if hi, _ := iv.Hi.constVal(); hi != 7 {
+		t.Errorf("scan hi: %s", iv)
+	}
+	if !iv.Int || !iv.Exact {
+		t.Errorf("scan qualifiers: %s", iv)
+	}
+	if !iv.Within(Finite(8)) || iv.Within(Finite(7)) {
+		t.Errorf("scan bounds proof: %s", iv)
+	}
+	empty := ScanInt32(nil)
+	if !empty.Within(Finite(1)) {
+		t.Errorf("empty scan should be vacuously within any extent: %s", empty)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	params := map[string]int{"n": 16}
+	b := Sym("n", -1).Resolve(params)
+	if v, ok := b.constVal(); !ok || v != 15 {
+		t.Errorf("resolve: %s", b)
+	}
+	iv := Range(Finite(0), Sym("n", -1)).Resolve(params)
+	if !iv.Within(Finite(16)) {
+		t.Errorf("resolved interval: %s", iv)
+	}
+	if got := Sym("m", 2).Resolve(params); got.Sym != "m" {
+		t.Errorf("unbound param must stay symbolic: %s", got)
+	}
+}
+
+func TestSingletonNonInteger(t *testing.T) {
+	s := Singleton(1.5)
+	if s.Int {
+		t.Error("1.5 is not an integer singleton")
+	}
+	if !Singleton(3).Int {
+		t.Error("3 is an integer singleton")
+	}
+	if Singleton(math.Inf(1)).Int {
+		t.Error("inf is not an integer")
+	}
+}

@@ -1,0 +1,100 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProveAllBounded(t *testing.T) {
+	checked, violations := ProveAll(8, 4)
+	if checked != 32 {
+		t.Fatalf("checked %d strategies, want 32", checked)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("production ownership map must verify; got %d violations, first: %v",
+			len(violations), violations[0])
+	}
+}
+
+// corruptOwnership wraps the production map but swaps the portions of two
+// processors in one phase for one of them only — breaking the single-writer
+// invariant without touching the rest of the protocol.
+type corruptOwnership struct {
+	Ownership
+	phase, proc, portion int
+}
+
+func (c corruptOwnership) PortionAt(p, ph int) int {
+	if p == c.proc && ph == c.phase {
+		return c.portion
+	}
+	return c.Ownership.PortionAt(p, ph)
+}
+
+func TestCorruptedOwnershipFailsLoudly(t *testing.T) {
+	base := ConfigOwnership(4, 2)
+	// Processor 1 claims processor 0's phase-0 portion.
+	corrupt := corruptOwnership{Ownership: base, phase: 0, proc: 1, portion: base.PortionAt(0, 0)}
+	violations := CheckStrategy(4, 2, corrupt)
+	if len(violations) == 0 {
+		t.Fatal("corrupted ownership map must produce violations")
+	}
+	kinds := map[string]bool{}
+	for _, v := range violations {
+		kinds[v.Kind] = true
+		if v.P != 4 || v.K != 2 {
+			t.Errorf("violation carries wrong strategy: %+v", v)
+		}
+	}
+	// The double-claim breaks single-writer, completeness (the abandoned
+	// portion is never owned by proc 1), and the inverse maps.
+	for _, want := range []string{"W1", "W2"} {
+		if !kinds[want] {
+			t.Errorf("expected a %s violation, got kinds %v (violations: %v)", want, kinds, violations)
+		}
+	}
+	if msg := violations[0].Error(); !strings.Contains(msg, "P=4, k=2") {
+		t.Errorf("violation message should name the strategy: %s", msg)
+	}
+}
+
+// brokenRotation keeps per-phase injectivity but uses a non-systolic
+// permutation (identity rotation by 1 phase instead of k), violating W3
+// for k > 1 while W1 still holds.
+type brokenRotation struct{ p, k int }
+
+func (b brokenRotation) Procs() int              { return b.p }
+func (b brokenRotation) Phases() int             { return b.p * b.k }
+func (b brokenRotation) PortionAt(p, ph int) int { return (p + ph) % (b.p * b.k) }
+func (b brokenRotation) OwnerAt(q, ph int) int {
+	for p := 0; p < b.p; p++ {
+		if b.PortionAt(p, ph) == q {
+			return p
+		}
+	}
+	return -1
+}
+func (b brokenRotation) PhaseOfPortion(p, q int) int {
+	n := b.p * b.k
+	return ((q-p)%n + n) % n
+}
+
+func TestBrokenRotationCaught(t *testing.T) {
+	violations := CheckStrategy(4, 2, brokenRotation{p: 4, k: 2})
+	var w3 bool
+	for _, v := range violations {
+		if v.Kind == "W3" {
+			w3 = true
+		}
+	}
+	if !w3 {
+		t.Fatalf("stride-1 rotation must violate the systolic k-phase motion: %v", violations)
+	}
+}
+
+func TestCheckStrategyShapeGuard(t *testing.T) {
+	violations := CheckStrategy(3, 2, ConfigOwnership(4, 2))
+	if len(violations) == 0 || violations[0].Kind != "W0" {
+		t.Fatalf("shape mismatch must be reported: %v", violations)
+	}
+}

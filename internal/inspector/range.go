@@ -1,0 +1,25 @@
+package inspector
+
+// ContentRange reports the minimum and maximum value across the given
+// indirection columns in one pass; ok is false when every column is empty.
+// It is the shared runtime scan behind the proof layer's content intervals
+// (dataflow.ScanInt32) and is usable on its own to pre-validate
+// deserialized indirection data before building schedules: contents inside
+// [0, NumElems) are exactly what Light requires of every owned iteration.
+func ContentRange(cols ...[]int32) (lo, hi int32, ok bool) {
+	for _, col := range cols {
+		for _, v := range col {
+			if !ok {
+				lo, hi, ok = v, v, true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi, ok
+}

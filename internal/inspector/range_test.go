@@ -1,0 +1,17 @@
+package inspector
+
+import "testing"
+
+func TestContentRange(t *testing.T) {
+	if _, _, ok := ContentRange(nil, []int32{}); ok {
+		t.Fatal("empty columns have no range")
+	}
+	lo, hi, ok := ContentRange([]int32{5, -2, 9}, []int32{}, []int32{7})
+	if !ok || lo != -2 || hi != 9 {
+		t.Fatalf("got [%d, %d] ok=%v, want [-2, 9] true", lo, hi, ok)
+	}
+	lo, hi, ok = ContentRange([]int32{3})
+	if !ok || lo != 3 || hi != 3 {
+		t.Fatalf("singleton: got [%d, %d] ok=%v", lo, hi, ok)
+	}
+}

@@ -1,0 +1,161 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"irred/internal/lang"
+)
+
+const checkedSrc = `
+param n, m
+array col[n] int
+array x[m]
+array y[n]
+loop i = 0, n {
+    y[i] += x[col[i]]
+}
+`
+
+func checkedEnv(t *testing.T, col []int32) (*Env, *lang.Loop) {
+	t.Helper()
+	prog := lang.MustParse(checkedSrc)
+	env := NewEnv(prog)
+	env.SetParam("n", len(col))
+	env.SetParam("m", 4)
+	if err := env.BindInt("col", col); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.BindFloat("x", []float64{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	return env, prog.Loops[0]
+}
+
+func TestCheckedFaultRecordedNotPanicked(t *testing.T) {
+	// col[2] = 9 escapes x's extent 4: formerly a slice-bounds panic,
+	// now a recorded fault with the access clamped.
+	env, loop := checkedEnv(t, []int32{0, 3, 9})
+	code, err := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.NumChecks() == 0 {
+		t.Fatal("default compilation must carry range checks")
+	}
+	out := make([]float64, 1)
+	for i := 0; i < 3; i++ {
+		code.Eval(i, out)
+	}
+	ferr := code.Err()
+	if ferr == nil {
+		t.Fatal("out-of-range access must record a fault")
+	}
+	if !strings.Contains(ferr.Error(), "x[col[i]]") || !strings.Contains(ferr.Error(), "9") {
+		t.Errorf("fault message should name the access and the value: %v", ferr)
+	}
+	// Valid iterations still computed correctly.
+	code2, _ := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	code2.Eval(0, out)
+	if out[0] != 10 {
+		t.Errorf("iteration 0 reads x[0]=10, got %v", out[0])
+	}
+	if code2.Err() != nil {
+		t.Errorf("valid iteration must not fault: %v", code2.Err())
+	}
+}
+
+func TestUncheckedElidesChecks(t *testing.T) {
+	env, loop := checkedEnv(t, []int32{0, 3, 1})
+	all := func(*lang.IndexExpr) bool { return true }
+	un, err := env.CompileIterOpts(loop, []lang.Expr{loop.Body[0].RHS}, CompileOpts{Unchecked: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.NumChecks() != 0 {
+		t.Fatalf("fully proven loop still has %d checks", un.NumChecks())
+	}
+	ch, err := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, 1)
+	b := make([]float64, 1)
+	for i := 0; i < 3; i++ {
+		un.Eval(i, a)
+		ch.Eval(i, b)
+		if a[0] != b[0] {
+			t.Fatalf("iter %d: unchecked %v != checked %v", i, a[0], b[0])
+		}
+	}
+	if ch.Err() != nil {
+		t.Fatalf("in-range data must not fault: %v", ch.Err())
+	}
+}
+
+func TestPartialProofKeepsOtherChecks(t *testing.T) {
+	env, loop := checkedEnv(t, []int32{0, 1, 2})
+	// Prove only the col[i] reference; x[col[i]] itself stays checked.
+	only := func(ix *lang.IndexExpr) bool { return ix.Array == "col" }
+	code, err := env.CompileIterOpts(loop, []lang.Expr{loop.Body[0].RHS}, CompileOpts{Unchecked: only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.NumChecks() == 0 || code.NumChecks() >= full.NumChecks() {
+		t.Fatalf("partial proof: got %d checks, fully checked has %d", code.NumChecks(), full.NumChecks())
+	}
+}
+
+func TestNonIntegerSubscriptFaults(t *testing.T) {
+	prog := lang.MustParse(`
+param n
+array x[n]
+array y[n]
+loop i = 0, n {
+    y[i] += x[i / 2]
+}
+`)
+	env := NewEnv(prog)
+	env.SetParam("n", 4)
+	if err := env.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Loops[0]
+	code, err := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 1)
+	code.Eval(1, out) // 1/2 = 0.5: not an integer subscript
+	if code.Err() == nil {
+		t.Fatal("non-integer subscript must fault under checked execution")
+	}
+}
+
+func TestCloneFaultsIndependently(t *testing.T) {
+	env, loop := checkedEnv(t, []int32{0, 9, 1})
+	code, err := env.CompileIter(loop, []lang.Expr{loop.Body[0].RHS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 1)
+	code.Eval(1, out) // faults
+	if code.Err() == nil {
+		t.Fatal("expected fault")
+	}
+	clone := code.Clone()
+	if clone.Err() != nil {
+		t.Fatal("clone must start with a clean fault state")
+	}
+	clone.Eval(0, out) // in range
+	if clone.Err() != nil {
+		t.Fatalf("clone faulted on valid data: %v", clone.Err())
+	}
+}

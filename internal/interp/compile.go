@@ -32,11 +32,24 @@ const (
 	opMax
 	opStore  // regs[a] = pop()
 	opResult // out[a] = pop()
+
+	// Checked variants, emitted unless a dataflow proof covers the access.
+	opRange  // validate top of stack against checks[a]; fault + clamp to 0 on failure
+	opLoad1C // opLoad1 with the index validated against checks[a] first
+	opLoadIC // opLoadI with the index validated against checks[a] first
 )
 
 type instr struct {
 	op opcode
 	a  int32
+}
+
+// check is one range-check site: the exclusive extent the value must stay
+// under and a prerendered message prefix naming the reference.
+type check struct {
+	arr int32  // f64/i32 slot for checked loads; -1 for subscript checks
+	ext int32  // exclusive upper bound (values must be integers in [0, ext))
+	msg string // "pos: ref" used in fault reports
 }
 
 // Code is a compiled per-iteration evaluator.
@@ -45,18 +58,38 @@ type Code struct {
 	consts []float64
 	f64    [][]float64 // referenced float arrays, resolved at compile time
 	i32    [][]int32   // referenced int arrays
+	checks []check
 	nRegs  int
 	nOut   int
 	stack  []float64
 	regs   []float64
+	err    error // first range fault, nil while clean
+}
+
+// CompileOpts controls bounds-check emission.
+type CompileOpts struct {
+	// Unchecked reports whether the given array reference occurrence is
+	// proven in-bounds (by identity), licensing the compiler to elide its
+	// range checks. Nil means nothing is proven: every access is checked.
+	// The caller owns the soundness of the predicate — the canonical
+	// implementation is dataflow.Facts.RefProven over a proof computed
+	// from this same environment's bindings.
+	Unchecked func(ix *lang.IndexExpr) bool
 }
 
 // CompileIter compiles loop l's scalar definitions followed by the given
-// result expressions. The returned Code is bound to the environment's
-// current array bindings (rebinding arrays requires recompilation) and is
-// NOT safe for concurrent use — clone one per goroutine with Clone.
+// result expressions, with every array access range-checked (faults are
+// recorded, not panics — see Err). The returned Code is bound to the
+// environment's current array bindings (rebinding arrays requires
+// recompilation) and is NOT safe for concurrent use — clone one per
+// goroutine with Clone.
 func (e *Env) CompileIter(l *lang.Loop, results []lang.Expr) (*Code, error) {
-	c := &compiler{env: e, loop: l, regOf: map[string]int32{}}
+	return e.CompileIterOpts(l, results, CompileOpts{})
+}
+
+// CompileIterOpts is CompileIter with explicit bounds-check control.
+func (e *Env) CompileIterOpts(l *lang.Loop, results []lang.Expr, opts CompileOpts) (*Code, error) {
+	c := &compiler{env: e, loop: l, opts: opts, regOf: map[string]int32{}}
 	for _, st := range l.Body {
 		if st.Scalar == "" {
 			continue
@@ -82,6 +115,7 @@ func (e *Env) CompileIter(l *lang.Loop, results []lang.Expr) (*Code, error) {
 		consts: c.consts,
 		f64:    c.f64,
 		i32:    c.i32,
+		checks: c.checks,
 		nRegs:  len(c.regOf),
 		nOut:   len(results),
 	}
@@ -91,16 +125,35 @@ func (e *Env) CompileIter(l *lang.Loop, results []lang.Expr) (*Code, error) {
 }
 
 // Clone returns an independent evaluator sharing the immutable program and
-// array bindings, for concurrent use from several goroutines.
+// array bindings, for concurrent use from several goroutines. The clone
+// starts with a clean fault state.
 func (c *Code) Clone() *Code {
 	out := *c
 	out.stack = make([]float64, 0, 16)
 	out.regs = make([]float64, c.nRegs)
+	out.err = nil
 	return &out
 }
 
 // NumResults reports how many output values Eval produces.
 func (c *Code) NumResults() int { return c.nOut }
+
+// NumChecks reports how many range-check sites the compiled code carries;
+// zero means the whole loop runs unchecked (fully proven).
+func (c *Code) NumChecks() int { return len(c.checks) }
+
+// Err reports the first range fault recorded by checked execution, or nil.
+// A faulting access clamps to a safe value and evaluation continues, so a
+// run always completes; callers inspect Err afterwards. Clones fault
+// independently.
+func (c *Code) Err() error { return c.err }
+
+// fault records the first out-of-range access.
+func (c *Code) fault(ck *check, v float64) {
+	if c.err == nil {
+		c.err = fmt.Errorf("interp: %s: subscript %v out of range [0, %d)", ck.msg, v, ck.ext)
+	}
+}
 
 // Eval runs the program for iteration i, writing the results into out
 // (len >= NumResults). Index bounds are checked by the slice accesses.
@@ -151,6 +204,33 @@ func (c *Code) Eval(i int, out []float64) {
 		case opResult:
 			out[in.a] = s[len(s)-1]
 			s = s[:len(s)-1]
+		case opRange:
+			ck := &c.checks[in.a]
+			v := s[len(s)-1]
+			if !(v >= 0 && v < float64(ck.ext)) || v != math.Trunc(v) {
+				c.fault(ck, v)
+				s[len(s)-1] = 0
+			}
+		case opLoad1C:
+			ck := &c.checks[in.a]
+			arr := c.f64[ck.arr]
+			idx := int(s[len(s)-1])
+			if idx < 0 || idx >= len(arr) {
+				c.fault(ck, s[len(s)-1])
+				s[len(s)-1] = 0
+			} else {
+				s[len(s)-1] = arr[idx]
+			}
+		case opLoadIC:
+			ck := &c.checks[in.a]
+			arr := c.i32[ck.arr]
+			idx := int(s[len(s)-1])
+			if idx < 0 || idx >= len(arr) {
+				c.fault(ck, s[len(s)-1])
+				s[len(s)-1] = 0
+			} else {
+				s[len(s)-1] = float64(arr[idx])
+			}
 		}
 	}
 	c.stack = s[:0]
@@ -159,10 +239,12 @@ func (c *Code) Eval(i int, out []float64) {
 type compiler struct {
 	env    *Env
 	loop   *lang.Loop
+	opts   CompileOpts
 	prog   []instr
 	consts []float64
 	f64    [][]float64
 	i32    [][]int32
+	checks []check
 	f64Of  map[string]int32
 	i32Of  map[string]int32
 	regOf  map[string]int32
@@ -212,8 +294,22 @@ func (c *compiler) i32Idx(name string) (int32, error) {
 	return c.i32Of[name], nil
 }
 
+// checkIdx interns a range-check site.
+func (c *compiler) checkIdx(arr, ext int32, msg string) int32 {
+	c.checks = append(c.checks, check{arr: arr, ext: ext, msg: msg})
+	return int32(len(c.checks) - 1)
+}
+
+// unchecked reports whether the access is covered by the caller's proof.
+func (c *compiler) unchecked(ix *lang.IndexExpr) bool {
+	return c.opts.Unchecked != nil && c.opts.Unchecked(ix)
+}
+
 // index compiles the flattened element index of an array reference onto
-// the stack.
+// the stack. Unless the reference is proven in-bounds, every subscript is
+// validated against its declared extent (opRange) before it participates
+// in the flattening — a faulting subscript is clamped to 0 so evaluation
+// can continue, with the fault recorded on the Code.
 func (c *compiler) index(ix *lang.IndexExpr) error {
 	decl := c.env.Prog.Array(ix.Array)
 	if decl == nil {
@@ -222,8 +318,24 @@ func (c *compiler) index(ix *lang.IndexExpr) error {
 	if len(ix.Index) != len(decl.Dims) {
 		return fmt.Errorf("interp:%s: array %q has %d dims, indexed with %d", ix.Pos, ix.Array, len(decl.Dims), len(ix.Index))
 	}
+	checked := !c.unchecked(ix)
+	emitCheck := func(d int) error {
+		if !checked {
+			return nil
+		}
+		ext, err := c.env.extentVal(decl.Dims[d])
+		if err != nil {
+			return err
+		}
+		msg := fmt.Sprintf("%s: %s dim %d", ix.Pos, ix, d)
+		c.emit(instr{op: opRange, a: c.checkIdx(-1, int32(ext), msg)})
+		return nil
+	}
 	// idx = sub0; for each later dim: idx = idx*ext + sub.
 	if err := c.expr(ix.Index[0]); err != nil {
+		return err
+	}
+	if err := emitCheck(0); err != nil {
 		return err
 	}
 	for d := 1; d < len(ix.Index); d++ {
@@ -234,6 +346,9 @@ func (c *compiler) index(ix *lang.IndexExpr) error {
 		c.emit(instr{op: opConst, a: c.constIdx(float64(ext))})
 		c.emit(instr{op: opMul})
 		if err := c.expr(ix.Index[d]); err != nil {
+			return err
+		}
+		if err := emitCheck(d); err != nil {
 			return err
 		}
 		c.emit(instr{op: opAdd})
@@ -264,18 +379,29 @@ func (c *compiler) expr(e lang.Expr) error {
 			return err
 		}
 		decl := c.env.Prog.Array(x.Array)
+		checked := !c.unchecked(x)
 		if decl.Int {
 			i, err := c.i32Idx(x.Array)
 			if err != nil {
 				return err
 			}
-			c.emit(instr{op: opLoadI, a: i})
+			if checked {
+				msg := fmt.Sprintf("%s: %s", x.Pos, x)
+				c.emit(instr{op: opLoadIC, a: c.checkIdx(i, int32(len(c.i32[i])), msg)})
+			} else {
+				c.emit(instr{op: opLoadI, a: i})
+			}
 		} else {
 			i, err := c.f64Idx(x.Array)
 			if err != nil {
 				return err
 			}
-			c.emit(instr{op: opLoad1, a: i})
+			if checked {
+				msg := fmt.Sprintf("%s: %s", x.Pos, x)
+				c.emit(instr{op: opLoad1C, a: c.checkIdx(i, int32(len(c.f64[i])), msg)})
+			} else {
+				c.emit(instr{op: opLoad1, a: i})
+			}
 		}
 	case *lang.BinExpr:
 		if err := c.expr(x.L); err != nil {

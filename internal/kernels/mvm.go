@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"irred/internal/dataflow"
 	"irred/internal/inspector"
 	"irred/internal/rts"
 	"irred/internal/sparse"
@@ -37,9 +38,12 @@ func NewMVM(a *sparse.CSR) *MVM {
 	return &MVM{A: a, Rows: a.RowOfNZ()}
 }
 
-// Loop describes the gather sweep to the runtime.
+// Loop describes the gather sweep to the runtime. The loop carries a
+// scanned bounds proof over the column indices when they are all in
+// range, so the native engine runs without per-read target validation.
 func (m *MVM) Loop(p, k int, dist inspector.Dist) *rts.Loop {
 	return &rts.Loop{
+		Proof: dataflow.IndirectionFacts("mvm gather sweep", m.A.N, m.A.Col),
 		Cfg: inspector.Config{
 			P: p, K: k,
 			NumIters: m.A.NNZ(),

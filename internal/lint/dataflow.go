@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"irred/internal/dataflow"
+	"irred/internal/lang"
+)
+
+// The dataflow-powered analyzers. Each owns one stable code:
+//
+//	IRL013  subscript provably out of range (Error)
+//	IRL014  dataflow-dead statement (Warn)
+//	IRL015  read of a never-written element range (Warn)
+//	IRL016  loop-invariant right-hand-side subexpression (Info)
+//
+// They run the interval analysis of internal/dataflow symbolically — no
+// parameter values, no array contents — so every finding holds for *all*
+// runtime bindings, which is what licenses Error severity for IRL013.
+
+// Dataflow returns the shared symbolic dataflow analysis of the program,
+// computed on first use. The analysis tolerates malformed programs (it
+// skips what it cannot type), so it is safe even when the Section 4
+// analysis failed.
+func (p *Pass) Dataflow() *dataflow.Result {
+	if p.df == nil {
+		p.df = dataflow.AnalyzeProgram(p.Prog, dataflow.Options{})
+	}
+	return p.df
+}
+
+func init() {
+	register(&Analyzer{
+		Name: "provable-oob", Code: "IRL013", Severity: Error,
+		Doc: "subscript interval provably outside the declared extent",
+		Run: func(p *Pass) {
+			for _, lf := range p.Dataflow().Loops {
+				for _, a := range lf.Accesses {
+					if a.Status != dataflow.OOB {
+						continue
+					}
+					sub := a.Ref.Index[a.Dim]
+					if _, lit := sub.(*lang.Num); lit {
+						continue // IRL006's domain
+					}
+					p.Reportf(sub.Position(),
+						"subscript %s of %q is provably out of range: its interval %s never meets [0, %s)",
+						sub, a.Ref.Array, a.Index, a.Extent)
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "dead-statement", Code: "IRL014", Severity: Warn,
+		Doc: "statement whose value can never reach a live computation",
+		Run: func(p *Pass) {
+			for li, lf := range p.Dataflow().Loops {
+				l := p.Prog.Loops[li]
+				zero := map[int]bool{}
+				for _, idx := range lf.ZeroRed {
+					zero[idx] = true // IRL007's domain
+				}
+				used := scalarsUsed(l)
+				for _, idx := range lf.Dead {
+					st := l.Body[idx]
+					if zero[idx] {
+						continue
+					}
+					if st.Scalar != "" && !used[st.Scalar] {
+						continue // IRL009's domain
+					}
+					p.Reportf(st.Pos,
+						"scalar %q is dataflow-dead: its value only flows into statements that are themselves dead",
+						st.Scalar)
+				}
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "stale-read", Code: "IRL015", Severity: Warn,
+		Doc: "read of an element range no earlier loop has written",
+		Run: func(p *Pass) {
+			for _, s := range p.Dataflow().Stale {
+				p.Reportf(s.Ref.Pos,
+					"%s reads elements %s of %q, but earlier loops only write %s; the read sees unwritten (zero) data",
+					s.Ref, s.Read, s.Array, s.Written)
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "loop-invariant", Code: "IRL016", Severity: Info,
+		Doc: "right-hand-side subexpression is loop-invariant",
+		Run: func(p *Pass) {
+			for _, lf := range p.Dataflow().Loops {
+				for _, inv := range lf.Invariant {
+					p.Reportf(inv.Expr.Position(),
+						"expression %s is loop-invariant; it is recomputed every iteration and can be hoisted",
+						inv.Expr)
+				}
+			}
+		},
+	})
+}
+
+// scalarsUsed collects the scalars read anywhere in the loop body (the
+// complement is IRL009's never-used set).
+func scalarsUsed(l *lang.Loop) map[string]bool {
+	used := map[string]bool{}
+	note := func(e lang.Expr) {
+		lang.Walk(e, func(x lang.Expr) {
+			if id, ok := x.(*lang.Ident); ok {
+				used[id.Name] = true
+			}
+		})
+	}
+	for _, st := range l.Body {
+		note(st.RHS)
+		if st.Target != nil {
+			for _, sub := range st.Target.Index {
+				note(sub)
+			}
+		}
+	}
+	return used
+}

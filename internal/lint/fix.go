@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"irred/internal/dataflow"
+	"irred/internal/lang"
+)
+
+// FixDead removes every dataflow-dead statement — provably-zero reductions
+// and the scalar chains that only feed them (IRL007/IRL014), plus scalars
+// that are never used at all (IRL009) — and returns the rewritten program
+// with the number of statements removed. A loop whose whole body is dead
+// is dropped outright (the grammar has no empty loops, and an all-dead
+// loop computes nothing). The input program is not modified.
+//
+// The dead set is already transitively closed, so one pass reaches the
+// fixpoint: running FixDead on its own output removes nothing.
+func FixDead(prog *lang.Program) (*lang.Program, int) {
+	res := dataflow.AnalyzeProgram(prog, dataflow.Options{})
+	removed := 0
+	out := &lang.Program{Params: prog.Params, Arrays: prog.Arrays}
+	for li, l := range prog.Loops {
+		lf := res.Loops[li]
+		var body []*lang.Assign
+		for idx, st := range l.Body {
+			if lf.IsDead(idx) {
+				removed++
+				continue
+			}
+			body = append(body, st)
+		}
+		if len(body) == 0 && len(l.Body) > 0 {
+			continue // all-dead loop: drop it
+		}
+		if len(body) == len(l.Body) {
+			out.Loops = append(out.Loops, l)
+			continue
+		}
+		nl := *l
+		nl.Body = body
+		out.Loops = append(out.Loops, &nl)
+	}
+	return out, removed
+}
+
+// FixSource is FixDead over source text: parse, remove dead statements,
+// and render the result with the canonical formatter. The returned count
+// is the number of statements removed; zero means the formatted input is
+// returned unchanged in content.
+func FixSource(src string) (string, int, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", 0, err
+	}
+	fixed, removed := FixDead(prog)
+	return lang.Format(fixed), removed, nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixGolden runs FixSource over every testdata/fix/*.in.irl and
+// compares against the checked-in *.out.irl, then re-runs the fixer on
+// its own output to prove idempotence.
+func TestFixGolden(t *testing.T) {
+	ins, err := filepath.Glob(filepath.Join("testdata", "fix", "*.in.irl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) == 0 {
+		t.Fatal("no fix fixtures found")
+	}
+	for _, in := range ins {
+		name := strings.TrimSuffix(filepath.Base(in), ".in.irl")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(in, ".in.irl") + ".out.irl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := FixSource(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(golden) {
+				t.Fatalf("fix output differs from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+			}
+			again, removed, err := FixSource(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != 0 || again != got {
+				t.Fatalf("fixer is not idempotent: second pass removed %d statements", removed)
+			}
+		})
+	}
+}
+
+func TestFixCounts(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fix", "dead_chain.in.irl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, removed, err := FixSource(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("dead_chain removes 3 statements (zero reduction + two-scalar chain), got %d", removed)
+	}
+	// A fixed program lints clean of dead-code findings.
+	out, _, _ := FixSource(string(src))
+	diags, err := RunSource(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Code == "IRL007" || d.Code == "IRL009" || d.Code == "IRL014" {
+			t.Fatalf("fixed program still has dead-code finding: %s", d)
+		}
+	}
+}

@@ -25,11 +25,14 @@ var corpus = map[string][]want{
 	"reduction_read.irl":       {{"IRL004", 8, 24, Error}},
 	"alias.irl":                {{"IRL005", 6, 5, Error}},
 	"column_range.irl":         {{"IRL006", 9, 13, Error}},
-	"dead_reduction.irl":       {{"IRL007", 9, 5, Warn}},
+	"dead_reduction.irl":       {{"IRL014", 8, 5, Warn}, {"IRL007", 9, 5, Warn}},
 	"unused.irl":               {{"IRL008", 6, 1, Warn}, {"IRL009", 10, 5, Warn}},
 	"fission.irl":              {{"IRL010", 9, 1, Info}},
 	"undeclared.irl":           {{"IRL011", 7, 17, Error}},
 	"float_indirection.irl":    {{"IRL012", 8, 7, Error}},
+	"provable_oob.irl":         {{"IRL013", 8, 21, Error}},
+	"stale_read.irl":           {{"IRL015", 13, 17, Warn}},
+	"invariant.irl":            {{"IRL016", 9, 29, Info}},
 	"clean.irl":                nil,
 }
 

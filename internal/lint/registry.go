@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"irred/internal/analysis"
+	"irred/internal/dataflow"
 	"irred/internal/lang"
 )
 
@@ -29,6 +30,7 @@ type Pass struct {
 
 	cur   *Analyzer
 	diags Diagnostics
+	df    *dataflow.Result // lazily computed by Dataflow()
 }
 
 // Reportf records a finding for the running analyzer at pos.

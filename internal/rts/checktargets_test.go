@@ -1,0 +1,181 @@
+package rts
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"irred/internal/dataflow"
+	"irred/internal/inspector"
+)
+
+// corruptScheduleTarget rewrites the first main-loop target in the schedule
+// set to an index outside the local image, simulating a truncated or
+// mis-deserialized schedule cache entry. Raw indirection arrays are
+// validated by the inspector, so only post-inspection corruption can
+// produce such a schedule.
+func corruptScheduleTarget(t *testing.T, scheds []*inspector.Schedule, to int32) {
+	t.Helper()
+	for _, s := range scheds {
+		for ph := range s.Phases {
+			prog := &s.Phases[ph]
+			for r := range prog.Ind {
+				if len(prog.Ind[r]) > 0 {
+					prog.Ind[r][0] = to
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("no schedule target to corrupt")
+}
+
+func TestCheckTargetsCatchesCorruptedSchedule(t *testing.T) {
+	for _, to := range []int32{-3, 1 << 20} {
+		rng := rand.New(rand.NewSource(11))
+		l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+		n, err := NewNative(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !n.CheckTargets {
+			t.Fatal("target checks must default to on without a proof")
+		}
+		corruptScheduleTarget(t, n.Scheds, to)
+		n.Contribs = func(_, i int, out []float64) {
+			for r := range out {
+				out[r] = 1
+			}
+		}
+		err = n.Run(1) // must complete, not panic
+		if err == nil {
+			t.Fatalf("target %d: corrupted schedule ran without a recorded violation", to)
+		}
+		if !strings.Contains(err.Error(), "target check") {
+			t.Fatalf("target %d: unexpected error: %v", to, err)
+		}
+	}
+}
+
+func TestCheckTargetsCatchesCorruptedDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	l := randLoop(rng, 4, 2, 300, 64, 2, inspector.Cyclic, 1)
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, s := range n.Scheds {
+		for ph := range s.Phases {
+			if len(s.Phases[ph].Copies) > 0 {
+				s.Phases[ph].Copies[0].Elem = int32(l.Cfg.NumElems + 7)
+				corrupted = true
+				break
+			}
+		}
+		if corrupted {
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("schedule has no copy pairs to corrupt")
+	}
+	n.Contribs = func(_, i int, out []float64) {
+		for r := range out {
+			out[r] = 1
+		}
+	}
+	err = n.Run(1)
+	if err == nil {
+		t.Fatal("corrupted drain ran without a recorded violation")
+	}
+	if !strings.Contains(err.Error(), "drain") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckTargetsCatchesCorruptedGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := randLoop(rng, 4, 2, 200, 64, 1, inspector.Cyclic, 1)
+	l.Mode = Gather
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptScheduleTarget(t, n.Scheds, int32(l.Cfg.NumElems+1))
+	n.Consume = func(_, _ int, _ []float64) {}
+	err = n.Run(1)
+	if err == nil {
+		t.Fatal("corrupted gather schedule ran without a recorded violation")
+	}
+	if !strings.Contains(err.Error(), "gathers") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A proof covering the indirection contents licenses eliding the per-write
+// target checks; a proof for a different extent does not.
+func TestProofElidesTargetChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	l := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	l.Proof = dataflow.IndirectionFacts("test loop", l.Cfg.NumElems, l.Ind...)
+	if l.Proof == nil {
+		t.Fatal("in-range indirection must yield a proof")
+	}
+	n, err := NewNative(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.CheckTargets {
+		t.Fatal("proof-carrying loop must elide target checks")
+	}
+	n.Contribs = func(_, i int, out []float64) {
+		for r := range out {
+			out[r] = float64(i + r)
+		}
+	}
+	if err := n.Run(2); err != nil {
+		t.Fatalf("proven run failed: %v", err)
+	}
+
+	// Same proof object, wrong extent: the claim does not transfer.
+	stale := &dataflow.Facts{IndProven: true, NumElems: l.Cfg.NumElems / 2}
+	l2 := randLoop(rng, 4, 2, 200, 64, 2, inspector.Cyclic, 1)
+	l2.Proof = stale
+	n2, err := NewNative(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n2.CheckTargets {
+		t.Fatal("proof for a different extent must not elide target checks")
+	}
+}
+
+// Checked and proven executions must agree bit-for-bit on valid schedules.
+func TestCheckTargetsResultUnchanged(t *testing.T) {
+	contrib := func(i, r int) float64 { return float64(i*3 + r + 1) }
+	run := func(check bool) []float64 {
+		rng := rand.New(rand.NewSource(15))
+		l := randLoop(rng, 4, 2, 400, 64, 2, inspector.Cyclic, 1)
+		n, err := NewNative(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.CheckTargets = check
+		n.Contribs = func(_, i int, out []float64) {
+			for r := range out {
+				out[r] = contrib(i, r)
+			}
+		}
+		if err := n.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		return n.X
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("x[%d]: checked %v != unchecked %v", i, a[i], b[i])
+		}
+	}
+}

@@ -58,9 +58,21 @@ type Native struct {
 	// may override before Run.
 	Trace *obs.Tracer
 
+	// CheckTargets guards every rotated-array and remote-buffer write (and
+	// every gather read) with a range check against the processor's local
+	// image, so corrupted schedules — a truncated cache entry, a bad
+	// deserialization, hand-built phase programs — surface as a recorded
+	// violation after the run instead of an index panic mid-sweep. It
+	// defaults to on; NewNativeFrom turns it off when the loop carries a
+	// bounds proof covering the indirection contents (Loop.Proof.IndProven
+	// for this extent), which is what makes proof-carrying kernels
+	// measurably faster. Callers may override either way before Run.
+	CheckTargets bool
+
 	bufs       [][]float64  // per-processor remote buffers, len BufLen*comp
 	chans      []chan token // chans[p]: portions arriving at processor p
 	verifyErrs []error      // first ownership violation per processor
+	checkErrs  []error      // first range violation per processor
 }
 
 type token struct{ portion int }
@@ -102,13 +114,15 @@ func NewNativeFrom(l *Loop, scheds []*inspector.Schedule) (*Native, error) {
 		}
 	}
 	comp := l.Cost.comp()
+	proven := l.Proof != nil && l.Proof.IndProven && l.Proof.NumElems == l.Cfg.NumElems
 	n := &Native{
-		Loop:   l,
-		Scheds: scheds,
-		X:      make([]float64, l.Cfg.NumElems*comp),
-		Trace:  l.Trace,
-		bufs:   make([][]float64, l.Cfg.P),
-		chans:  make([]chan token, l.Cfg.P),
+		Loop:         l,
+		Scheds:       scheds,
+		X:            make([]float64, l.Cfg.NumElems*comp),
+		Trace:        l.Trace,
+		CheckTargets: !proven,
+		bufs:         make([][]float64, l.Cfg.P),
+		chans:        make([]chan token, l.Cfg.P),
 	}
 	for p := 0; p < l.Cfg.P; p++ {
 		n.bufs[p] = make([]float64, scheds[p].BufLen*comp)
@@ -122,6 +136,15 @@ func NewNativeFrom(l *Loop, scheds []*inspector.Schedule) (*Native, error) {
 func (n *Native) verifyFail(p int, format string, args ...any) {
 	if n.verifyErrs[p] == nil {
 		n.verifyErrs[p] = fmt.Errorf("rts: verify: "+format, args...)
+	}
+}
+
+// checkFail records the first range violation seen by processor p. The
+// offending access is skipped, the sweep completes, and Run reports the
+// violation — graceful degradation instead of an index panic.
+func (n *Native) checkFail(p int, format string, args ...any) {
+	if n.checkErrs[p] == nil {
+		n.checkErrs[p] = fmt.Errorf("rts: target check: "+format, args...)
 	}
 }
 
@@ -156,6 +179,9 @@ func (n *Native) RunContext(ctx context.Context, steps int) error {
 	done := ctx.Done()
 	if n.Verify {
 		n.verifyErrs = make([]error, P)
+	}
+	if n.CheckTargets {
+		n.checkErrs = make([]error, P)
 	}
 	var wg sync.WaitGroup
 	if n.Update == nil {
@@ -208,9 +234,16 @@ func (n *Native) RunContext(ctx context.Context, steps int) error {
 	return n.verifyErr()
 }
 
-// verifyErr joins the per-processor violations after a verify run.
+// verifyErr joins the per-processor violations after a run: ownership
+// violations from Verify mode first, then range violations from the
+// target checks.
 func (n *Native) verifyErr() error {
 	for _, err := range n.verifyErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range n.checkErrs {
 		if err != nil {
 			return err
 		}
@@ -230,6 +263,9 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 	kp := cfg.NumPhases()
 	prev := (p - 1 + cfg.P) % cfg.P
 	tr := n.Trace
+
+	chk := n.CheckTargets
+	localLen := s.LocalLen()
 
 	scratch := make([]float64, len(l.Ind)*comp)
 	for ph := 0; ph < kp; ph++ {
@@ -265,13 +301,19 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 		// just-arrived portion and clear the slots for the next sweep.
 		for _, cp := range prog.Copies {
 			if n.Verify {
-				if int(cp.Buf) < cfg.NumElems || int(cp.Buf) >= s.LocalLen() {
-					n.verifyFail(p, "proc %d phase %d: drain reads %d outside the buffer [%d,%d)", p, ph, cp.Buf, cfg.NumElems, s.LocalLen())
+				if int(cp.Buf) < cfg.NumElems || int(cp.Buf) >= localLen {
+					n.verifyFail(p, "proc %d phase %d: drain reads %d outside the buffer [%d,%d)", p, ph, cp.Buf, cfg.NumElems, localLen)
 					continue
 				}
 				if own := cfg.PhaseOf(p, int(cp.Elem)); own != ph {
 					n.verifyFail(p, "proc %d phase %d: drain writes element %d, whose portion is owned in phase %d", p, ph, cp.Elem, own)
 				}
+			}
+			if chk && (int(cp.Elem) < 0 || int(cp.Elem) >= cfg.NumElems ||
+				int(cp.Buf) < cfg.NumElems || int(cp.Buf) >= localLen) {
+				n.checkFail(p, "proc %d phase %d: drain %d -> %d outside image (elems %d, local %d)",
+					p, ph, cp.Buf, cp.Elem, cfg.NumElems, localLen)
+				continue
 			}
 			eb := int(cp.Elem) * comp
 			bb := (int(cp.Buf) - cfg.NumElems) * comp
@@ -290,6 +332,10 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 				n.Contribs(p, int(it), scratch)
 				for r := range prog.Ind {
 					tgt := int(prog.Ind[r][j])
+					if chk && (tgt < 0 || tgt >= localLen) {
+						n.checkFail(p, "proc %d phase %d: iteration %d writes %d outside the local image [0,%d)", p, ph, it, tgt, localLen)
+						continue
+					}
 					if tgt < cfg.NumElems {
 						if n.Verify {
 							if own := cfg.PhaseOf(p, tgt); own != ph {
@@ -300,8 +346,8 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 							n.X[tgt*comp+c] += scratch[r*comp+c]
 						}
 					} else {
-						if n.Verify && tgt >= s.LocalLen() {
-							n.verifyFail(p, "proc %d phase %d: iteration %d writes %d outside the local image [0,%d)", p, ph, it, tgt, s.LocalLen())
+						if n.Verify && tgt >= localLen {
+							n.verifyFail(p, "proc %d phase %d: iteration %d writes %d outside the local image [0,%d)", p, ph, it, tgt, localLen)
 							continue
 						}
 						bb := (tgt - cfg.NumElems) * comp
@@ -314,6 +360,10 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 		case Gather:
 			for j, it := range prog.Iters {
 				tgt := int(prog.Ind[0][j])
+				if chk && (tgt < 0 || tgt >= cfg.NumElems) {
+					n.checkFail(p, "proc %d phase %d: iteration %d gathers %d outside the rotated array [0,%d)", p, ph, it, tgt, cfg.NumElems)
+					continue
+				}
 				if n.Verify {
 					if tgt >= cfg.NumElems {
 						n.verifyFail(p, "proc %d phase %d: iteration %d gathers %d outside the rotated array [0,%d)", p, ph, it, tgt, cfg.NumElems)
