@@ -11,6 +11,12 @@
 //
 //	irredd -addr :8321 -workers 4 -queue 64 -cache-entries 128 -cache-dir /var/cache/irredd
 //
+// Robustness controls: -chaos opts the daemon into accepting jobs that
+// carry fault-injection specs (off by default), -checkpoint-every N makes
+// raw multi-sweep jobs checkpoint their reduction array to -cache-dir so a
+// restarted daemon resumes them, and SIGTERM drains gracefully — /readyz
+// flips to 503 for -drain-grace before the listener closes.
+//
 // With -debug-addr a second loopback listener serves pprof, expvar, and the
 // phase-level span trace:
 //
@@ -35,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"irred/internal/service"
 )
@@ -47,14 +54,19 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist cached schedules here and warm from it on start")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, and /debug/trace on this extra listener (empty = off)")
 	traceSpans := flag.Int("trace-spans", 0, "phase-trace ring capacity in spans (0 = default, <0 = disable tracing)")
+	chaos := flag.Bool("chaos", false, "accept jobs carrying chaos (fault-injection) specs; off by default — chaos is a test instrument")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint raw multi-sweep jobs every N sweeps (0 = only when the job asks; needs -cache-dir)")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM, keep serving with /readyz=503 this long before closing the listener")
 	flag.Parse()
 
 	svc, err := service.New(service.Options{
-		Workers:      *workers,
-		QueueLen:     *queue,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		TraceSpans:   *traceSpans,
+		Workers:         *workers,
+		QueueLen:        *queue,
+		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		TraceSpans:      *traceSpans,
+		AllowChaos:      *chaos,
+		CheckpointEvery: *checkpointEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
@@ -72,6 +84,9 @@ func main() {
 	log.Printf("irredd: listening on http://%s", ln.Addr())
 	if st := svc.Cache().Stats(); st.Entries > 0 {
 		log.Printf("irredd: schedule cache warmed with %d entries from %s", st.Entries, *cacheDir)
+	}
+	if *chaos {
+		log.Printf("irredd: chaos injection ENABLED (jobs may carry fault specs)")
 	}
 
 	srv := &http.Server{Handler: svc.Handler()}
@@ -110,7 +125,14 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("irredd: %v: draining", sig)
+		// Drain in the load-balancer-friendly order: fail readiness first,
+		// keep serving through the grace window so health checkers observe
+		// the 503 and stop routing, then close the listener and wait for
+		// in-flight requests. Checkpointed jobs interrupted here are resumed
+		// by the next daemon over the same -cache-dir.
+		log.Printf("irredd: %v: draining (readyz now 503, grace %s)", sig, *drainGrace)
+		svc.BeginDrain()
+		time.Sleep(*drainGrace)
 		ctx, cancel := context.WithTimeout(context.Background(), service.ShutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

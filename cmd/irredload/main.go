@@ -16,6 +16,13 @@
 //	irredload -addr http://127.0.0.1:8321 -duration 10s -concurrency 8
 //	irredload -mix mvm=1,euler=2,moldyn=1 -qps 50 -duration 30s -json
 //
+// With -chaos it becomes the chaos soak: workers submit raw reduction jobs
+// on the distributed engine carrying deterministic fault-injection specs
+// (drops, corruptions, delays, duplicates at -chaos-rate), and every result
+// SHA is checked against the sequential reduction computed locally — the
+// server must recover to the bitwise-exact answer under fire. The daemon
+// must be started with -chaos to accept these jobs.
+//
 // Exit status: 0 on a clean run, 1 on result mismatches or job failures,
 // 2 on usage/connection errors.
 package main
@@ -33,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"irred/internal/fault"
 	"irred/internal/service"
 	"irred/internal/service/client"
 )
@@ -54,6 +62,32 @@ func (k jobKey) spec() service.JobSpec {
 		Dataset: k.Dataset,
 		Seed:    k.Seed,
 		P:       k.P, K: k.K, Steps: k.Steps,
+	}
+}
+
+// rawChaosSpec draws a deterministic raw reduction from seed: integral
+// weights keep every partial sum exactly representable, so the expected
+// result (and its SHA) is computable locally with SequentialRaw and any
+// fault-recovery divergence shows up as a hash mismatch, not a tolerance
+// question. Strategy, steps, and the chaos spec are filled in by the
+// caller; the data depends only on seed.
+func rawChaosSpec(seed int64) service.JobSpec {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 97))
+	iters, elems := 240, 64
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	w := make([]float64, iters)
+	for i := range w {
+		w[i] = float64(1 + rng.Intn(9))
+	}
+	return service.JobSpec{
+		NumIters: iters, NumElems: elems, Ind: ind,
+		Contrib: &service.ContribSpec{Kind: "weights", Weights: w},
 	}
 }
 
@@ -190,7 +224,37 @@ func main() {
 	meshDataset := flag.String("mesh-dataset", "2k", "euler/moldyn dataset (2k, 10k)")
 	maxSamples := flag.Int("max-samples", 1<<16, "latency samples retained for percentiles")
 	jsonOut := flag.Bool("json", false, "print the summary as JSON (for CI assertions)")
+	chaosMode := flag.Bool("chaos", false, "drive raw chaos jobs on the distributed engine (server must run with -chaos); results are verified against the locally computed sequential SHA")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "per-payload drop/corrupt/delay/dup probability for -chaos jobs")
+	emitChaosJob := flag.Bool("emit-chaos-job", false, "print a long checkpointed chaos job spec as JSON and exit (for the CI TERM/resume check)")
+	emitChaosSHA := flag.Bool("emit-chaos-sha", false, "print the sequential-oracle SHA for the -emit-chaos-job spec and exit")
 	flag.Parse()
+
+	// The emit modes are the shell-scriptable half of the TERM/resume check:
+	// the same deterministic long job and its oracle hash, printable without
+	// a server, so CI can submit with curl, kill the daemon mid-run, and
+	// compare the resumed result against ground truth.
+	if *emitChaosJob || *emitChaosSHA {
+		spec := rawChaosSpec(0)
+		spec.P, spec.K, spec.Steps = 3, 2, *steps
+		if *emitChaosSHA {
+			x, err := spec.SequentialRaw()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredload: oracle: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Println(service.HashResult(x))
+			return
+		}
+		spec.Engine = "distributed"
+		spec.CheckpointEvery = 5
+		// Mostly stalls (pacing without recovery replays) plus a sprinkle of
+		// real payload faults, so the job is slow enough to TERM mid-run but
+		// still finishes in CI time.
+		spec.Chaos = &fault.Spec{Seed: 42, StallRate: 0.4, StallMS: 10, DropRate: *chaosRate, CorruptRate: *chaosRate}
+		json.NewEncoder(os.Stdout).Encode(spec)
+		return
+	}
 
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
@@ -222,6 +286,24 @@ func main() {
 		shedTotal int64
 	)
 
+	// Chaos mode verifies against an oracle, not against "first answer
+	// seen": the expected SHA per seed is the sequential reduction computed
+	// right here, so a fault-recovery bug on the server cannot hide behind
+	// being consistently wrong.
+	chaosWant := map[int64]string{}
+	if *chaosMode {
+		for s := 0; s < *seeds; s++ {
+			spec := rawChaosSpec(int64(s))
+			spec.P, spec.K, spec.Steps = 2, 1, *steps // strategy doesn't affect the oracle
+			x, err := spec.SequentialRaw()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredload: chaos oracle: %v\n", err)
+				os.Exit(2)
+			}
+			chaosWant[int64(s)] = service.HashResult(x)
+		}
+	}
+
 	// Pacing: a shared ticker-fed token channel. Unpaced runs use a nil
 	// channel (never selected) and each worker loops as fast as the server
 	// answers — the classic closed loop.
@@ -249,21 +331,48 @@ func main() {
 				} else if ctx.Err() != nil {
 					return
 				}
-				kernel := pick(mix, rng)
-				ds := *mvmDataset
-				if kernel != "mvm" {
-					ds = *meshDataset
-				}
-				key := jobKey{
-					Kernel:  kernel,
-					Dataset: ds,
-					Seed:    int64(rng.Intn(*seeds)),
-					P:       1 + rng.Intn(*maxP),
-					K:       1 + rng.Intn(*maxK),
-					Steps:   *steps,
+				var (
+					spec    service.JobSpec
+					key     jobKey
+					wantSHA string
+				)
+				if *chaosMode {
+					seed := int64(rng.Intn(*seeds))
+					spec = rawChaosSpec(seed)
+					pmax := *maxP
+					if pmax < 2 {
+						pmax = 2
+					}
+					spec.P = 2 + rng.Intn(pmax-1) // rotation needs a real ring
+					spec.K = 1 + rng.Intn(*maxK)
+					spec.Steps = *steps
+					spec.Engine = "distributed"
+					spec.Chaos = &fault.Spec{
+						Seed:        seed + int64(w+1)*1000003,
+						DropRate:    *chaosRate,
+						CorruptRate: *chaosRate,
+						DelayRate:   *chaosRate,
+						DupRate:     *chaosRate,
+					}
+					wantSHA = chaosWant[seed]
+				} else {
+					kernel := pick(mix, rng)
+					ds := *mvmDataset
+					if kernel != "mvm" {
+						ds = *meshDataset
+					}
+					key = jobKey{
+						Kernel:  kernel,
+						Dataset: ds,
+						Seed:    int64(rng.Intn(*seeds)),
+						P:       1 + rng.Intn(*maxP),
+						K:       1 + rng.Intn(*maxK),
+						Steps:   *steps,
+					}
+					spec = key.spec()
 				}
 				t0 := time.Now()
-				st, sheds, err := c.SubmitWaitRetry(ctx, key.spec())
+				st, sheds, err := c.SubmitWaitRetry(ctx, spec)
 				lat := time.Since(t0)
 				mu.Lock()
 				shedTotal += int64(sheds)
@@ -282,6 +391,16 @@ func main() {
 				jobs++
 				if st.State != service.StateDone || st.ResultSHA256 == "" {
 					failures++
+					if st.Error != "" {
+						fmt.Fprintf(os.Stderr, "irredload: job %s %s: %s\n", st.ID, st.State, st.Error)
+					}
+				} else if wantSHA != "" {
+					// Chaos jobs: the recovered result must hash to the
+					// locally computed sequential oracle.
+					if st.ResultSHA256 != wantSHA {
+						mismatch++
+						fmt.Fprintf(os.Stderr, "irredload: CHAOS MISMATCH job %s: %s != %s\n", st.ID, st.ResultSHA256, wantSHA)
+					}
 				} else if prev, ok := firstSHA[key]; !ok {
 					firstSHA[key] = st.ResultSHA256
 				} else if prev != st.ResultSHA256 {

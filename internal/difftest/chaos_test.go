@@ -1,0 +1,91 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"irred/internal/fault"
+	"irred/internal/inspector"
+	"irred/internal/rts"
+)
+
+// distributed runs the hardened rotation engine under a fault spec. Fast
+// recovery tuning (short watchdog) keeps injected faults sub-millisecond
+// concerns rather than wall-clock ones.
+func (c mvmCase) distributed(p, k int, dist inspector.Dist, steps int, spec fault.Spec) ([]float64, error) {
+	d, err := rts.NewDistributed(c.loop(p, k, dist))
+	if err != nil {
+		return nil, err
+	}
+	d.Contribs = func(_, i int, out []float64) { out[0] = c.a[i] * c.x[c.col[i]] }
+	d.Inject = fault.New(spec)
+	d.Watchdog = 15 * time.Millisecond
+	d.MaxResend = 3
+	return d.Run(steps)
+}
+
+// chaosScenarios are the single-fault cases of the failure model: exactly
+// one payload dropped, corrupted, delayed, or duplicated in transit, or one
+// processor transiently stalled at a phase boundary. Each must be absorbed
+// by the rotation protocol's local recovery (checksum + watchdog + resend +
+// stale-tag discard) with a bitwise-sequential result.
+var chaosScenarios = []struct {
+	name string
+	spec fault.Spec
+}{
+	{"drop", fault.Spec{Targets: []fault.Target{
+		{Class: fault.Drop, Proc: 1, Phase: 1, Sweep: 0, Iter: -1}}}},
+	{"corrupt", fault.Spec{Seed: 7, Targets: []fault.Target{
+		{Class: fault.Corrupt, Proc: 0, Phase: -1, Sweep: 1, Iter: -1}}}},
+	{"delay", fault.Spec{DelayMS: 40, Targets: []fault.Target{
+		{Class: fault.Delay, Proc: 2, Phase: -1, Sweep: 0, Iter: -1}}}},
+	{"dup", fault.Spec{Targets: []fault.Target{
+		{Class: fault.Duplicate, Proc: 1, Phase: -1, Sweep: 1, Iter: -1}}}},
+	{"stall", fault.Spec{StallMS: 40, Targets: []fault.Target{
+		{Class: fault.Stall, Proc: 0, Phase: 1, Sweep: -1, Iter: -1}}}},
+}
+
+// TestChaosSingleFaultBitwise is the chaos differential test: random
+// integral cases through the hardened distributed engine, one injected
+// fault per run, compared bitwise against the sequential loop. Recovery is
+// only recovery if the recomputed answer is the exact answer.
+func TestChaosSingleFaultBitwise(t *testing.T) {
+	const cases, steps = 3, 3
+	for ci := 0; ci < cases; ci++ {
+		rng := rand.New(rand.NewSource(int64(900 + ci)))
+		c := randMVM(rng, true)
+		want := c.sequential(steps)
+		for _, sc := range chaosScenarios {
+			got, err := c.distributed(3, 2, inspector.Cyclic, steps, sc.spec)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", ci, sc.name, err)
+			}
+			compare(t, fmt.Sprintf("case %d %s", ci, sc.name), got, want, true)
+		}
+	}
+}
+
+// TestChaosCleanEnginesAgree cross-checks the hardened engine with no
+// faults injected (a zero Spec builds a nil, zero-cost injector) against
+// the native engine and the sequential reference — the hardening layer
+// must be invisible when nothing goes wrong.
+func TestChaosCleanEnginesAgree(t *testing.T) {
+	const steps = 2
+	rng := rand.New(rand.NewSource(77))
+	c := randMVM(rng, true)
+	want := c.sequential(steps)
+
+	got, err := c.distributed(4, 2, inspector.Block, steps, fault.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, "clean distributed", got, want, true)
+
+	got, err = c.native(4, 2, inspector.Block, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, "clean native", got, want, true)
+}

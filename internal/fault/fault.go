@@ -1,0 +1,498 @@
+// Package fault is the runtime's deterministic chaos injector.
+//
+// The paper's rotation schedule is independent of the indirection
+// contents, so every processor knows exactly which portion it must
+// receive in every phase — which makes loss, delay, duplication,
+// corruption and peer death *detectable from purely local information*.
+// This package supplies the faults that the hardened runtime
+// (rts.Distributed's acknowledged rotation protocol, the service's
+// supervised jobs, the cache's disk writes) must detect and recover from.
+//
+// Every decision is a pure function of (seed, fault class, coordinates):
+// an injected run is bit-reproducible regardless of goroutine
+// interleaving, so a failing chaos seed is a replayable bug report. A nil
+// *Injector is fully inert — every method is nil-safe and returns the
+// no-fault answer after a single nil check, so production builds thread
+// the injector through hot paths at effectively zero cost.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// Drop loses a rotation payload in transit (the channel send is
+	// suppressed; the sender's retransmit buffer still holds it).
+	Drop Class = iota
+	// Delay delivers a rotation payload late, possibly after the
+	// receiver's watchdog has already recovered it from the sender.
+	Delay
+	// Duplicate delivers a rotation payload twice; the receiver must
+	// discard the stale copy by its sweep/portion tag.
+	Duplicate
+	// Corrupt flips bits in a rotation payload in transit; the checksum
+	// must catch it and trigger a resend.
+	Corrupt
+	// Stall suspends a processor at a phase boundary for StallMS.
+	Stall
+	// Panic makes a kernel contribution panic (a poisoned iteration).
+	Panic
+	// Kill permanently removes a processor mid-sweep: the surviving
+	// processors must degrade to a P-1 schedule.
+	Kill
+	// DiskFail makes a cache/checkpoint disk write fail.
+	DiskFail
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"drop", "delay", "dup", "corrupt", "stall", "panic", "kill", "disk",
+}
+
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Target is a one-shot fault pinned to exact coordinates: it fires the
+// first time the runtime reaches (Proc, Phase, Sweep) — Phase and Sweep
+// may be -1 to match any — and never again. Targets are how the
+// differential tests stage exactly one fault per run.
+type Target struct {
+	Class Class `json:"class"`
+	Proc  int   `json:"proc"`
+	Phase int   `json:"phase"` // -1 matches any phase
+	Sweep int   `json:"sweep"` // -1 matches any sweep
+	Iter  int   `json:"iter"`  // Panic only: global iteration, -1 matches any
+}
+
+// Spec configures an Injector. Rates are per-decision probabilities in
+// [0,1]; Targets are precise one-shot faults. The zero Spec injects
+// nothing.
+type Spec struct {
+	Seed int64 `json:"seed"`
+
+	// Per-payload probabilities, evaluated once per rotation send.
+	DropRate    float64 `json:"drop,omitempty"`
+	DelayRate   float64 `json:"delay,omitempty"`
+	DupRate     float64 `json:"dup,omitempty"`
+	CorruptRate float64 `json:"corrupt,omitempty"`
+
+	// Per-(proc,phase) stall probability and duration.
+	StallRate float64 `json:"stall,omitempty"`
+	StallMS   int64   `json:"stall_ms,omitempty"` // default 20
+
+	// Per-iteration kernel panic probability.
+	PanicRate float64 `json:"panic,omitempty"`
+
+	// Per-write disk failure probability.
+	DiskRate float64 `json:"disk,omitempty"`
+
+	// DelayMS is how late a delayed payload is delivered (default 20).
+	DelayMS int64 `json:"delay_ms,omitempty"`
+
+	// Targets are precise one-shot faults (fired at most once each).
+	Targets []Target `json:"targets,omitempty"`
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.DropRate > 0 || s.DelayRate > 0 || s.DupRate > 0 ||
+		s.CorruptRate > 0 || s.StallRate > 0 || s.PanicRate > 0 ||
+		s.DiskRate > 0 || len(s.Targets) > 0
+}
+
+// Validate rejects out-of-range rates (an injector is a test instrument;
+// a malformed one should fail loudly, not quietly misfire).
+func (s Spec) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", s.DropRate}, {"delay", s.DelayRate}, {"dup", s.DupRate},
+		{"corrupt", s.CorruptRate}, {"stall", s.StallRate},
+		{"panic", s.PanicRate}, {"disk", s.DiskRate},
+	} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if s.StallMS < 0 || s.DelayMS < 0 {
+		return fmt.Errorf("fault: negative duration")
+	}
+	for i, t := range s.Targets {
+		if t.Class < 0 || t.Class >= numClasses {
+			return fmt.Errorf("fault: target %d has unknown class %d", i, int(t.Class))
+		}
+	}
+	return nil
+}
+
+// String renders the spec in the -chaos flag syntax accepted by ParseSpec
+// (targets are omitted; they are a programmatic-use feature).
+func (s Spec) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed)}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("drop", s.DropRate)
+	add("delay", s.DelayRate)
+	add("dup", s.DupRate)
+	add("corrupt", s.CorruptRate)
+	add("stall", s.StallRate)
+	add("panic", s.PanicRate)
+	add("disk", s.DiskRate)
+	if s.StallMS > 0 {
+		parts = append(parts, fmt.Sprintf("stall_ms=%d", s.StallMS))
+	}
+	if s.DelayMS > 0 {
+		parts = append(parts, fmt.Sprintf("delay_ms=%d", s.DelayMS))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated key=value
+// pairs, e.g. "seed=7,drop=0.02,corrupt=0.02,stall=0.01,panic=0.005".
+// The bare word "all" expands to a moderate dose of every fault class.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "all" {
+			spec.DropRate, spec.DelayRate, spec.DupRate = 0.02, 0.02, 0.02
+			spec.CorruptRate, spec.StallRate = 0.02, 0.01
+			spec.PanicRate, spec.DiskRate = 0.002, 0.05
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return Spec{}, fmt.Errorf("fault: %q is not key=value", part)
+		}
+		switch key {
+		case "seed", "stall_ms", "delay_ms":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad %s %q", key, val)
+			}
+			switch key {
+			case "seed":
+				spec.Seed = n
+			case "stall_ms":
+				spec.StallMS = n
+			case "delay_ms":
+				spec.DelayMS = n
+			}
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad rate %q for %s", val, key)
+			}
+			switch key {
+			case "drop":
+				spec.DropRate = f
+			case "delay":
+				spec.DelayRate = f
+			case "dup":
+				spec.DupRate = f
+			case "corrupt":
+				spec.CorruptRate = f
+			case "stall":
+				spec.StallRate = f
+			case "panic":
+				spec.PanicRate = f
+			case "disk":
+				spec.DiskRate = f
+			default:
+				return Spec{}, fmt.Errorf("fault: unknown key %q", key)
+			}
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// Counters is a snapshot of how many faults of each class actually fired.
+type Counters struct {
+	Drops      int64 `json:"drops"`
+	Delays     int64 `json:"delays"`
+	Dups       int64 `json:"dups"`
+	Corrupts   int64 `json:"corrupts"`
+	Stalls     int64 `json:"stalls"`
+	Panics     int64 `json:"panics"`
+	Kills      int64 `json:"kills"`
+	DiskFails  int64 `json:"disk_fails"`
+	Recoveries int64 `json:"recoveries"` // incremented by the runtime, not the injector
+}
+
+// Total sums the injected-fault counters (recoveries excluded).
+func (c Counters) Total() int64 {
+	return c.Drops + c.Delays + c.Dups + c.Corrupts + c.Stalls +
+		c.Panics + c.Kills + c.DiskFails
+}
+
+// Injector makes deterministic fault decisions. All methods are safe on a
+// nil receiver (and inject nothing), so callers hold a possibly-nil
+// *Injector without guards.
+type Injector struct {
+	spec Spec
+
+	mu    sync.Mutex
+	fired []bool // one-shot targets already fired
+
+	counts [numClasses]atomic.Int64
+	recov  atomic.Int64
+}
+
+// New builds an injector for the spec; it returns nil when the spec
+// injects nothing, so "chaos off" and "no injector" are the same state.
+func New(spec Spec) *Injector {
+	if !spec.Enabled() {
+		return nil
+	}
+	return &Injector{spec: spec, fired: make([]bool, len(spec.Targets))}
+}
+
+// Spec returns the injector's configuration (zero Spec when nil).
+func (in *Injector) Spec() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// splitmix64 is the SplitMix64 finalizer: a strong 64-bit mixer, so the
+// per-coordinate streams below are independent and uniform.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws a deterministic uniform in [0,1) for (class, a, b, c, d) and
+// reports whether it falls under rate. The decision depends only on the
+// seed and the coordinates — never on timing or interleaving.
+func (in *Injector) roll(class Class, rate float64, a, b, c, d int) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(in.spec.Seed) ^ splitmix64(uint64(class)+1))
+	h = splitmix64(h ^ uint64(int64(a)))
+	h = splitmix64(h ^ uint64(int64(b))<<1)
+	h = splitmix64(h ^ uint64(int64(c))<<2)
+	h = splitmix64(h ^ uint64(int64(d))<<3)
+	return float64(h>>11)/float64(1<<53) < rate
+}
+
+// target fires a matching one-shot target at most once. Phase/Sweep/Iter
+// wildcards (-1) match anything.
+func (in *Injector) target(class Class, proc, phase, sweep, iter int) bool {
+	if len(in.spec.Targets) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, t := range in.spec.Targets {
+		if in.fired[i] || t.Class != class || t.Proc != proc {
+			continue
+		}
+		if (t.Phase >= 0 && t.Phase != phase) ||
+			(t.Sweep >= 0 && t.Sweep != sweep) ||
+			(t.Iter >= 0 && iter >= 0 && t.Iter != iter) {
+			continue
+		}
+		in.fired[i] = true
+		return true
+	}
+	return false
+}
+
+func (in *Injector) count(class Class) {
+	in.counts[class].Add(1)
+}
+
+// PayloadFault describes what happens to one rotation payload in transit.
+type PayloadFault struct {
+	Drop      bool
+	Duplicate bool
+	Corrupt   bool
+	Delay     time.Duration
+}
+
+// Payload decides the fate of the payload processor proc sends for
+// (portion, phase, sweep). At most one destructive fault (drop XOR
+// corrupt) fires per payload so single-fault recovery stays analyzable;
+// delay and duplicate may ride along.
+func (in *Injector) Payload(proc, phase, sweep, portion int) PayloadFault {
+	if in == nil {
+		return PayloadFault{}
+	}
+	var f PayloadFault
+	switch {
+	case in.target(Drop, proc, phase, sweep, -1) || in.roll(Drop, in.spec.DropRate, proc, phase, sweep, portion):
+		f.Drop = true
+		in.count(Drop)
+	case in.target(Corrupt, proc, phase, sweep, -1) || in.roll(Corrupt, in.spec.CorruptRate, proc, phase, sweep, portion):
+		f.Corrupt = true
+		in.count(Corrupt)
+	}
+	if in.target(Duplicate, proc, phase, sweep, -1) || in.roll(Duplicate, in.spec.DupRate, proc, phase, sweep, portion) {
+		f.Duplicate = true
+		in.count(Duplicate)
+	}
+	if in.target(Delay, proc, phase, sweep, -1) || in.roll(Delay, in.spec.DelayRate, proc, phase, sweep, portion) {
+		f.Delay = in.delayDur()
+		in.count(Delay)
+	}
+	return f
+}
+
+func (in *Injector) delayDur() time.Duration {
+	ms := in.spec.DelayMS
+	if ms <= 0 {
+		ms = 20
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// Stall reports how long processor proc should stall at (phase, sweep);
+// zero means no stall.
+func (in *Injector) Stall(proc, phase, sweep int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if in.target(Stall, proc, phase, sweep, -1) || in.roll(Stall, in.spec.StallRate, proc, phase, sweep, 0) {
+		in.count(Stall)
+		ms := in.spec.StallMS
+		if ms <= 0 {
+			ms = 20
+		}
+		return time.Duration(ms) * time.Millisecond
+	}
+	return 0
+}
+
+// PanicErr is the value an injected kernel panic carries, so supervisors
+// can tell an injected panic from an organic one in logs.
+type PanicErr struct{ Proc, Iter int }
+
+func (e PanicErr) Error() string {
+	return fmt.Sprintf("fault: injected kernel panic (proc %d, iteration %d)", e.Proc, e.Iter)
+}
+
+// KernelPanic panics with a PanicErr when the injector poisons iteration
+// iter on processor proc. Call it at the top of a contribution function.
+func (in *Injector) KernelPanic(proc, iter int) {
+	if in == nil {
+		return
+	}
+	if in.target(Panic, proc, -1, -1, iter) || in.roll(Panic, in.spec.PanicRate, proc, iter, 0, 1) {
+		in.count(Panic)
+		panic(PanicErr{Proc: proc, Iter: iter})
+	}
+}
+
+// Killed reports whether processor proc dies permanently at (phase,
+// sweep). Only Targets can kill — a rate-based permanent kill would
+// eventually erase the whole machine. A kill target fires once; after the
+// runtime degrades to P-1 the survivors are left alone.
+func (in *Injector) Killed(proc, phase, sweep int) bool {
+	if in == nil {
+		return false
+	}
+	if in.target(Kill, proc, phase, sweep, -1) {
+		in.count(Kill)
+		return true
+	}
+	return false
+}
+
+// DiskWrite returns an injected error for a disk write of name, or nil.
+// The decision hashes the name so a given file either fails or succeeds
+// consistently within one attempt stream.
+func (in *Injector) DiskWrite(name string, attempt int) error {
+	if in == nil {
+		return nil
+	}
+	h := 0
+	for _, b := range []byte(name) {
+		h = h*131 + int(b)
+	}
+	if in.target(DiskFail, attempt, -1, -1, -1) || in.roll(DiskFail, in.spec.DiskRate, h, attempt, 0, 2) {
+		in.count(DiskFail)
+		return fmt.Errorf("fault: injected disk write failure (%s, attempt %d)", name, attempt)
+	}
+	return nil
+}
+
+// Recovered lets the runtime count a successful recovery against the
+// injector, so a soak can assert faults fired AND were recovered.
+func (in *Injector) Recovered() {
+	if in == nil {
+		return
+	}
+	in.recov.Add(1)
+}
+
+// Counters snapshots the fired-fault counts (zero value when nil).
+func (in *Injector) Counters() Counters {
+	if in == nil {
+		return Counters{}
+	}
+	return Counters{
+		Drops:      in.counts[Drop].Load(),
+		Delays:     in.counts[Delay].Load(),
+		Dups:       in.counts[Duplicate].Load(),
+		Corrupts:   in.counts[Corrupt].Load(),
+		Stalls:     in.counts[Stall].Load(),
+		Panics:     in.counts[Panic].Load(),
+		Kills:      in.counts[Kill].Load(),
+		DiskFails:  in.counts[DiskFail].Load(),
+		Recoveries: in.recov.Load(),
+	}
+}
+
+// Summary renders the non-zero counters, sorted by class name — the line
+// a soak run prints next to its latency report.
+func (c Counters) Summary() string {
+	m := map[string]int64{
+		"drop": c.Drops, "delay": c.Delays, "dup": c.Dups,
+		"corrupt": c.Corrupts, "stall": c.Stalls, "panic": c.Panics,
+		"kill": c.Kills, "disk": c.DiskFails, "recovered": c.Recoveries,
+	}
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}

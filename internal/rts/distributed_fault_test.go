@@ -1,0 +1,378 @@
+package rts
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"irred/internal/fault"
+	"irred/internal/inspector"
+	"irred/internal/obs"
+)
+
+// intContrib builds integral contributions: every partial sum is exactly
+// representable in float64, so a recovered run must match the sequential
+// reference BITWISE — recovery either reproduces the exact computation or
+// it is broken, there is no tolerance to hide behind.
+func intContrib(refs int) (ContribFunc, func(i, r, c int) float64) {
+	f := func(i, r, c int) float64 { return float64((i%7+1)*(r+2) + c) }
+	return func(_, i int, out []float64) {
+		for r := 0; r < refs; r++ {
+			out[r] = f(i, r, 0)
+		}
+	}, f
+}
+
+func exactEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hardened builds a Distributed over a random loop with fast-recovery
+// tuning so injected faults resolve in milliseconds. The returned
+// reference gives the exact sequential result for `steps` sweeps (the
+// per-sweep contributions are step-independent, so sweeps scale).
+func hardened(t *testing.T, seed int64, p, k int, spec fault.Spec) (*Distributed, func(steps int) []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l := randLoop(rng, p, k, 240, 60, 2, inspector.Cyclic, 1)
+	d, err := NewDistributed(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib, ref := intContrib(len(l.Ind))
+	d.Contribs = contrib
+	d.Inject = fault.New(spec)
+	d.Watchdog = 15 * time.Millisecond
+	d.MaxResend = 3
+	one := seqReduce(l, ref)
+	return d, func(steps int) []float64 {
+		out := make([]float64, len(one))
+		for i, v := range one {
+			out[i] = float64(steps) * v
+		}
+		return out
+	}
+}
+
+// TestRotationRecoversDroppedPayload: one payload lost on the wire is
+// recovered from the sender's retransmit buffer after the watchdog, and
+// the result is bitwise exact.
+func TestRotationRecoversDroppedPayload(t *testing.T) {
+	d, want := hardened(t, 101, 3, 2, fault.Spec{
+		Targets: []fault.Target{{Class: fault.Drop, Proc: 1, Phase: 2, Sweep: 0}},
+	})
+	got, err := d.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(2)) {
+		t.Fatal("dropped-payload run diverged from sequential")
+	}
+	c := d.Inject.Counters()
+	if c.Drops != 1 || c.Recoveries < 1 {
+		t.Fatalf("counters %+v: want 1 drop and >=1 recovery", c)
+	}
+}
+
+// TestRotationRecoversCorruptedPayload: the checksum catches in-flight
+// corruption and the receiver re-fetches the intact payload.
+func TestRotationRecoversCorruptedPayload(t *testing.T) {
+	d, want := hardened(t, 102, 4, 1, fault.Spec{
+		Targets: []fault.Target{{Class: fault.Corrupt, Proc: 2, Phase: 1, Sweep: 1}},
+	})
+	got, err := d.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(3)) {
+		t.Fatal("corrupted-payload run diverged from sequential")
+	}
+	c := d.Inject.Counters()
+	if c.Corrupts != 1 || c.Recoveries < 1 {
+		t.Fatalf("counters %+v: want 1 corrupt and >=1 recovery", c)
+	}
+}
+
+// TestRotationToleratesDelayAndDuplicate: a late payload is either
+// accepted or superseded by a retransmit, and its duplicate is discarded
+// by the sweep/portion tags. Either way the result is exact.
+func TestRotationToleratesDelayAndDuplicate(t *testing.T) {
+	d, want := hardened(t, 103, 3, 2, fault.Spec{
+		DelayMS: 40, // > watchdog: forces the resend path
+		Targets: []fault.Target{
+			{Class: fault.Delay, Proc: 0, Phase: 3, Sweep: 0},
+			{Class: fault.Duplicate, Proc: 2, Phase: 2, Sweep: 1},
+		},
+	})
+	got, err := d.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(2)) {
+		t.Fatal("delay/dup run diverged from sequential")
+	}
+	c := d.Inject.Counters()
+	if c.Delays != 1 || c.Dups != 1 {
+		t.Fatalf("counters %+v: want 1 delay and 1 dup", c)
+	}
+}
+
+// TestTransientStallRecovers: a stalled processor slows its phase but the
+// protocol waits it out (retransmit fetch fails until the payload exists,
+// then succeeds); no data is lost.
+func TestTransientStallRecovers(t *testing.T) {
+	d, want := hardened(t, 104, 3, 1, fault.Spec{
+		StallMS: 35, // a couple of watchdog periods
+		Targets: []fault.Target{{Class: fault.Stall, Proc: 1, Phase: 1, Sweep: 0}},
+	})
+	got, err := d.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(2)) {
+		t.Fatal("stalled run diverged from sequential")
+	}
+	if c := d.Inject.Counters(); c.Stalls != 1 {
+		t.Fatalf("counters %+v: want 1 stall", c)
+	}
+}
+
+// TestKernelPanicReplaysSweep: a poisoned iteration panics one worker;
+// the supervisor catches it, discards the half-done sweep, and replays
+// from the checkpoint. Contributions are pure, so replay is bit-exact.
+func TestKernelPanicReplaysSweep(t *testing.T) {
+	d, want := hardened(t, 105, 3, 2, fault.Spec{
+		Targets: []fault.Target{{Class: fault.Panic, Proc: 1, Phase: -1, Sweep: -1, Iter: -1}},
+	})
+	got, err := d.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(3)) {
+		t.Fatal("panic-recovered run diverged from sequential")
+	}
+	c := d.Inject.Counters()
+	if c.Panics != 1 || c.Recoveries < 1 {
+		t.Fatalf("counters %+v: want 1 panic and >=1 recovery", c)
+	}
+}
+
+// TestPeerLossDegradesToPMinusOne: a permanently killed processor is
+// detected by its downstream neighbor's exhausted watchdog; the survivors
+// recompute the ownership schedule for P-1 locally and resume from the
+// checkpoint. The result is still bitwise exact because the schedule is a
+// pure function of the shape and contributions are pure functions of the
+// iteration number.
+func TestPeerLossDegradesToPMinusOne(t *testing.T) {
+	d, want := hardened(t, 106, 4, 2, fault.Spec{
+		Targets: []fault.Target{{Class: fault.Kill, Proc: 2, Phase: 3, Sweep: 1}},
+	})
+	got, err := d.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want(3)) {
+		t.Fatal("degraded run diverged from sequential")
+	}
+	if d.Loop.Cfg.P != 3 {
+		t.Fatalf("surviving machine has P = %d, want 3", d.Loop.Cfg.P)
+	}
+	c := d.Inject.Counters()
+	if c.Kills != 1 || c.Recoveries < 1 {
+		t.Fatalf("counters %+v: want 1 kill and >=1 recovery", c)
+	}
+}
+
+// TestLastSurvivorCannotDegrade: killing the only processor is the one
+// unrecoverable fault — Run must return an error, not deadlock.
+func TestLastSurvivorCannotDegrade(t *testing.T) {
+	d, _ := hardened(t, 107, 1, 2, fault.Spec{
+		Targets: []fault.Target{{Class: fault.Kill, Proc: 0, Phase: 0, Sweep: 0}},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Run(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("killing the last processor succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked on an unrecoverable fault")
+	}
+}
+
+// TestRotationErrorPropagatesStructured: a receive that exhausts every
+// recovery attempt while the sender is alive yields a RotationError with
+// the processor, phase, and expected portion — and Run surfaces it
+// (wrapped) instead of deadlocking, once replays are exhausted too.
+func TestRotationErrorPropagatesStructured(t *testing.T) {
+	d, _ := hardened(t, 108, 2, 1, fault.Spec{
+		StallMS: 150, // far past watchdog * (resend+1): the receive must fail
+		Targets: []fault.Target{
+			{Class: fault.Stall, Proc: 1, Phase: 0, Sweep: 0},
+			{Class: fault.Stall, Proc: 1, Phase: 0, Sweep: -1}, // re-fires on the replay
+		},
+	})
+	d.Watchdog = 10 * time.Millisecond
+	d.MaxResend = 2
+	d.MaxRecoveries = 1
+	_, err := d.Run(1)
+	if err == nil {
+		t.Fatal("expected a rotation failure")
+	}
+	var re *RotationError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not carry a *RotationError", err)
+	}
+	if re.Proc != 0 || re.Expected != re.Got && re.Got != -1 {
+		t.Fatalf("rotation error %+v: want receiver proc 0, timeout", re)
+	}
+	if re.Reason != "timeout" {
+		t.Fatalf("reason %q, want timeout", re.Reason)
+	}
+}
+
+// TestRunContextCancellation: cancelling mid-run returns ctx.Err() and
+// never deadlocks, even with faults in flight.
+func TestRunContextCancellation(t *testing.T) {
+	d, _ := hardened(t, 109, 3, 2, fault.Spec{Seed: 9, StallRate: 1, StallMS: 30})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.RunContext(ctx, 1000)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestSeedResume: 2 sweeps, checkpoint, then a fresh engine seeded from
+// the checkpoint running 1 more sweep equals 3 sweeps in one go — the
+// contract the service's checkpoint/resume path is built on.
+func TestSeedResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	l := randLoop(rng, 3, 2, 200, 50, 2, inspector.Cyclic, 1)
+	contrib, _ := intContrib(len(l.Ind))
+
+	full, err := NewDistributed(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Contribs = contrib
+	want, err := full.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := NewDistributed(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Contribs = contrib
+	mid, err := first.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewDistributed(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Contribs = contrib
+	if err := resumed.Seed(mid); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactEq(got, want) {
+		t.Fatal("seeded resume diverged from the uninterrupted run")
+	}
+	if err := resumed.Seed([]float64{1}); err == nil {
+		t.Fatal("short seed accepted")
+	}
+}
+
+// TestCheckpointCallback: CheckpointEvery=1 delivers one snapshot per
+// sweep, and the last snapshot equals the final result.
+func TestCheckpointCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	l := randLoop(rng, 2, 2, 150, 40, 2, inspector.Block, 1)
+	d, err := NewDistributed(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib, _ := intContrib(len(l.Ind))
+	d.Contribs = contrib
+	var sweeps []int
+	var last []float64
+	d.CheckpointEvery = 1
+	d.Checkpoint = func(sweep int, x []float64) error {
+		sweeps = append(sweeps, sweep)
+		last = x
+		return nil
+	}
+	got, err := d.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 4 || sweeps[3] != 4 {
+		t.Fatalf("checkpoints at %v, want [1 2 3 4]", sweeps)
+	}
+	if !exactEq(last, got) {
+		t.Fatal("final checkpoint disagrees with the result")
+	}
+}
+
+// TestChaosSoakBitwise: every recoverable fault class at once, random
+// rates, several shapes — the recovered result must still be bitwise
+// sequential-exact, and the spans must show the recovery machinery fired.
+func TestChaosSoakBitwise(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		spec := fault.Spec{
+			Seed:      seed,
+			DropRate:  0.03,
+			DelayRate: 0.03,
+			DupRate:   0.03, CorruptRate: 0.03,
+			StallRate: 0.01, StallMS: 5,
+			DelayMS: 5,
+		}
+		d, want := hardened(t, 200+seed, 3, 2, spec)
+		tr := obs.New(0)
+		d.Trace = tr
+		got, err := d.Run(4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !exactEq(got, want(4)) {
+			t.Fatalf("seed %d: chaos run diverged from sequential", seed)
+		}
+		c := d.Inject.Counters()
+		if c.Total() == 0 {
+			t.Fatalf("seed %d: chaos injected nothing", seed)
+		}
+		if (c.Drops > 0 || c.Corrupts > 0) && c.Recoveries == 0 {
+			t.Fatalf("seed %d: faults fired (%s) but nothing recovered", seed, c.Summary())
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"irred/internal/fault"
+)
+
+// Job checkpoint file format: magic "IRCJ" + version byte + varint spec
+// JSON length + spec JSON + varint completed-sweep count + varint vector
+// length + the vector's little-endian float bits + FNV-1a over everything
+// before it. The trailing checksum means a torn write (crash mid-rename is
+// impossible — writes go through tmp+rename — but a corrupted disk is not)
+// is rejected at read time and the job simply restarts from sweep 0.
+const (
+	ckFileMagic   = "IRCJ"
+	ckFileVersion = 1
+	ckFileExt     = ".irc"
+	// ckJobsDir is the subdirectory of the service's disk directory that
+	// holds job checkpoints (next to the schedule cache files).
+	ckJobsDir = "jobs"
+)
+
+// jobCheckpoint is the persisted mid-run state of a raw multi-sweep job:
+// enough to re-admit the job after a restart and continue from Sweep.
+type jobCheckpoint struct {
+	Spec  JobSpec
+	Sweep int // completed sweeps
+	X     []float64
+}
+
+func ckPath(dir, id string) string {
+	return filepath.Join(dir, id+ckFileExt)
+}
+
+// writeJobCheckpoint persists ck atomically (tmp + rename). The fault
+// injector, when live, may fail the write — the caller treats that as a
+// lost resume point, never as a job failure.
+func writeJobCheckpoint(path string, ck *jobCheckpoint, inj *fault.Injector) error {
+	if err := inj.DiskWrite(path, ck.Sweep); err != nil {
+		return err
+	}
+	specJSON, err := json.Marshal(ck.Spec)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	sum := fnv.New64a()
+	bw := bufio.NewWriter(io.MultiWriter(f, sum))
+	var vbuf [binary.MaxVarintLen64]byte
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(vbuf[:], v)
+		_, err := bw.Write(vbuf[:n])
+		return err
+	}
+	if _, err := bw.WriteString(ckFileMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(ckFileVersion); err != nil {
+		return err
+	}
+	if err := putVarint(int64(len(specJSON))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(specJSON); err != nil {
+		return err
+	}
+	if err := putVarint(int64(ck.Sweep)); err != nil {
+		return err
+	}
+	if err := putVarint(int64(len(ck.X))); err != nil {
+		return err
+	}
+	var b [8]byte
+	for _, v := range ck.X {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The checksum goes straight to the file: it covers everything flushed
+	// through the MultiWriter above.
+	binary.LittleEndian.PutUint64(b[:], sum.Sum64())
+	if _, err := f.Write(b[:]); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ok = true
+	return os.Rename(tmp, path)
+}
+
+// readJobCheckpoint loads and verifies one checkpoint file. Any structural
+// damage — bad magic, short file, checksum mismatch, spec that no longer
+// validates — is an error; the caller discards the file.
+func readJobCheckpoint(path string) (*jobCheckpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(ckFileMagic)+1+8 {
+		return nil, fmt.Errorf("service: checkpoint %s: truncated", path)
+	}
+	body, tail := raw[:len(raw)-8], raw[len(raw)-8:]
+	sum := fnv.New64a()
+	sum.Write(body)
+	if sum.Sum64() != binary.LittleEndian.Uint64(tail) {
+		return nil, fmt.Errorf("service: checkpoint %s: checksum mismatch", path)
+	}
+	if string(body[:len(ckFileMagic)]) != ckFileMagic {
+		return nil, fmt.Errorf("service: checkpoint %s: bad magic", path)
+	}
+	body = body[len(ckFileMagic):]
+	if body[0] != ckFileVersion {
+		return nil, fmt.Errorf("service: checkpoint %s: unsupported version %d", path, body[0])
+	}
+	br := bufio.NewReader(bytes.NewReader(body[1:]))
+	specLen, err := binary.ReadVarint(br)
+	if err != nil || specLen < 2 || specLen > 1<<31 {
+		return nil, fmt.Errorf("service: checkpoint %s: spec length %d", path, specLen)
+	}
+	specJSON := make([]byte, specLen)
+	if _, err := io.ReadFull(br, specJSON); err != nil {
+		return nil, err
+	}
+	ck := &jobCheckpoint{}
+	if err := json.Unmarshal(specJSON, &ck.Spec); err != nil {
+		return nil, fmt.Errorf("service: checkpoint %s: %w", path, err)
+	}
+	if err := ck.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("service: checkpoint %s: stored spec: %w", path, err)
+	}
+	sweep, err := binary.ReadVarint(br)
+	if err != nil || sweep < 1 || int(sweep) > ck.Spec.steps() {
+		return nil, fmt.Errorf("service: checkpoint %s: sweep %d of %d", path, sweep, ck.Spec.steps())
+	}
+	ck.Sweep = int(sweep)
+	n, err := binary.ReadVarint(br)
+	if err != nil || n < 1 || n > 1<<28 {
+		return nil, fmt.Errorf("service: checkpoint %s: vector length %d", path, n)
+	}
+	ck.X = make([]float64, n)
+	var b [8]byte
+	for i := range ck.X {
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		ck.X[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	}
+	return ck, nil
+}
+
+// scanJobCheckpoints lists the resumable checkpoints under dir, keyed by
+// the job id encoded in the file name. Unreadable or corrupt files are
+// deleted — a bad resume point is worth strictly less than a clean
+// restart.
+func scanJobCheckpoints(dir string) map[string]*jobCheckpoint {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]*jobCheckpoint)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ckFileExt) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		ck, err := readJobCheckpoint(path)
+		if err != nil {
+			os.Remove(path)
+			continue
+		}
+		out[strings.TrimSuffix(name, ckFileExt)] = ck
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -126,16 +127,41 @@ func (c *Client) SubmitWait(ctx context.Context, spec service.JobSpec) (*service
 	return &st, nil
 }
 
-// shedRetryFloor is the wait before retrying a 429 whose Retry-After is
-// absent or zero.
-const shedRetryFloor = 50 * time.Millisecond
+// Backoff parameters for SubmitWaitRetry: the first retry waits around
+// retryBase, each further shed doubles the window, capped at retryCap.
+const (
+	retryBase = 50 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
+// retryDelay computes the wait before retry number attempt (0-based):
+// exponential retryBase·2^attempt capped at retryCap, with equal jitter —
+// uniform in [d/2, d] — so a fleet of shed clients decorrelates instead of
+// hammering the server in lockstep. The server's Retry-After acts as a
+// floor: the client never comes back sooner than it was told to.
+func retryDelay(attempt int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	d := retryCap
+	if attempt < 6 { // retryBase<<6 > retryCap already
+		d = retryBase << uint(attempt)
+		if d > retryCap {
+			d = retryCap
+		}
+	}
+	half := d / 2
+	d = half + time.Duration(rnd()*float64(half))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
 
 // SubmitWaitRetry enqueues a job with server-side wait, retrying 429
-// load-shed answers and honoring their Retry-After header, until ctx is
-// cancelled. The answer omits the result vector (its length and SHA-256
-// still come back), making this the load-generator path: cheap on the wire
-// while still verifiable. It reports how many times the job was shed
-// before admission.
+// load-shed answers with jittered exponential backoff (never sooner than
+// the server's Retry-After), until ctx is cancelled — including mid-sleep.
+// The answer omits the result vector (its length and SHA-256 still come
+// back), making this the load-generator path: cheap on the wire while
+// still verifiable. It reports how many times the job was shed before
+// admission.
 func (c *Client) SubmitWaitRetry(ctx context.Context, spec service.JobSpec) (st *service.JobStatus, sheds int, err error) {
 	for {
 		var s service.JobStatus
@@ -146,17 +172,16 @@ func (c *Client) SubmitWaitRetry(ctx context.Context, spec service.JobSpec) (st 
 		if !IsShed(err) {
 			return nil, sheds, err
 		}
-		sheds++
 		var se *StatusError
 		errors.As(err, &se)
-		d := se.RetryAfter
-		if d <= 0 {
-			d = shedRetryFloor
-		}
+		d := retryDelay(sheds, se.RetryAfter, rand.Float64)
+		sheds++
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return nil, sheds, ctx.Err()
-		case <-time.After(d):
+		case <-t.C:
 		}
 	}
 }

@@ -96,6 +96,64 @@ func TestSubmitWaitRetryContextCancel(t *testing.T) {
 	}
 }
 
+// TestRetryDelayJitterBounds pins the backoff schedule: attempt k waits
+// uniformly within [base·2^k / 2, base·2^k], capped, and never below the
+// server's Retry-After.
+func TestRetryDelayJitterBounds(t *testing.T) {
+	for attempt := 0; attempt < 12; attempt++ {
+		full := client.RetryBase << uint(attempt)
+		if full > client.RetryCap || full <= 0 {
+			full = client.RetryCap
+		}
+		for _, u := range []float64{0, 0.25, 0.5, 0.999999} {
+			d := client.RetryDelay(attempt, 0, func() float64 { return u })
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d u=%v: delay %v outside [%v, %v]", attempt, u, d, full/2, full)
+			}
+		}
+		// The jitter must actually spread: min and max of the window differ.
+		lo := client.RetryDelay(attempt, 0, func() float64 { return 0 })
+		hi := client.RetryDelay(attempt, 0, func() float64 { return 0.999999 })
+		if lo >= hi {
+			t.Fatalf("attempt %d: no jitter spread (lo=%v hi=%v)", attempt, lo, hi)
+		}
+	}
+	// Retry-After floors the delay even when the exponential window is small.
+	if d := client.RetryDelay(0, 3*time.Second, func() float64 { return 0 }); d != 3*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+	// The cap holds for absurd attempt counts (no overflow).
+	if d := client.RetryDelay(200, 0, func() float64 { return 0.999999 }); d > client.RetryCap {
+		t.Fatalf("cap exceeded at high attempt: %v", d)
+	}
+}
+
+// TestSubmitWaitRetryCancelMidBackoff verifies cancellation interrupts the
+// backoff sleep itself: the server demands a 5s Retry-After, the context
+// dies after 50ms, and the call must return promptly with ctx.Err().
+func TestSubmitWaitRetryCancelMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, sheds, err := client.New(ts.URL).SubmitWaitRetry(ctx, service.JobSpec{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if sheds != 1 {
+		t.Fatalf("sheds = %d, want exactly 1 (cancelled during the first backoff)", sheds)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation did not interrupt the 5s backoff (took %v)", elapsed)
+	}
+}
+
 // TestSubmitContextCancelMidRequest verifies cancellation of an in-flight
 // request (server hangs) surfaces the context error.
 func TestSubmitContextCancelMidRequest(t *testing.T) {

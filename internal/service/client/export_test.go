@@ -1,0 +1,15 @@
+package client
+
+import "time"
+
+// RetryDelay exposes the backoff schedule to the external test package so
+// its bounds can be pinned deterministically (the rnd source is injected).
+func RetryDelay(attempt int, retryAfter time.Duration, rnd func() float64) time.Duration {
+	return retryDelay(attempt, retryAfter, rnd)
+}
+
+// Backoff constants re-exported for the same tests.
+const (
+	RetryBase = retryBase
+	RetryCap  = retryCap
+)

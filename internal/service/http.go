@@ -21,6 +21,7 @@ const maxJobBody = 256 << 20
 //	POST   /v1/jobs/{id}/cancel request cancellation
 //	DELETE /v1/jobs/{id}        same as cancel
 //	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining or closed)
 //	GET    /metrics             expvar-style JSON counters
 //	GET    /debug/trace         phase-level span dump + aggregate tables
 //
@@ -31,6 +32,15 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"irred/internal/fault"
 	"irred/internal/inspector"
 )
 
@@ -65,6 +66,23 @@ type JobSpec struct {
 
 	// TimeoutMS bounds the job's wall-clock run; 0 means no deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Engine selects the executor for raw jobs: "native" (default, the
+	// shared-array engine) or "distributed" (the message-passing engine
+	// with the hardened rotation protocol — the one that can absorb
+	// injected payload faults). Named kernels always run native.
+	Engine string `json:"engine,omitempty"`
+
+	// Chaos, when non-nil, runs the job under the deterministic fault
+	// injector. The server rejects it unless started with chaos enabled —
+	// fault injection is a test instrument, not a tenant-facing feature.
+	Chaos *fault.Spec `json:"chaos,omitempty"`
+
+	// CheckpointEvery persists the reduction array and sweep counter every
+	// this many sweeps (raw multi-sweep jobs only, and only when the
+	// service has a disk directory). A restarted daemon resumes the job
+	// from its last checkpoint instead of recomputing from sweep 0.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // IsRaw reports whether the spec is a raw reduction (no named kernel).
@@ -81,6 +99,9 @@ func (sp *JobSpec) dist() (inspector.Dist, error) {
 		return 0, fmt.Errorf("unknown distribution %q", sp.Dist)
 	}
 }
+
+// distributed reports whether the job runs on the message-passing engine.
+func (sp *JobSpec) distributed() bool { return strings.ToLower(sp.Engine) == "distributed" }
 
 // steps returns the run length, defaulting to 1.
 func (sp *JobSpec) steps() int {
@@ -104,6 +125,26 @@ func (sp *JobSpec) Validate() error {
 	}
 	if _, err := sp.dist(); err != nil {
 		return err
+	}
+	switch strings.ToLower(sp.Engine) {
+	case "", "native":
+	case "distributed":
+		if !sp.IsRaw() {
+			return fmt.Errorf("engine %q supports raw reduction jobs only", sp.Engine)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q (native | distributed)", sp.Engine)
+	}
+	if sp.Chaos != nil {
+		if err := sp.Chaos.Validate(); err != nil {
+			return err
+		}
+		if !sp.IsRaw() {
+			return fmt.Errorf("chaos injection supports raw reduction jobs only")
+		}
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("checkpoint_every = %d", sp.CheckpointEvery)
 	}
 	if !sp.IsRaw() {
 		switch sp.Kernel {
@@ -258,6 +299,14 @@ type JobStatus struct {
 	RunMS        float64 `json:"run_ms"`
 	ResultLen    int     `json:"result_len,omitempty"`
 	ResultSHA256 string  `json:"result_sha256,omitempty"`
+	// Stack is the recovered goroutine stack of a job that panicked (state
+	// failed); empty otherwise.
+	Stack string `json:"stack,omitempty"`
+	// CheckpointSweep is the last sweep persisted to disk for this job (0
+	// when checkpointing is off or nothing was written yet).
+	CheckpointSweep int `json:"checkpoint_sweep,omitempty"`
+	// Resumed marks a job reconstructed from a checkpoint at daemon start.
+	Resumed bool `json:"resumed,omitempty"`
 	// Result is the final reduction/state vector: x for mvm, the node state
 	// q for euler, positions for moldyn, the reduction array for raw jobs.
 	Result []float64 `json:"result,omitempty"`
@@ -276,10 +325,16 @@ type Job struct {
 	mu        sync.Mutex
 	state     State
 	errMsg    string
+	stack     []byte // recovered panic stack, failed jobs only
 	cacheHit  bool
 	key       string
 	result    []float64
 	resultSum string
+	ckSweep   int  // last checkpointed sweep
+	resumed   bool // reconstructed from a checkpoint at daemon start
+	resumeAt  int  // sweeps already completed before this run
+	preempted bool // cancelled by shutdown, not by the user: keep the checkpoint
+	seed      []float64
 	created   time.Time
 	started   time.Time
 	finished  time.Time
@@ -305,13 +360,16 @@ func (j *Job) Status(includeResult bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:           j.ID,
-		State:        j.state,
-		Error:        j.errMsg,
-		CacheHit:     j.cacheHit,
-		ScheduleKey:  j.key,
-		ResultLen:    len(j.result),
-		ResultSHA256: j.resultSum,
+		ID:              j.ID,
+		State:           j.state,
+		Error:           j.errMsg,
+		CacheHit:        j.cacheHit,
+		ScheduleKey:     j.key,
+		ResultLen:       len(j.result),
+		ResultSHA256:    j.resultSum,
+		Stack:           string(j.stack),
+		CheckpointSweep: j.ckSweep,
+		Resumed:         j.resumed,
 	}
 	if !j.started.IsZero() {
 		st.QueuedMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)

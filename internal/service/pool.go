@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"runtime/debug"
 	"sync"
 )
 
@@ -17,33 +18,50 @@ var ErrClosed = errors.New("service: closed")
 // admission queue. Submission never blocks: a full queue is a shed, not a
 // wait. Each worker owns one rts native run at a time, so at most Workers
 // reductions execute concurrently regardless of offered load.
+//
+// Workers are supervised: a panic escaping run is recovered and reported
+// through onPanic, and the worker goroutine survives to take the next job
+// — a poisoned kernel costs one job, never a slice of pool capacity.
 type pool struct {
-	queue chan *Job
-	run   func(*Job)
+	queue   chan *Job
+	run     func(*Job)
+	onPanic func(j *Job, v any, stack []byte)
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
 
-func newPool(workers, queueLen int, run func(*Job)) *pool {
+func newPool(workers, queueLen int, run func(*Job), onPanic func(j *Job, v any, stack []byte)) *pool {
 	if workers < 1 {
 		workers = 1
 	}
 	if queueLen < 1 {
 		queueLen = 1
 	}
-	p := &pool{queue: make(chan *Job, queueLen), run: run}
+	p := &pool{queue: make(chan *Job, queueLen), run: run, onPanic: onPanic}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.queue {
-				p.run(j)
+				p.runOne(j)
 			}
 		}()
 	}
 	return p
+}
+
+// runOne executes one job under the panic supervisor.
+func (p *pool) runOne(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.onPanic != nil {
+				p.onPanic(j, r, debug.Stack())
+			}
+		}
+	}()
+	p.run(j)
 }
 
 // submit enqueues a job or sheds it. The lock is held across the send so

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// poolJob builds a minimal job usable by the bare pool (no service).
+func poolJob(id string) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{ID: id, ctx: ctx, cancel: cancel, done: make(chan struct{}), state: StateQueued, created: time.Now()}
+}
+
+// TestPoolSurvivesPanickingJobs is the capacity-regression test: N
+// panicking jobs must leave the pool able to run N more jobs on the same
+// workers — a panic costs one job, never a worker goroutine.
+func TestPoolSurvivesPanickingJobs(t *testing.T) {
+	const workers, n = 2, 16
+	var recovered atomic.Int64
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	p := newPool(workers, n*2, func(j *Job) {
+		defer wg.Done()
+		if j.Spec.Kernel == "boom" {
+			panic("poisoned job " + j.ID)
+		}
+		ran.Add(1)
+	}, func(j *Job, v any, stack []byte) {
+		recovered.Add(1)
+	})
+	defer p.close()
+
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		j := poolJob("bad")
+		j.Spec.Kernel = "boom"
+		if err := p.submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The deferred wg.Done fires even on the panic path, so this waits for
+	// all panicking jobs to have been recovered.
+	waitDone(t, &wg)
+	if got := recovered.Load(); got != n {
+		t.Fatalf("recovered %d panics, want %d", got, n)
+	}
+
+	// Full capacity must remain: n fresh jobs all run.
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := p.submit(poolJob("ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, &wg)
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d jobs after the panics, want %d", got, n)
+	}
+}
+
+// TestPoolPanicInCallbackDoesNotKillWorker: even a nil onPanic (or one
+// that observes a panicking job) leaves the worker alive.
+func TestPoolPanicWithNilCallback(t *testing.T) {
+	var wg sync.WaitGroup
+	p := newPool(1, 4, func(j *Job) {
+		defer wg.Done()
+		panic("boom")
+	}, nil)
+	defer p.close()
+	wg.Add(2)
+	if err := p.submit(poolJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.submit(poolJob("b")); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, &wg)
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool lost capacity: jobs never finished")
+	}
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"irred/internal/fault"
+)
+
+// robustSpec builds a deterministic raw reduction spec with integral
+// contributions, so recovered/resumed runs can be compared bitwise.
+func robustSpec(seed int64, steps int) JobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	iters, elems := 160, 48
+	ind := make([][]int32, 2)
+	for r := range ind {
+		ind[r] = make([]int32, iters)
+		for i := range ind[r] {
+			ind[r][i] = int32(rng.Intn(elems))
+		}
+	}
+	w := make([]float64, iters)
+	for i := range w {
+		w[i] = float64(rng.Intn(9) + 1)
+	}
+	return JobSpec{
+		NumIters: iters, NumElems: elems, Ind: ind,
+		Contrib: &ContribSpec{Kind: "weights", Weights: w},
+		P:       3, K: 2, Steps: steps,
+	}
+}
+
+// TestCheckpointRoundTrip pins the IRCJ file format: write, read back,
+// verify every field survives bit-exactly.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := robustSpec(1, 6)
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &jobCheckpoint{Spec: spec, Sweep: 4, X: want}
+	path := ckPath(dir, "j000042")
+	if err := writeJobCheckpoint(path, ck, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readJobCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != 4 || len(got.X) != len(want) {
+		t.Fatalf("read back sweep=%d len=%d", got.Sweep, len(got.X))
+	}
+	for i := range want {
+		if got.X[i] != want[i] {
+			t.Fatalf("X[%d] = %v, want %v", i, got.X[i], want[i])
+		}
+	}
+	if got.Spec.NumIters != spec.NumIters || got.Spec.Steps != spec.Steps {
+		t.Fatalf("spec did not survive: %+v", got.Spec)
+	}
+}
+
+// TestCheckpointRejectsCorruption: any flipped byte fails the checksum and
+// the scanner deletes the file rather than resuming from it.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	spec := robustSpec(2, 4)
+	x, _ := spec.SequentialRaw()
+	path := ckPath(dir, "j000001")
+	if err := writeJobCheckpoint(path, &jobCheckpoint{Spec: spec, Sweep: 2, X: x}, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readJobCheckpoint(path); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	if cks := scanJobCheckpoints(dir); len(cks) != 0 {
+		t.Fatalf("scanner resumed %d corrupt checkpoints", len(cks))
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("scanner left the corrupt file on disk")
+	}
+}
+
+// TestCheckpointWriteFaultInjected: an injected disk failure loses the
+// resume point but not the write path's atomicity (no partial file).
+func TestCheckpointWriteFaultInjected(t *testing.T) {
+	dir := t.TempDir()
+	spec := robustSpec(3, 4)
+	x, _ := spec.SequentialRaw()
+	inj := fault.New(fault.Spec{Seed: 1, DiskRate: 1})
+	path := ckPath(dir, "j000001")
+	if err := writeJobCheckpoint(path, &jobCheckpoint{Spec: spec, Sweep: 2, X: x}, inj); err == nil {
+		t.Fatal("rate-1 disk injector let the checkpoint through")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed write left a file behind")
+	}
+	if c := inj.Counters(); c.DiskFails != 1 {
+		t.Fatalf("counters %+v, want 1 disk failure", c)
+	}
+}
+
+// TestServiceResumesCheckpointedJob is the restart contract end to end: a
+// multi-sweep job checkpoints mid-run; a second service over the same
+// directory picks the checkpoint up, reruns only the remaining sweeps, and
+// produces the bitwise-identical result.
+func TestServiceResumesCheckpointedJob(t *testing.T) {
+	dir := t.TempDir()
+	spec := robustSpec(4, 8)
+	spec.CheckpointEvery = 2
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First process: run to completion so a checkpoint file certainly
+	// exists mid-run, then craft the "crashed mid-run" state by writing the
+	// sweep-4 checkpoint back (a TERM'd daemon leaves exactly this behind).
+	s1, err := New(Options{Workers: 1, CacheDir: dir, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitJob(t, j1)
+	if st1.State != StateDone {
+		t.Fatalf("first run: %+v", st1)
+	}
+	s1.Close()
+
+	half := spec
+	half.Steps = 4
+	halfX, err := half.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsDir := s1.jobsDir
+	if err := writeJobCheckpoint(ckPath(jobsDir, "j009999"), &jobCheckpoint{Spec: spec, Sweep: 4, X: halfX}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: must resume the stored job automatically.
+	s2, err := New(Options{Workers: 1, CacheDir: dir, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j2, ok := s2.Job("j000001")
+	if !ok {
+		t.Fatal("restart did not re-admit the checkpointed job")
+	}
+	st2 := waitJob(t, j2)
+	if st2.State != StateDone {
+		t.Fatalf("resumed run: %+v", st2)
+	}
+	if !st2.Resumed {
+		t.Fatal("resumed job not marked Resumed")
+	}
+	if len(st2.Result) != len(want) {
+		t.Fatalf("result len %d, want %d", len(st2.Result), len(want))
+	}
+	for i := range want {
+		if st2.Result[i] != want[i] {
+			t.Fatalf("resumed result[%d] = %v, want %v (diverged)", i, st2.Result[i], want[i])
+		}
+	}
+	// The old checkpoint file is consumed and the finished job leaves none.
+	if cks := scanJobCheckpoints(jobsDir); len(cks) != 0 {
+		t.Fatalf("%d checkpoint files survive a completed resume", len(cks))
+	}
+}
+
+// TestShutdownPreemptionKeepsCheckpoint is the graceful-TERM contract: a
+// running checkpointed job preempted by Close leaves its checkpoint on
+// disk (unlike user cancellation, which deletes it), and the next service
+// over the same directory resumes it to the bitwise-exact result.
+func TestShutdownPreemptionKeepsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	spec := robustSpec(9, 5000)
+	spec.CheckpointEvery = 1
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := New(Options{Workers: 1, CacheDir: dir, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preempt mid-run, after at least a few checkpoints have landed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := j1.Status(false)
+		if st.CheckpointSweep >= 3 {
+			break
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCancelled:
+			t.Fatalf("job reached %s before preemption", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint observed before the deadline")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	s1.Close()
+	if st := j1.Status(false); st.State != StateCancelled {
+		t.Fatalf("preempted job state %s, want cancelled", st.State)
+	}
+	cks := scanJobCheckpoints(s1.jobsDir)
+	if len(cks) != 1 {
+		t.Fatalf("preemption left %d checkpoint files, want 1", len(cks))
+	}
+
+	s2, err := New(Options{Workers: 1, CacheDir: dir, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j2, ok := s2.Job("j000001")
+	if !ok {
+		t.Fatal("restart did not re-admit the preempted job")
+	}
+	st2 := waitJob(t, j2)
+	if st2.State != StateDone || !st2.Resumed {
+		t.Fatalf("resumed run: %+v", st2)
+	}
+	for i := range want {
+		if st2.Result[i] != want[i] {
+			t.Fatalf("resumed result[%d] = %v, want %v (diverged)", i, st2.Result[i], want[i])
+		}
+	}
+	if cks := scanJobCheckpoints(s1.jobsDir); len(cks) != 0 {
+		t.Fatalf("%d checkpoint files survive a completed resume", len(cks))
+	}
+}
+
+// TestChaosRequiresOptIn: a chaos-carrying spec is rejected unless the
+// service was started with AllowChaos.
+func TestChaosRequiresOptIn(t *testing.T) {
+	s, err := New(Options{Workers: 1, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := robustSpec(5, 2)
+	spec.Chaos = &fault.Spec{Seed: 1, DropRate: 0.1}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrChaosDisabled) {
+		t.Fatalf("err = %v, want ErrChaosDisabled", err)
+	}
+}
+
+// TestChaosJobRecoversOnDistributedEngine: payload faults against the
+// hardened engine recover and the job's result is bitwise sequential.
+func TestChaosJobRecoversOnDistributedEngine(t *testing.T) {
+	s, err := New(Options{Workers: 1, TraceSpans: -1, AllowChaos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := robustSpec(6, 3)
+	spec.Engine = "distributed"
+	spec.Chaos = &fault.Spec{Seed: 3, DropRate: 0.05, CorruptRate: 0.05}
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("chaos job: %+v", st)
+	}
+	for i := range want {
+		if st.Result[i] != want[i] {
+			t.Fatalf("chaos result[%d] = %v, want %v", i, st.Result[i], want[i])
+		}
+	}
+}
+
+// TestChaosKernelPanicFailsJobWithStack: an injected kernel panic on the
+// native engine fails exactly that job, attaches the recovered stack to
+// its status, and leaves the worker serving later jobs.
+func TestChaosKernelPanicFailsJobWithStack(t *testing.T) {
+	s, err := New(Options{Workers: 1, TraceSpans: -1, AllowChaos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	spec := robustSpec(7, 2)
+	spec.Chaos = &fault.Spec{
+		Targets: []fault.Target{{Class: fault.Panic, Proc: 0, Phase: -1, Sweep: -1, Iter: -1}},
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateFailed {
+		t.Fatalf("state %s, want failed (%+v)", st.State, st)
+	}
+	if !strings.Contains(st.Error, "panic") {
+		t.Fatalf("error %q does not mention the panic", st.Error)
+	}
+	if st.Stack == "" {
+		t.Fatal("failed job carries no stack")
+	}
+
+	// The worker survives: a clean job still runs.
+	ok, err := s.Submit(robustSpec(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, ok); st.State != StateDone {
+		t.Fatalf("post-panic job: %+v", st)
+	}
+}
+
+// TestReadyzFlipsOnDrain: Ready is true for a live service, false after
+// BeginDrain and after Close.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s, err := New(Options{Workers: 1, TraceSpans: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Fatal("fresh service not ready")
+	}
+	s.BeginDrain()
+	if s.Ready() {
+		t.Fatal("draining service still ready")
+	}
+	s.Close()
+	if s.Ready() {
+		t.Fatal("closed service still ready")
+	}
+}

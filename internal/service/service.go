@@ -17,12 +17,18 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"irred/internal/fault"
 	"irred/internal/inspector"
 	"irred/internal/kernels"
 	"irred/internal/mesh"
@@ -31,6 +37,10 @@ import (
 	"irred/internal/rts"
 	"irred/internal/sparse"
 )
+
+// ErrChaosDisabled is returned for jobs carrying a chaos spec when the
+// service was not started with chaos enabled.
+var ErrChaosDisabled = errors.New("service: chaos injection disabled (start the daemon with -chaos)")
 
 // ShutdownGrace is how long graceful HTTP shutdown waits for in-flight
 // requests before giving up (daemon and core.Serve both honour it).
@@ -56,6 +66,14 @@ type Options struct {
 	// (oldest spans are overwritten). 0 picks obs.DefaultCapacity; a
 	// negative value disables tracing entirely.
 	TraceSpans int
+	// AllowChaos accepts job specs carrying a fault.Spec. Off by default:
+	// fault injection is a test instrument, and a tenant must not be able
+	// to stall or panic a shared daemon unless it was started for that.
+	AllowChaos bool
+	// CheckpointEvery is the default checkpoint interval (sweeps) for raw
+	// multi-sweep jobs that do not set their own; 0 disables checkpointing
+	// for jobs that do not ask for it. Checkpoints need CacheDir.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,12 +98,15 @@ func (o Options) withDefaults() Options {
 // Service accepts reduction jobs, serves schedules from the cache, and
 // executes on the native engine under bounded concurrency.
 type Service struct {
-	opt   Options
-	cache *Cache
-	pool  *pool
-	met   *metrics
-	trace *obs.Tracer
-	start time.Time
+	opt     Options
+	cache   *Cache
+	pool    *pool
+	met     *metrics
+	trace   *obs.Tracer
+	start   time.Time
+	jobsDir string // job checkpoint directory, "" when persistence is off
+
+	draining atomic.Bool // flips /readyz during graceful shutdown
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -94,7 +115,10 @@ type Service struct {
 	closed   bool
 }
 
-// New builds a Service and starts its worker pool.
+// New builds a Service, starts its worker pool, and — when a disk
+// directory is configured — re-admits every job checkpoint found on disk,
+// so work interrupted by a crash or SIGTERM resumes from its last
+// checkpointed sweep instead of being lost.
 func New(opt Options) (*Service, error) {
 	opt = opt.withDefaults()
 	cache, err := NewCache(opt.CacheEntries, opt.CacheDir)
@@ -111,8 +135,35 @@ func New(opt Options) (*Service, error) {
 	if opt.TraceSpans >= 0 {
 		s.trace = obs.New(opt.TraceSpans)
 	}
-	s.pool = newPool(opt.Workers, opt.QueueLen, s.runJob)
+	if opt.CacheDir != "" {
+		s.jobsDir = filepath.Join(opt.CacheDir, ckJobsDir)
+		if err := os.MkdirAll(s.jobsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: jobs dir: %w", err)
+		}
+	}
+	s.pool = newPool(opt.Workers, opt.QueueLen, s.runJob, s.jobPanicked)
+	s.resumeCheckpointed()
 	return s, nil
+}
+
+// resumeCheckpointed re-admits the checkpointed jobs left behind by the
+// previous process. Each resumed job gets a fresh id (the old files are
+// consumed), seeds its reduction array from the stored vector, and runs
+// only the remaining sweeps.
+func (s *Service) resumeCheckpointed() {
+	if s.jobsDir == "" {
+		return
+	}
+	cks := scanJobCheckpoints(s.jobsDir)
+	for old := range cks {
+		os.Remove(ckPath(s.jobsDir, old))
+	}
+	for _, ck := range cks {
+		if _, err := s.submitJob(ck.Spec, ck); err != nil {
+			continue // e.g. the queue is smaller than the backlog: drop
+		}
+		s.trace.Event("job/resume", -1, -1, ck.Sweep, -1)
+	}
 }
 
 // Cache exposes the schedule cache (stats, warming).
@@ -126,8 +177,16 @@ func (s *Service) Trace() *obs.Tracer { return s.trace }
 // Submit validates a spec and enqueues it. It returns ErrQueueFull when
 // the admission queue is at capacity and ErrClosed after shutdown.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.submitJob(spec, nil)
+}
+
+// submitJob admits a job, optionally seeded from a checkpoint (resume).
+func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("service: invalid job: %w", err)
+	}
+	if spec.Chaos != nil && !s.opt.AllowChaos {
+		return nil, ErrChaosDisabled
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -152,8 +211,21 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	if ck != nil {
+		j.resumed = true
+		j.resumeAt = ck.Sweep
+		j.ckSweep = ck.Sweep
+		j.seed = ck.X
+	}
 	s.jobs[id] = j
 	s.mu.Unlock()
+
+	if ck != nil && s.jobsDir != "" {
+		// Re-persist the checkpoint under the job's new id before it can
+		// run: a daemon TERM'd again — even before this job leaves the
+		// queue — must still find a resumable file on the next start.
+		writeJobCheckpoint(ckPath(s.jobsDir, id), ck, nil)
+	}
 
 	if err := s.pool.submit(j); err != nil {
 		s.mu.Lock()
@@ -184,8 +256,38 @@ func (s *Service) Cancel(id string) bool {
 	return ok
 }
 
+// BeginDrain flips /readyz to draining: load balancers stop routing new
+// work here while in-flight jobs finish. It does not stop admissions —
+// that is Close's job — so requests already in flight still land.
+func (s *Service) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Ready reports whether the service should receive new traffic.
+func (s *Service) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// jobPanicked is the pool's panic supervisor: a panic that escaped a job
+// run is recovered here, the job is marked failed with the stack attached,
+// and the worker goroutine survives to take the next job.
+func (s *Service) jobPanicked(j *Job, v any, stack []byte) {
+	s.trace.Event("job/panic", -1, -1, -1, -1)
+	j.mu.Lock()
+	j.stack = stack
+	from := j.state
+	j.mu.Unlock()
+	s.finishJob(j, from, nil, "", false, fmt.Errorf("service: job panicked: %v", v))
+}
+
 // Close stops admissions, cancels outstanding jobs, and waits for workers.
 func (s *Service) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -198,6 +300,11 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {
+		// Shutdown preemption is not user cancellation: a preempted job's
+		// checkpoint must survive so the next daemon resumes it.
+		j.mu.Lock()
+		j.preempted = true
+		j.mu.Unlock()
 		j.Cancel()
 	}
 	s.pool.close()
@@ -262,6 +369,13 @@ func (s *Service) finishJob(j *Job, from State, result []float64, key string, hi
 		msg = err.Error()
 	}
 	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateFailed, StateCancelled:
+		// Already terminal: a panic after completion (or a double finish)
+		// must not close the done channel twice.
+		j.mu.Unlock()
+		return
+	}
 	j.state = to
 	j.errMsg = msg
 	if to == StateDone {
@@ -270,9 +384,18 @@ func (s *Service) finishJob(j *Job, from State, result []float64, key string, hi
 	}
 	j.finished = time.Now()
 	total := j.finished.Sub(j.created)
+	ckSweep := j.ckSweep
+	preempted := j.preempted
 	j.mu.Unlock()
 	j.cancel() // release the context's timer resources
 	close(j.done)
+	if s.jobsDir != "" && ckSweep > 0 && !(preempted && to == StateCancelled) {
+		// A terminal job's checkpoint is dead weight: done jobs are done,
+		// and failed/cancelled jobs would only repeat their fate on resume.
+		// The one exception is shutdown preemption — that checkpoint is the
+		// whole point, it is how the next daemon picks the job back up.
+		os.Remove(ckPath(s.jobsDir, j.ID))
+	}
 	s.met.finishJob(from, to, total)
 	s.pruneFinished(j.ID)
 }
@@ -323,31 +446,177 @@ func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err e
 	steps := spec.steps()
 
 	if spec.IsRaw() {
-		l := &rts.Loop{
-			Cfg: inspector.Config{
-				P: spec.P, K: spec.K,
-				NumIters: spec.NumIters,
-				NumElems: spec.NumElems,
-				Dist:     dist,
-			},
-			Mode: rts.Reduce,
-			Ind:  spec.Ind,
-		}
-		scheds, hit, key, err := s.schedules(l)
-		if err != nil {
-			return nil, hit, key, err
-		}
-		n, err := rts.NewNativeFrom(l, scheds)
-		if err != nil {
-			return nil, hit, key, err
-		}
-		n.Contribs = spec.contrib()
-		if err := n.RunContext(j.ctx, steps); err != nil {
-			return nil, hit, key, err
-		}
-		return n.X, hit, key, nil
+		return s.executeRaw(j, dist, steps)
 	}
 
+	return s.executeNamed(j, dist, steps)
+}
+
+// executeRaw runs a raw reduction job: engine selection (native or the
+// hardened distributed engine), per-job chaos injection, and — for
+// multi-sweep jobs on a disk-backed service — periodic checkpoints of the
+// reduction array and sweep counter, so a daemon restart resumes the job
+// instead of recomputing it.
+func (s *Service) executeRaw(j *Job, dist inspector.Dist, steps int) (result []float64, hit bool, key string, err error) {
+	spec := &j.Spec
+	l := &rts.Loop{
+		Cfg: inspector.Config{
+			P: spec.P, K: spec.K,
+			NumIters: spec.NumIters,
+			NumElems: spec.NumElems,
+			Dist:     dist,
+		},
+		Mode: rts.Reduce,
+		Ind:  spec.Ind,
+	}
+	scheds, hit, key, err := s.schedules(l)
+	if err != nil {
+		return nil, hit, key, err
+	}
+
+	var inj *fault.Injector
+	if spec.Chaos != nil {
+		inj = fault.New(*spec.Chaos)
+	}
+	every := spec.CheckpointEvery
+	if every <= 0 {
+		every = s.opt.CheckpointEvery
+	}
+	ckOn := s.jobsDir != "" && every > 0 && steps > 1
+
+	// Resume state installed by submitJob for checkpointed jobs.
+	j.mu.Lock()
+	done, seed := j.resumeAt, j.seed
+	j.mu.Unlock()
+	if done >= steps || (seed != nil && len(seed) != l.Cfg.NumElems) {
+		done, seed = 0, nil
+	}
+
+	writeCk := func(sweep int, x []float64) {
+		cs := s.trace.Begin()
+		werr := writeJobCheckpoint(ckPath(s.jobsDir, j.ID), &jobCheckpoint{Spec: *spec, Sweep: sweep, X: x}, inj)
+		s.trace.End(obs.SpanCheckpoint, -1, -1, sweep, -1, cs)
+		if werr != nil {
+			// A failed checkpoint write loses a resume point, nothing more:
+			// the job itself is unharmed.
+			s.trace.Event("checkpoint/fail", -1, -1, sweep, -1)
+			return
+		}
+		j.mu.Lock()
+		j.ckSweep = sweep
+		j.mu.Unlock()
+	}
+
+	if spec.distributed() {
+		d, err := rts.NewDistributedFrom(l, scheds)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		d.Contribs = spec.contrib()
+		d.Trace = s.trace
+		d.Inject = inj
+		if inj != nil {
+			// Chaos jobs are soak instruments: a dropped payload should cost
+			// milliseconds, not the conservative default watchdog, or the
+			// soak spends its whole budget waiting on injected faults.
+			d.Watchdog = 25 * time.Millisecond
+		}
+		if seed != nil {
+			if err := d.Seed(seed); err != nil {
+				return nil, hit, key, err
+			}
+		}
+		if ckOn {
+			base := done
+			d.CheckpointEvery = every
+			d.Checkpoint = func(sweep int, x []float64) error {
+				writeCk(base+sweep, x)
+				return nil
+			}
+		}
+		out, err := d.RunContext(j.ctx, steps-done)
+		if err != nil {
+			var pe *rts.PanicError
+			if errors.As(err, &pe) {
+				j.mu.Lock()
+				j.stack = pe.Stack
+				j.mu.Unlock()
+			}
+			return nil, hit, key, err
+		}
+		return out, hit, key, nil
+	}
+
+	// Native engine. Chaos here is limited to kernel panics (payload
+	// faults need a wire; the native engine's token rotation has none).
+	// The panic is caught in the contribution wrapper itself — a panic on
+	// an engine-internal goroutine would crash the process — and turned
+	// into a cancelled run plus a structured job failure with the stack.
+	n, err := rts.NewNativeFrom(l, scheds)
+	if err != nil {
+		return nil, hit, key, err
+	}
+	contrib := spec.contrib()
+	runCtx := j.ctx
+	var pmu sync.Mutex
+	var panicVal any
+	var panicStack []byte
+	if inj != nil {
+		ctx2, cancel := context.WithCancel(j.ctx)
+		defer cancel()
+		runCtx = ctx2
+		base := contrib
+		contrib = func(p, i int, out []float64) {
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if panicVal == nil {
+						panicVal, panicStack = r, debug.Stack()
+						cancel()
+					}
+					pmu.Unlock()
+					for c := range out {
+						out[c] = 0
+					}
+				}
+			}()
+			inj.KernelPanic(p, i)
+			base(p, i, out)
+		}
+	}
+	n.Contribs = contrib
+	if seed != nil {
+		copy(n.X, seed)
+	}
+	for done < steps {
+		chunk := steps - done
+		if ckOn && chunk > every {
+			chunk = every
+		}
+		runErr := n.RunContext(runCtx, chunk)
+		pmu.Lock()
+		pv, ps := panicVal, panicStack
+		pmu.Unlock()
+		if pv != nil {
+			j.mu.Lock()
+			j.stack = ps
+			j.mu.Unlock()
+			return nil, hit, key, fmt.Errorf("service: kernel panicked: %v", pv)
+		}
+		if runErr != nil {
+			return nil, hit, key, runErr
+		}
+		done += chunk
+		if ckOn && done < steps {
+			writeCk(done, n.X)
+		}
+	}
+	return n.X, hit, key, nil
+}
+
+// executeNamed runs a named-kernel job on the native engine.
+func (s *Service) executeNamed(j *Job, dist inspector.Dist, steps int) (result []float64, hit bool, key string, err error) {
+	spec := &j.Spec
 	switch spec.Kernel {
 	case "mvm":
 		class := sparse.ClassS
