@@ -7,6 +7,7 @@
 // Usage:
 //
 //	irredc [-lint] [-describe] [-fissioned] [-threaded] [-opt-report] [file.irl]
+//	irredc -legality-report [file.irl ...]
 //
 // With no file, source is read from standard input. With no mode flags,
 // everything is printed. -lint runs the static analyzers first and refuses
@@ -15,7 +16,13 @@
 // obligations the interval analysis discharged symbolically (unproven
 // accesses fall back to checked execution at run time, when the proof is
 // re-attempted against concrete parameters and scanned indirection
-// contents).
+// contents). -legality-report runs the schedule-legality prover over every
+// named file (it accepts several) and prints each loop's schedule license
+// with its machine-checked justification ledger: which fold operators were
+// inferred, which algebraic properties were proven or disproven (with
+// counterexamples), and which parallel schedules — rotation, tiling,
+// tree-fold — the loop is licensed for. The legality pass is total, so the
+// report covers programs the Section 4 analysis would reject.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 
 	"irred/internal/codegen"
+	"irred/internal/dataflow"
 	"irred/internal/interp"
 	"irred/internal/lang"
 	"irred/internal/lint"
@@ -37,7 +45,13 @@ func main() {
 	threaded := flag.Bool("threaded", false, "print the generated Threaded-C-style listing")
 	doLint := flag.Bool("lint", false, "run the static analyzers; refuse codegen on error findings")
 	optReport := flag.Bool("opt-report", false, "print the bounds-proof artifact per irregular loop")
+	legality := flag.Bool("legality-report", false, "print the schedule license and justification ledger per loop")
 	flag.Parse()
+
+	if *legality {
+		legalityReport(flag.Args())
+		return
+	}
 
 	var src []byte
 	var err error
@@ -89,7 +103,7 @@ func main() {
 		}
 	}
 
-	all := !*describe && !*fissioned && !*threaded && !*optReport
+	all := !*describe && !*fissioned && !*threaded && !*optReport && !*legality
 	if *describe || all {
 		fmt.Println("=== analysis ===")
 		fmt.Print(unit.Describe())
@@ -104,5 +118,60 @@ func main() {
 			fmt.Print(p.ThreadedC())
 			fmt.Println()
 		}
+	}
+}
+
+// legalityReport runs the schedule-legality prover over each file (or
+// stdin when none are named) and prints every loop's license with its
+// justification ledger. Each ledger is re-verified before printing, so a
+// rendered grant is always backed by a machine-checked proof chain. The
+// exit status is 1 when any file fails to parse, any ledger fails its
+// self-check, or any loop holding a reduction is refused every parallel
+// schedule — so CI can gate on legality.
+func legalityReport(files []string) {
+	type input struct {
+		name string
+		src  []byte
+	}
+	var inputs []input
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredc:", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, input{"<stdin>", src})
+	}
+	failed := false
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredc:", err)
+			failed = true
+			continue
+		}
+		inputs = append(inputs, input{name, src})
+	}
+	for _, in := range inputs {
+		prog, err := lang.Parse(string(in.src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredc: %s: %v\n", in.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== schedule legality: %s ===\n", in.name)
+		for _, lic := range dataflow.LegalizeProgram(prog, dataflow.Options{}) {
+			if err := lic.Verify(); err != nil {
+				fmt.Fprintf(os.Stderr, "irredc: %s: ledger self-check failed: %v\n", in.name, err)
+				failed = true
+			}
+			fmt.Print(lic.Report())
+			if len(lic.Ops) > 0 && !lic.Rotation && !lic.Tile {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

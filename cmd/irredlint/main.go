@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	irredlint [-json] [-codes] [-prove] [-fix] [file.irl ...]
+//	irredlint [-format text|json] [-codes] [-prove] [-fix] [file.irl ...]
 //
-// With no files, source is read from standard input. -json emits the
-// findings as a JSON array for tooling; -codes prints the catalogue of
-// diagnostic codes (source analyzers and schedule-verifier invariants) and
-// exits. -prove first model-checks the systolic ownership protocol over
-// every (P <= 8, k <= 4) strategy — exhaustively verifying the rotation,
-// single-writer and bijection invariants the runtime relies on — and fails
-// the run if any strategy violates them, before linting the files as
-// usual. -fix removes dataflow-dead statements (IRL007/IRL009/IRL014) from
-// the named files in place (or from stdin to stdout) instead of reporting.
+// With no files, source is read from standard input. -format selects the
+// output encoding: "text" (default) renders human-readable findings,
+// "json" emits them as a JSON array for tooling (-json is a legacy alias
+// for -format json). -codes prints the catalogue of diagnostic codes
+// (source analyzers and schedule-verifier invariants) and exits. -prove
+// first model-checks the systolic ownership protocol over every (P <= 8,
+// k <= 4) strategy — exhaustively verifying the rotation, single-writer
+// and bijection invariants the runtime relies on — and additionally
+// proves the fold-schedule equivalence W6: for every builtin reduction
+// operator, the rotation-order and tree-order folds are bitwise-equal to
+// the sequential fold over the same strategy space. It fails the run if
+// any strategy violates an invariant, before linting the files as usual.
+// -fix removes dataflow-dead statements (IRL007/IRL009/IRL014) from the
+// named files in place (or from stdin to stdout) instead of reporting.
 // The exit status is 1 when any file fails to parse or any finding is
 // Error-level, 0 otherwise (warnings and notes do not fail the run).
 package main
@@ -29,11 +34,23 @@ import (
 )
 
 func main() {
-	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array (alias for -format json)")
+	format := flag.String("format", "", "output format: text or json")
 	codes := flag.Bool("codes", false, "list all diagnostic codes and exit")
-	prove := flag.Bool("prove", false, "model-check the ownership protocol for all P <= 8, k <= 4 before linting")
+	prove := flag.Bool("prove", false, "model-check the ownership protocol and fold equivalence for all P <= 8, k <= 4 before linting")
 	fix := flag.Bool("fix", false, "remove dataflow-dead statements in place instead of reporting")
 	flag.Parse()
+
+	switch *format {
+	case "":
+	case "text":
+		*asJSON = false
+	case "json":
+		*asJSON = true
+	default:
+		fmt.Fprintf(os.Stderr, "irredlint: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	if *codes {
 		printCodes()
@@ -42,6 +59,8 @@ func main() {
 
 	if *prove {
 		checked, violations := dataflow.ProveAll(8, 4)
+		foldChecked, foldViolations := dataflow.ProveAllFold(8, 4)
+		violations = append(violations, foldViolations...)
 		if len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintln(os.Stderr, "irredlint: prove:", v.Error())
@@ -50,6 +69,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("prove: %d ownership strategies (P <= 8, k <= 4) satisfy the systolic invariants\n", checked)
+		fmt.Printf("prove: %d (strategy, operator) fold schedules are bitwise-equal to the sequential fold (W6)\n", foldChecked)
 	}
 
 	if *fix {

@@ -1,0 +1,214 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"irred/internal/lang"
+)
+
+// combine parses `x[ia[i]] = rhs` and runs ExtractUpdate on it with a
+// varying() that treats the loop variable i (and anything containing it)
+// as iteration-varying.
+func extract(t *testing.T, rhs string) (*Update, error) {
+	t.Helper()
+	src := `
+param n, m
+array ia[n] int
+array x[m]
+array w[n]
+array y[n]
+loop i = 0, n {
+    t = w[i] * 2
+    x[ia[i]] = ` + rhs + `
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	l := prog.Loops[0]
+	st := l.Body[len(l.Body)-1]
+	varying := func(e lang.Expr) bool {
+		found := false
+		lang.Walk(e, func(x lang.Expr) {
+			if id, ok := x.(*lang.Ident); ok && (id.Name == l.Var || id.Name == "t") {
+				found = true
+			}
+		})
+		return found
+	}
+	return ExtractUpdate(st.Target, st.RHS, varying)
+}
+
+func TestExtractStructural(t *testing.T) {
+	cases := []struct {
+		rhs    string
+		kind   Kind
+		negate bool
+	}{
+		{"x[ia[i]] + w[i]", Add, false},
+		{"w[i] + x[ia[i]]", Add, false},
+		{"x[ia[i]] - w[i]", Add, true},
+		{"x[ia[i]] * w[i]", Mul, false},
+		{"min(x[ia[i]], w[i])", Min, false},
+		{"max(w[i], x[ia[i]])", Max, false},
+		{"x[ia[i]] + 2", Add, false}, // constant contribution is still additive
+	}
+	for _, c := range cases {
+		upd, err := extract(t, c.rhs)
+		if err != nil {
+			t.Errorf("%s: %v", c.rhs, err)
+			continue
+		}
+		if upd.Op.Kind != c.kind || upd.Negate != c.negate {
+			t.Errorf("%s: got kind %v negate %v, want %v %v", c.rhs, upd.Op.Kind, upd.Negate, c.kind, c.negate)
+		}
+		if len(upd.Acc) == 0 {
+			t.Errorf("%s: no accumulator occurrences recorded", c.rhs)
+		}
+	}
+}
+
+func TestExtractGeneric(t *testing.T) {
+	upd, err := extract(t, "x[ia[i]] * w[i] + x[ia[i]] + w[i]")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if upd.Op.Kind != Custom {
+		t.Fatalf("kind = %v, want Custom", upd.Op.Kind)
+	}
+	if got, want := upd.Op.Expr.String(), "(((a * b) + a) + b)"; got != want {
+		t.Fatalf("combine = %s, want %s", got, want)
+	}
+	p := CheckExpr(upd.Op.Expr)
+	if p.Assoc != Proven || p.Comm != Proven {
+		t.Fatalf("a*b+a+b: assoc=%v comm=%v, want proven (props: %+v)", p.Assoc, p.Comm, p)
+	}
+	if p.HasIdentity != Proven || p.Identity != 0 {
+		t.Fatalf("a*b+a+b: identity = %v/%g, want proven 0", p.HasIdentity, p.Identity)
+	}
+	if deg, poly := polyDegree(upd.Op.Expr); !poly || deg != 2 {
+		t.Fatalf("degree = %d, poly = %v", deg, poly)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := extract(t, "w[i]"); err != ErrNoAcc {
+		t.Errorf("overwrite: err = %v, want ErrNoAcc", err)
+	}
+	if _, err := extract(t, "x[ia[i]] * 0.5 + w[i] + y[i]"); err == nil {
+		t.Errorf("two distinct contributions: expected error")
+	}
+	// A parameter inside a *compound* combine is an unknown constant the
+	// checker cannot bound.
+	if _, err := extract(t, "x[ia[i]] * n + w[i]"); err == nil {
+		t.Errorf("parameter in combine: expected error")
+	}
+}
+
+func TestExtractParamStructural(t *testing.T) {
+	// `x[ia[i]] + n` hits the structural case (additive, acc on one
+	// side) in the happy path only if the other side is acc-free; it is,
+	// so this is Add with contribution n.
+	upd, err := extract(t, "n + x[ia[i]]")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if upd.Op.Kind != Add {
+		t.Fatalf("kind = %v, want Add", upd.Op.Kind)
+	}
+}
+
+func TestCheckExprNonAssociative(t *testing.T) {
+	// a*0.5 + b — the decayed accumulation: commutative in no argument
+	// order sense, not associative.
+	upd, err := extract(t, "x[ia[i]] * 0.5 + w[i]")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	p := CheckExpr(upd.Op.Expr)
+	if p.Assoc != Disproven {
+		t.Fatalf("a*0.5+b: assoc = %v, want disproven", p.Assoc)
+	}
+	if p.AssocCex == "" {
+		t.Fatalf("a*0.5+b: no counterexample recorded")
+	}
+}
+
+func TestCheckExprDivision(t *testing.T) {
+	upd, err := extract(t, "x[ia[i]] / (1 + w[i])")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	p := CheckExpr(upd.Op.Expr)
+	if p.Assoc != Disproven && p.Comm != Disproven {
+		t.Fatalf("a/(1+b): expected assoc or comm disproven, got %+v", p)
+	}
+}
+
+func TestCheckExprMinCall(t *testing.T) {
+	e := &lang.CallExpr{Fn: "min", Args: []lang.Expr{&lang.Ident{Name: "a"}, &lang.Ident{Name: "b"}}}
+	p := CheckExpr(e)
+	if p.Assoc != Proven || p.Comm != Proven || p.Idem != Proven {
+		t.Fatalf("min(a,b): %+v", p)
+	}
+	if p.HasIdentity != Proven || !math.IsInf(p.Identity, 1) {
+		t.Fatalf("min(a,b): identity %v/%g, want +Inf", p.HasIdentity, p.Identity)
+	}
+	if p.ReorderSensitive {
+		t.Fatalf("min(a,b): marked reorder-sensitive")
+	}
+}
+
+func TestCheckExprFreeVariable(t *testing.T) {
+	e := &lang.BinExpr{Op: '+', L: &lang.Ident{Name: "a"}, R: &lang.Ident{Name: "q"}}
+	p := CheckExpr(e)
+	if p.Assoc != Unknown || p.HasIdentity != Unknown {
+		t.Fatalf("free variable: %+v", p)
+	}
+}
+
+func TestTableProps(t *testing.T) {
+	for _, k := range []Kind{Add, Mul, Min, Max} {
+		p := TableProps(k)
+		if p.Assoc != Proven || p.Comm != Proven || p.HasIdentity != Proven {
+			t.Errorf("%v: table entry incomplete: %+v", k, p)
+		}
+		op := Op{Kind: k}
+		id, ok := op.Identity()
+		if !ok || id != p.Identity {
+			t.Errorf("%v: Op.Identity %g/%v != table %g", k, id, ok, p.Identity)
+		}
+		// The identity must actually be an identity under Fold.
+		for _, v := range []float64{-2, 0, 1.5, 7} {
+			if op.Fold(v, id) != v || op.Fold(id, v) != v {
+				t.Errorf("%v: %g is not an identity for %g", k, id, v)
+			}
+		}
+	}
+	if p := TableProps(Min); p.Idem != Proven || p.ReorderSensitive {
+		t.Errorf("min: %+v", p)
+	}
+	if p := TableProps(Add); p.Idem != Disproven || !p.ReorderSensitive {
+		t.Errorf("add: %+v", p)
+	}
+}
+
+func TestFoldCustomMatchesSequential(t *testing.T) {
+	upd, err := extract(t, "x[ia[i]] * w[i] + x[ia[i]] + w[i]")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	op := upd.Op
+	// Folding the combine must reproduce the source statement's
+	// left-to-right evaluation bitwise.
+	for _, a := range []float64{0, 0.1, -3.75, 1e9} {
+		for _, b := range []float64{0, 0.3, 2.5, -7} {
+			want := a*b + a + b
+			if got := op.Fold(a, b); got != want {
+				t.Fatalf("Fold(%g,%g) = %g, want %g", a, b, got, want)
+			}
+		}
+	}
+}

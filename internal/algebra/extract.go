@@ -1,0 +1,165 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"irred/internal/lang"
+)
+
+// Update is the normalized form of an irregular self-update
+//
+//	acc <- fold(acc, contrib)
+//
+// extracted from `x[ia[i]] = rhs`. For builtin kinds the fold is the
+// builtin operator (with Negate folding a-b as a+(-b)); for Custom kinds
+// Op.Expr is the combine tree over "a" (accumulator) and "b"
+// (contribution), preserving the source expression's shape so evaluating
+// the combine reproduces the sequential statement bitwise.
+type Update struct {
+	Op      Op
+	Contrib lang.Expr
+	Negate  bool // Add only: contribution entered as acc - contrib
+	// Acc lists the accumulator occurrences inside the original RHS, so
+	// callers can exempt them from read-set bookkeeping.
+	Acc []*lang.IndexExpr
+}
+
+// ErrNoAcc marks an irregular `=` write whose RHS never reads the
+// target: a plain overwrite, not an update — a static race under any
+// parallel schedule.
+var ErrNoAcc = errors.New("right-hand side never reads the target element")
+
+// ExtractUpdate decomposes the RHS of an irregular `=` statement into
+// accumulator-fold form. varying reports whether an expression depends
+// on the iteration (loop variable or loop-local scalar); the extracted
+// contribution must be one iteration-varying subexpression (possibly
+// repeated), and everything else constants or builtin calls.
+func ExtractUpdate(target *lang.IndexExpr, rhs lang.Expr, varying func(lang.Expr) bool) (*Update, error) {
+	key := target.String()
+	var accs []*lang.IndexExpr
+	lang.Walk(rhs, func(e lang.Expr) {
+		if ix, ok := e.(*lang.IndexExpr); ok && ix.String() == key {
+			accs = append(accs, ix)
+		}
+	})
+	if len(accs) == 0 {
+		return nil, ErrNoAcc
+	}
+	isAcc := func(e lang.Expr) bool {
+		for _, a := range accs {
+			if e == lang.Expr(a) {
+				return true
+			}
+		}
+		return false
+	}
+	containsAcc := func(e lang.Expr) bool {
+		found := false
+		lang.Walk(e, func(x lang.Expr) {
+			if isAcc(x) {
+				found = true
+			}
+		})
+		return found
+	}
+
+	// Structural decomposition: the common shapes map straight onto a
+	// builtin operator, no property check needed. The contribution side
+	// need not be iteration-varying here (x[ia[i]] = x[ia[i]] + c is
+	// still an additive reduction).
+	switch x := rhs.(type) {
+	case *lang.BinExpr:
+		var kind Kind
+		ok := false
+		switch x.Op {
+		case '+':
+			kind, ok = Add, true
+		case '*':
+			kind, ok = Mul, true
+		}
+		if ok {
+			if isAcc(x.L) && !containsAcc(x.R) {
+				return &Update{Op: Op{Kind: kind}, Contrib: x.R, Acc: accs}, nil
+			}
+			if isAcc(x.R) && !containsAcc(x.L) {
+				return &Update{Op: Op{Kind: kind}, Contrib: x.L, Acc: accs}, nil
+			}
+		}
+		if x.Op == '-' && isAcc(x.L) && !containsAcc(x.R) {
+			return &Update{Op: Op{Kind: Add}, Contrib: x.R, Negate: true, Acc: accs}, nil
+		}
+	case *lang.CallExpr:
+		if (x.Fn == "min" || x.Fn == "max") && len(x.Args) == 2 {
+			kind := Min
+			if x.Fn == "max" {
+				kind = Max
+			}
+			if isAcc(x.Args[0]) && !containsAcc(x.Args[1]) {
+				return &Update{Op: Op{Kind: kind}, Contrib: x.Args[1], Acc: accs}, nil
+			}
+			if isAcc(x.Args[1]) && !containsAcc(x.Args[0]) {
+				return &Update{Op: Op{Kind: kind}, Contrib: x.Args[0], Acc: accs}, nil
+			}
+		}
+	}
+
+	// Generic extraction: substitute accumulator occurrences with "a" and
+	// every maximal acc-free iteration-varying subtree with "b". All "b"
+	// candidates must be the same expression, and the residue must be
+	// constants and builtin structure only — otherwise the combine has
+	// free inputs the bounded checker cannot account for.
+	var contrib lang.Expr
+	var subErr error
+	var sub func(e lang.Expr) lang.Expr
+	sub = func(e lang.Expr) lang.Expr {
+		if subErr != nil {
+			return e
+		}
+		if isAcc(e) {
+			return &lang.Ident{Name: "a", Pos: e.Position()}
+		}
+		if !containsAcc(e) && varying(e) {
+			if contrib == nil {
+				contrib = e
+			} else if contrib.String() != e.String() {
+				subErr = fmt.Errorf("two distinct iteration-varying contributions %s and %s", contrib, e)
+			}
+			return &lang.Ident{Name: "b", Pos: e.Position()}
+		}
+		switch x := e.(type) {
+		case *lang.Num:
+			return x
+		case *lang.Ident:
+			// Not varying and not the accumulator: a parameter — an
+			// unknown constant the checker cannot bound.
+			subErr = fmt.Errorf("combine references parameter %q", x.Name)
+			return x
+		case *lang.IndexExpr:
+			// An invariant array read (constant subscripts): opaque.
+			subErr = fmt.Errorf("combine references invariant array element %s", x)
+			return x
+		case *lang.BinExpr:
+			return &lang.BinExpr{Op: x.Op, L: sub(x.L), R: sub(x.R), Pos: x.Pos}
+		case *lang.UnExpr:
+			return &lang.UnExpr{X: sub(x.X), Pos: x.Pos}
+		case *lang.CallExpr:
+			out := &lang.CallExpr{Fn: x.Fn, Pos: x.Pos}
+			for _, a := range x.Args {
+				out.Args = append(out.Args, sub(a))
+			}
+			return out
+		default:
+			subErr = fmt.Errorf("unsupported expression %s", e)
+			return e
+		}
+	}
+	combine := sub(rhs)
+	if subErr != nil {
+		return nil, fmt.Errorf("update of %s is not expressible as target (+) contribution: %v", key, subErr)
+	}
+	if contrib == nil {
+		return nil, fmt.Errorf("update of %s has no iteration-varying contribution", key)
+	}
+	return &Update{Op: Op{Kind: Custom, Expr: combine}, Contrib: contrib, Acc: accs}, nil
+}

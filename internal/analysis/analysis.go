@@ -7,10 +7,12 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"irred/internal/algebra"
 	"irred/internal/lang"
 )
 
@@ -39,12 +41,43 @@ func (r IndRef) Triplet(extent string) string {
 }
 
 // Reduction is one irregular reduction statement: Array[Ind] op= RHS.
+// Kind is the fold operator: Add for += / -= (Negate distinguishes),
+// Mul/Min/Max for the fold-assignment sugar, and Custom for general
+// self-updates (`x[ia[i]] = f(x[ia[i]], contrib)`) normalized by
+// ExtractUpdate — for those, Combine is the two-variable combine tree
+// over "a"/"b" and RHS is the extracted per-iteration contribution.
 type Reduction struct {
 	StmtIndex int // position in the loop body
 	Array     string
 	Ind       IndRef
-	Negate    bool // true for -=
+	Negate    bool // true for -= (Kind == Add only)
 	RHS       lang.Expr
+	Kind      algebra.Kind
+	Combine   lang.Expr // Custom only
+}
+
+// Op is the reduction's fold operator in executable form.
+func (r *Reduction) Op() algebra.Op {
+	return algebra.Op{Kind: r.Kind, Expr: r.Combine}
+}
+
+// OpString renders the reduction's assignment operator for listings.
+func (r *Reduction) OpString() string {
+	switch r.Kind {
+	case algebra.Add:
+		if r.Negate {
+			return "-="
+		}
+		return "+="
+	case algebra.Mul:
+		return "*="
+	case algebra.Min:
+		return "min="
+	case algebra.Max:
+		return "max="
+	default:
+		return "=" // general update; RHS shown is the contribution
+	}
 }
 
 // Read is an irregular read on the right-hand side: Array[Ind] consumed by
@@ -113,6 +146,22 @@ func analyzeLoop(prog *lang.Program, l *lang.Loop) (*LoopInfo, error) {
 	scalars := map[string]bool{}
 	readSet := map[Read]bool{}
 	iterReadSet := map[string]bool{}
+	// Accumulator occurrences of general self-updates: exempt from the
+	// read-set and the loop-carried-dependence check below, because they
+	// are the reduction itself, not an independent read.
+	accNodes := map[lang.Expr]bool{}
+	// varying reports whether an expression depends on the iteration —
+	// via the loop variable or a loop-local scalar (scalar defs precede
+	// their uses, so the set built so far is complete at each use).
+	varying := func(e lang.Expr) bool {
+		found := false
+		lang.Walk(e, func(x lang.Expr) {
+			if id, ok := x.(*lang.Ident); ok && (id.Name == l.Var || scalars[id.Name]) {
+				found = true
+			}
+		})
+		return found
+	}
 
 	for idx, st := range l.Body {
 		switch {
@@ -134,21 +183,39 @@ func analyzeLoop(prog *lang.Program, l *lang.Loop) (*LoopInfo, error) {
 			case idxRegular:
 				li.RegWrites = append(li.RegWrites, idx)
 			case idxIndirect:
-				if st.Op == lang.OpSet {
-					return nil, fmt.Errorf("irl:%s: irregular write to %q must be a reduction (+= or -=)", st.Pos, st.Target.Array)
+				red := Reduction{StmtIndex: idx, Array: st.Target.Array, Ind: ind, RHS: st.RHS}
+				switch st.Op {
+				case lang.OpAdd, lang.OpSub:
+					red.Kind, red.Negate = algebra.Add, st.Op == lang.OpSub
+				case lang.OpMul:
+					red.Kind = algebra.Mul
+				case lang.OpMin:
+					red.Kind = algebra.Min
+				case lang.OpMax:
+					red.Kind = algebra.Max
+				case lang.OpSet:
+					// A plain `=` through indirection is accepted only as a
+					// self-update in accumulator-fold form; whether any
+					// schedule is legal for it is the legality pass's call.
+					upd, err := algebra.ExtractUpdate(st.Target, st.RHS, varying)
+					if errors.Is(err, algebra.ErrNoAcc) {
+						return nil, fmt.Errorf("irl:%s: irregular write to %q must be a reduction (+=, -=, *=, min=, max=) or a self-update reading the target element", st.Pos, st.Target.Array)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("irl:%s: irregular update of %q: %v", st.Pos, st.Target.Array, err)
+					}
+					red.Kind, red.Negate = upd.Op.Kind, upd.Negate
+					red.RHS, red.Combine = upd.Contrib, upd.Op.Expr
+					for _, a := range upd.Acc {
+						accNodes[a] = true
+					}
 				}
-				li.Reductions = append(li.Reductions, Reduction{
-					StmtIndex: idx,
-					Array:     st.Target.Array,
-					Ind:       ind,
-					Negate:    st.Op == lang.OpSub,
-					RHS:       st.RHS,
-				})
+				li.Reductions = append(li.Reductions, red)
 			}
 		}
 		// Scan the RHS for irregular reads, iteration-aligned reads, and
 		// legality violations.
-		if err := scanRHS(prog, l, st.RHS, readSet, iterReadSet); err != nil {
+		if err := scanRHS(prog, l, st.RHS, readSet, iterReadSet, accNodes); err != nil {
 			return nil, err
 		}
 	}
@@ -166,6 +233,9 @@ func analyzeLoop(prog *lang.Program, l *lang.Loop) (*LoopInfo, error) {
 	for _, st := range l.Body {
 		var bad *lang.IndexExpr
 		lang.Walk(st.RHS, func(e lang.Expr) {
+			if accNodes[e] {
+				return
+			}
 			if ix, ok := e.(*lang.IndexExpr); ok && reduced[ix.Array] && bad == nil {
 				bad = ix
 			}
@@ -190,7 +260,44 @@ func analyzeLoop(prog *lang.Program, l *lang.Loop) (*LoopInfo, error) {
 	sort.Strings(li.IterReads)
 
 	li.Groups = buildGroups(li.Reductions)
+
+	// One combine operator per reference group: a group rotates as one
+	// unit, so its statements must agree on the fold. (+= and -= agree —
+	// both are additive.)
+	for gi := range li.Groups {
+		g := &li.Groups[gi]
+		var first *Reduction
+		for ri := range li.Reductions {
+			r := &li.Reductions[ri]
+			inGroup := false
+			for _, si := range g.Stmts {
+				if r.StmtIndex == si {
+					inGroup = true
+					break
+				}
+			}
+			if !inGroup {
+				continue
+			}
+			if first == nil {
+				first = r
+				continue
+			}
+			if r.Kind != first.Kind || combineKey(r) != combineKey(first) {
+				return nil, fmt.Errorf("irl:%s: reference group {%s} mixes fold operators %q and %q; one combine per rotated group",
+					l.Body[r.StmtIndex].Pos, g.Key(), first.Op(), r.Op())
+			}
+		}
+	}
 	return li, nil
+}
+
+// combineKey canonicalizes a reduction's combine for equality checks.
+func combineKey(r *Reduction) string {
+	if r.Combine != nil {
+		return r.Combine.String()
+	}
+	return r.Kind.String()
 }
 
 type idxKind int
@@ -277,11 +384,11 @@ func indirectionRef(prog *lang.Program, l *lang.Loop, ix *lang.IndexExpr) (IndRe
 
 // scanRHS records irregular and iteration-aligned reads and rejects
 // illegal references on the right-hand side.
-func scanRHS(prog *lang.Program, l *lang.Loop, rhs lang.Expr, reads map[Read]bool, iterReads map[string]bool) error {
+func scanRHS(prog *lang.Program, l *lang.Loop, rhs lang.Expr, reads map[Read]bool, iterReads map[string]bool, skip map[lang.Expr]bool) error {
 	var firstErr error
 	lang.Walk(rhs, func(e lang.Expr) {
 		ix, ok := e.(*lang.IndexExpr)
-		if !ok || firstErr != nil {
+		if !ok || firstErr != nil || skip[e] {
 			return
 		}
 		decl := prog.Array(ix.Array)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"irred/internal/algebra"
 	"irred/internal/analysis"
 	"irred/internal/dataflow"
 	"irred/internal/inspector"
@@ -46,6 +47,18 @@ type Plan struct {
 	// range checks, and whether the native engine may skip per-write
 	// target validation. Nil until a proof has been computed.
 	Facts *dataflow.Facts
+
+	// License is the schedule license of this post-fission loop: the
+	// parent (pre-fission) loop's license met with the fissioned loop's
+	// own, so fission can only narrow grants, never widen them. BuildLoop
+	// refuses plans whose license does not grant rotation; BuildTreeFold
+	// additionally requires the TreeFoldLegal grant.
+	License *dataflow.License
+
+	// Combine is the fold operator of the plan's reference group, with
+	// the identity the legality pass proved (when it proved one). The
+	// zero value is float addition.
+	Combine algebra.Op
 
 	// codes holds the per-processor bytecode evaluators of the most recent
 	// BuildLoop, so runtime faults recorded by checked execution can be
@@ -87,7 +100,14 @@ func compile(src string, optimize bool) (*Unit, error) {
 	}
 	u := &Unit{Source: prog, Analysis: res, Fissioned: fissioned, Results: frs}
 
+	// Schedule legality: license each source loop symbolically, then
+	// re-license every fissioned loop and meet it with its parent's
+	// license — a fissioned group carries its parent's verdict and can
+	// only lose grants, never gain them.
+	parentLics := dataflow.LegalizeProgram(prog, dataflow.Options{})
+
 	for li, fr := range frs {
+		parent := parentLics[li]
 		if fr.Prologue != nil {
 			pi, err := reanalyze(fissioned, fr.Prologue)
 			if err != nil {
@@ -95,7 +115,8 @@ func compile(src string, optimize bool) (*Unit, error) {
 			}
 			u.Plans = append(u.Plans, &Plan{
 				Kind: Regular, Loop: fr.Prologue, Info: pi, Prog: fissioned,
-				Name: fmt.Sprintf("loop%d_pro", li),
+				Name:    fmt.Sprintf("loop%d_pro", li),
+				License: dataflow.LegalizeLoop(fissioned, fr.Prologue, dataflow.Options{}),
 			})
 		}
 		for gi, fl := range fr.Loops {
@@ -114,10 +135,34 @@ func compile(src string, optimize bool) (*Unit, error) {
 			if len(fr.Loops) > 1 {
 				name = fmt.Sprintf("loop%d_g%d", li, gi)
 			}
-			u.Plans = append(u.Plans, &Plan{Kind: kind, Loop: fl.Loop, Info: info, Prog: fissioned, Name: name})
+			lic := dataflow.Meet(parent, dataflow.LegalizeLoop(fissioned, fl.Loop, dataflow.Options{}))
+			u.Plans = append(u.Plans, &Plan{
+				Kind: kind, Loop: fl.Loop, Info: info, Prog: fissioned, Name: name,
+				License: lic,
+				Combine: planCombine(info, lic),
+			})
 		}
 	}
 	return u, nil
+}
+
+// planCombine resolves the fold operator of a plan's reference group,
+// preferring the license's op record because it carries the proven
+// identity for compound (Custom) combines. Analysis guarantees one
+// combine per group, so the first reduction is representative.
+func planCombine(info *analysis.LoopInfo, lic *dataflow.License) algebra.Op {
+	if len(info.Reductions) == 0 {
+		return algebra.Op{}
+	}
+	op := info.Reductions[0].Op()
+	if lic != nil {
+		for _, ol := range lic.Ops {
+			if ol.Array == info.Reductions[0].Array {
+				return ol.Op
+			}
+		}
+	}
+	return op
 }
 
 func reanalyze(prog *lang.Program, l *lang.Loop) (*analysis.LoopInfo, error) {
@@ -178,6 +223,10 @@ func (p *Plan) BuildLoopOpts(env *interp.Env, procs, k int, dist inspector.Dist,
 	if p.Kind != Irregular {
 		return nil, nil, fmt.Errorf("codegen: %s is a regular loop", p.Name)
 	}
+	if p.License != nil && !p.License.Rotation {
+		return nil, nil, fmt.Errorf("codegen: %s: schedule license is %s — the rotation schedule is not licensed for this loop (run irredc -legality-report for the ledger)",
+			p.Name, p.License.Level())
+	}
 	lo, hi, err := loopBounds(env, p.Loop)
 	if err != nil {
 		return nil, nil, err
@@ -230,9 +279,10 @@ func (p *Plan) BuildLoopOpts(env *interp.Env, procs, k int, dist inspector.Dist,
 			NumElems: nElems,
 			Dist:     dist,
 		},
-		Mode: rts.Reduce,
-		Ind:  ind,
-		Cost: p.EstimateCost(len(arrays)),
+		Mode:    rts.Reduce,
+		Ind:     ind,
+		Cost:    p.EstimateCost(len(arrays)),
+		Combine: p.Combine,
 	}
 	if !bopts.ForceChecked {
 		loop.Proof = facts
@@ -270,11 +320,15 @@ func (p *Plan) BuildLoopOpts(env *interp.Env, procs, k int, dist inspector.Dist,
 		states[q] = evalState{code: code.Clone(), vals: make([]float64, len(reds))}
 		p.codes = append(p.codes, states[q].code)
 	}
+	// Unwritten scratch slots must hold the combine's identity, not zero:
+	// with packed components, reference r contributes nothing to the other
+	// components, and "nothing" is the identity of the fold.
+	ident, _ := p.Combine.Identity()
 	contribs := func(proc, i int, out []float64) {
 		st := &states[proc]
 		st.code.Eval(i, st.vals)
 		for j := range out {
-			out[j] = 0
+			out[j] = ident
 		}
 		for r, red := range reds {
 			out[r*comp+compOf[red.Array]] = signs[r] * st.vals[r]
@@ -283,18 +337,31 @@ func (p *Plan) BuildLoopOpts(env *interp.Env, procs, k int, dist inspector.Dist,
 	return loop, contribs, nil
 }
 
+// BuildTreeFold wires an irregular plan onto the privatized tree-fold
+// executor. The plan's schedule license must grant TreeFoldLegal —
+// rts.NewTreeFold re-checks the grant and the ledger, so there is no way
+// to reach the reordering execution path without a machine-checked proof
+// that the combine tolerates it.
+func (p *Plan) BuildTreeFold(env *interp.Env, workers int) (*rts.TreeFold, error) {
+	loop, contribs, err := p.BuildLoopOpts(env, workers, 1, inspector.Block, BuildOpts{})
+	if err != nil {
+		return nil, err
+	}
+	tf, err := rts.NewTreeFold(loop, p.License)
+	if err != nil {
+		return nil, err
+	}
+	tf.Contribs = contribs
+	return tf, nil
+}
+
 // ComputeFacts runs the dataflow bounds analysis for this plan's loop
 // against an environment: concrete parameter values plus min/max scans of
 // every bound indirection array seed the interval domain. The result does
 // not carry the rotated-array claim (IndProven) — BuildLoop fills that in
 // from the extracted columns.
 func (p *Plan) ComputeFacts(env *interp.Env) *dataflow.Facts {
-	opts := dataflow.Options{Params: env.Params, Contents: map[string]dataflow.Interval{}}
-	var scanned []string
-	for name, data := range env.Ints {
-		opts.Contents[name] = dataflow.ScanInt32(data)
-		scanned = append(scanned, name)
-	}
+	opts, scanned := dataflow.EnvOptions(env.Params, env.Ints)
 	lf := dataflow.AnalyzeLoop(p.Prog, p.Loop, opts)
 	return lf.Proof(scanned)
 }
@@ -393,11 +460,6 @@ func indColumn(env *interp.Env, ref analysis.IndRef, n int) ([]int32, error) {
 		}
 		return data[:n], nil
 	}
-	ncols, err := env.Size(ref.Array)
-	if err != nil {
-		return nil, err
-	}
-	_ = ncols
 	width := 0
 	if len(decl.Dims) == 2 {
 		w, err := envExtent(env, decl.Dims[1])

@@ -488,7 +488,9 @@ func extentBound(x lang.Extent, params map[string]int) Bound {
 func deadStatements(ev *evaluator, l *lang.Loop, lf *LoopFacts) (dead, zero []int) {
 	isZeroRed := func(idx int) bool {
 		st := l.Body[idx]
-		if st.Target == nil || st.Op == lang.OpSet {
+		// Only additive reductions are no-ops on a zero contribution:
+		// 0 is not the identity of *=, min= or max=.
+		if st.Target == nil || (st.Op != lang.OpAdd && st.Op != lang.OpSub) {
 			return false
 		}
 		iv := lf.RHS[idx]

@@ -1,0 +1,47 @@
+package dataflow
+
+import (
+	"sort"
+
+	"irred/internal/lang"
+)
+
+// EnvOptions builds analysis Options from concrete bindings: parameter
+// values plus a one-pass min/max scan of every bound indirection array.
+// It returns the options and the sorted list of scanned array names (the
+// provenance recorded by Facts). It is the single source of truth for
+// seeding the interval domain from an environment — codegen and the fuzz
+// harness both go through it.
+func EnvOptions(params map[string]int, ints map[string][]int32) (Options, []string) {
+	opts := Options{Params: params, Contents: map[string]Interval{}}
+	scanned := make([]string, 0, len(ints))
+	for name, data := range ints {
+		opts.Contents[name] = ScanInt32(data)
+		scanned = append(scanned, name)
+	}
+	sort.Strings(scanned)
+	return opts, scanned
+}
+
+// ScalarReads collects the scalars read anywhere in the loop body —
+// right-hand sides and target subscripts. Shared by the lint layer
+// (IRL009/IRL014 partitioning) and the legality pass.
+func ScalarReads(l *lang.Loop) map[string]bool {
+	used := map[string]bool{}
+	note := func(e lang.Expr) {
+		lang.Walk(e, func(x lang.Expr) {
+			if id, ok := x.(*lang.Ident); ok {
+				used[id.Name] = true
+			}
+		})
+	}
+	for _, st := range l.Body {
+		note(st.RHS)
+		if st.Target != nil {
+			for _, sub := range st.Target.Index {
+				note(sub)
+			}
+		}
+	}
+	return used
+}

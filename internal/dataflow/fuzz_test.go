@@ -1,8 +1,10 @@
 package dataflow_test
 
 import (
+	"math"
 	"testing"
 
+	"irred/internal/algebra"
 	"irred/internal/dataflow"
 	"irred/internal/interp"
 	"irred/internal/lang"
@@ -16,7 +18,12 @@ import (
 //     analysis could climb, and the dead/invariant passes are bounded);
 //  2. soundness of proofs: compiling with range checks elided exactly for
 //     the proven references never faults — a proven access that indexes
-//     out of bounds would panic the evaluator, which the harness reports.
+//     out of bounds would panic the evaluator, which the harness reports;
+//  3. soundness of algebra: every property the legality pass claims
+//     Proven about a reduction's combine is re-verified by brute force
+//     over the checker's own evaluation domain — a claimed law with a
+//     concrete counterexample means the prover lied, and a tampered
+//     schedule license must always fail Verify.
 //
 // Programs are bound with fixed small parameters and adversarial
 // indirection contents (including negative and too-large values), so the
@@ -30,6 +37,10 @@ func FuzzDataflow(f *testing.F) {
 	f.Add("param n\narray w[8]\narray x[8]\narray ia[n] int\nloop i = 0, 4 {\n    w[i] = i * 2.0\n}\nloop i = 0, n {\n    x[ia[i]] += w[0] * 3 + 1\n}\n")
 	f.Add("loop i = 0, 3 {\n    x[i] = 1\n}\n")
 	f.Add("param n\narray x[n]\nloop i = n, 0 {\n    x[i] = sqrt(abs(x[i]))\n}\n")
+	f.Add("param n, m\narray e[n] int\narray best[m]\narray w[n]\nloop i = 0, n {\n    best[e[i]] min= w[i]\n}\n")
+	f.Add("param n, m\narray ia[n] int\narray x[m]\narray w[n]\nloop i = 0, n {\n    x[ia[i]] *= w[i]\n    x[ia[i]] max= 0 - w[i]\n}\n")
+	f.Add("param n, m\narray ia[n] int\narray x[m]\narray w[n]\nloop i = 0, n {\n    x[ia[i]] = x[ia[i]] * w[i] + x[ia[i]] + w[i]\n}\n")
+	f.Add("param n, m\narray ia[n] int\narray x[m]\narray w[n]\nloop i = 0, n {\n    x[ia[i]] = x[ia[i]] * 0.5 + w[i]\n}\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := lang.Parse(src)
@@ -71,10 +82,7 @@ func FuzzDataflow(f *testing.F) {
 			return
 		}
 
-		opts := dataflow.Options{Params: env.Params, Contents: map[string]dataflow.Interval{}}
-		for name, data := range env.Ints {
-			opts.Contents[name] = dataflow.ScanInt32(data)
-		}
+		opts, _ := dataflow.EnvOptions(env.Params, env.Ints)
 
 		// Property 1: the whole-program analysis terminates and keeps its
 		// internal shapes consistent.
@@ -130,7 +138,110 @@ func FuzzDataflow(f *testing.F) {
 				}
 			}()
 		}
+
+		// Property 3: algebra soundness. Every license's ledger must
+		// verify, and every algebraic law the prover claims Proven must
+		// survive brute-force re-checking over the prover's own domain.
+		// All evaluations are deterministic float arithmetic, identical to
+		// the prover's, so this oracle can disagree only when the proof
+		// logic itself is wrong — never from rounding flakiness.
+		for li, lic := range dataflow.LegalizeProgram(prog, opts) {
+			if err := lic.Verify(); err != nil {
+				t.Fatalf("loop %d: license ledger failed self-check: %v\nsource:\n%s", li, err, src)
+			}
+			for _, ol := range lic.Ops {
+				checkAlgebraClaims(t, src, ol)
+			}
+			// Tamper check: escalate every grant on a copy. If the real
+			// license records refusals, conflicts, or unproven algebra,
+			// the forged grants must be rejected by the ledger self-check.
+			tampered := *lic
+			tampered.Rotation, tampered.Tile, tampered.TreeFold = true, true, true
+			mustFail := lic.Conflicting || len(lic.Refusals) > 0
+			for _, ol := range lic.Ops {
+				if ol.Props.Assoc != algebra.Proven || ol.Props.Comm != algebra.Proven || ol.Props.HasIdentity != algebra.Proven {
+					mustFail = true
+				}
+			}
+			if mustFail {
+				if err := tampered.Verify(); err == nil {
+					t.Fatalf("loop %d: tampered license (all grants forged) passed Verify\nsource:\n%s", li, src)
+				}
+			}
+		}
 	})
+}
+
+// oracleDomain mirrors the algebra checker's evaluation grid.
+var oracleDomain = []float64{-3, -2, -1, 0, 1, 2, 3}
+
+// checkAlgebraClaims re-verifies by brute force every property claimed
+// Proven for one reduction operator. Triples with NaN intermediates are
+// domain holes the prover also skips (it downgrades unrefuted claims to
+// Unknown when holes exist), so they are skipped here too.
+func checkAlgebraClaims(t *testing.T, src string, ol dataflow.OpLicense) {
+	t.Helper()
+	op := ol.Op
+	fold := op.Fold
+	ok := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if ol.Props.Assoc == algebra.Proven {
+		for _, a := range oracleDomain {
+			for _, b := range oracleDomain {
+				for _, c := range oracleDomain {
+					ab, bc := fold(a, b), fold(b, c)
+					l, r := fold(ab, c), fold(a, bc)
+					if !ok(ab, bc, l, r) {
+						continue
+					}
+					if l != r {
+						t.Fatalf("claimed-associative op %s refuted: a=%g b=%g c=%g gives %g vs %g\nsource:\n%s", op, a, b, c, l, r, src)
+					}
+				}
+			}
+		}
+	}
+	if ol.Props.Comm == algebra.Proven {
+		for _, a := range oracleDomain {
+			for _, b := range oracleDomain {
+				l, r := fold(a, b), fold(b, a)
+				if !ok(l, r) {
+					continue
+				}
+				if l != r {
+					t.Fatalf("claimed-commutative op %s refuted: a=%g b=%g gives %g vs %g\nsource:\n%s", op, a, b, l, r, src)
+				}
+			}
+		}
+	}
+	if ol.Props.Idem == algebra.Proven {
+		for _, a := range oracleDomain {
+			v := fold(a, a)
+			if !ok(v) {
+				continue
+			}
+			if v != a {
+				t.Fatalf("claimed-idempotent op %s refuted: f(%g,%g) = %g\nsource:\n%s", op, a, a, v, src)
+			}
+		}
+	}
+	if id, has := op.Identity(); has {
+		for _, a := range oracleDomain {
+			l, r := fold(id, a), fold(a, id)
+			if !ok(l, r) {
+				continue
+			}
+			if l != a || r != a {
+				t.Fatalf("claimed identity %g of op %s refuted: f(id,%g)=%g f(%g,id)=%g\nsource:\n%s", id, op, a, l, a, r, src)
+			}
+		}
+	}
 }
 
 // constBounds resolves the loop bounds against the bound parameters.

@@ -286,6 +286,12 @@ func (e *Env) RunLoop(l *lang.Loop) error {
 				data[idx] += v
 			case lang.OpSub:
 				data[idx] -= v
+			case lang.OpMul:
+				data[idx] *= v
+			case lang.OpMin:
+				data[idx] = math.Min(data[idx], v)
+			case lang.OpMax:
+				data[idx] = math.Max(data[idx], v)
 			}
 		}
 	}

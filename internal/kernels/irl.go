@@ -58,6 +58,28 @@ loop i = 0, nnz {
 }
 `
 
+// MinredIRL is a lightest-incident-edge sweep: best[v] ends up holding
+// the minimum weight over the edges incident to node v. The first loop
+// seeds best with a sentinel above every weight (min's identity is +inf,
+// so unseeded elements would clamp everything to 0 — IRL019's finding);
+// the second folds with min=, which the algebra engine licenses for
+// tree-fold (min is associative, commutative and idempotent, and exact
+// under reordering).
+const MinredIRL = `
+param num_edges, num_nodes
+array e[num_edges] int
+array w[num_edges]
+array best[num_nodes]
+
+loop j = 0, num_nodes {
+    best[j] = 1000000
+}
+
+loop i = 0, num_edges {
+    best[e[i]] min= w[i]
+}
+`
+
 // MoldynIRL is the open-boundary Lennard-Jones force sweep (the periodic
 // minimum-image correction needs control flow IRL deliberately lacks, so
 // the IRL variant is the free-space force law; the paper's loop class has

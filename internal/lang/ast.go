@@ -83,6 +83,9 @@ const (
 	OpSet AssignOp = iota // =
 	OpAdd                 // +=
 	OpSub                 // -=
+	OpMul                 // *=
+	OpMin                 // min=
+	OpMax                 // max=
 )
 
 func (op AssignOp) String() string {
@@ -91,6 +94,12 @@ func (op AssignOp) String() string {
 		return "+="
 	case OpSub:
 		return "-="
+	case OpMul:
+		return "*="
+	case OpMin:
+		return "min="
+	case OpMax:
+		return "max="
 	default:
 		return "="
 	}

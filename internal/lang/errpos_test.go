@@ -24,7 +24,7 @@ func TestParseErrorsCarryPositions(t *testing.T) {
 		{"too many dims", "param n\narray x[n, n, n]\nloop i = 0, n { }"},
 		{"empty loop body", "param n\narray x[n]\nloop i = 0, n {\n}"},
 		{"undeclared target", "param n\narray x[n]\nloop i = 0, n { y[i] += 1 }"},
-		{"bad assign op", "param n\narray x[n]\nloop i = 0, n { x[i] *= 2 }"},
+		{"bad assign op", "param n\narray x[n]\nloop i = 0, n { x[i] /= 2 }"},
 		{"bad expression", "param n\narray x[n]\nloop i = 0, n { x[i] += } }"},
 		{"call arity", "param n\narray x[n]\nloop i = 0, n { x[i] += sqrt(1, 2) }"},
 		{"too many subscripts", "param n\narray x[n]\nloop i = 0, n { x[i] += x[i, 0, 1] }"},

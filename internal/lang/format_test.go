@@ -23,6 +23,18 @@ loop i = 0, n {
     x[ia[i, 1]] -= -i
 }
 `,
+		`
+param n, m
+array e[n] int
+array w[n]
+array best[m]
+array scale[m]
+loop i = 0, n {
+    best[e[i]] min= w[i]
+    scale[e[i]] *= 2
+    best[e[i]] max= 0 - w[i]
+}
+`,
 	}
 	for _, src := range srcs {
 		p1, err := Parse(src)

@@ -134,14 +134,14 @@ func (l *lexer) next() (token, error) {
 			return token{}, l.errorf(pos, "bad number %q", text)
 		}
 		return token{kind: tokNum, text: text, num: v, pos: pos}, nil
-	case c == '+' || c == '-':
+	case c == '+' || c == '-' || c == '*':
 		l.advance()
 		if l.peekByte() == '=' {
 			l.advance()
 			return token{kind: tokOpEq, text: string(c) + "=", pos: pos}, nil
 		}
 		return token{kind: tokPunct, text: string(c), pos: pos}, nil
-	case strings.IndexByte("[]{}(),=*/", c) >= 0:
+	case strings.IndexByte("[]{}(),=/", c) >= 0:
 		l.advance()
 		return token{kind: tokPunct, text: string(c), pos: pos}, nil
 	default:

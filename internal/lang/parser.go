@@ -243,10 +243,27 @@ func (p *parser) assign(prog *Program) (*Assign, error) {
 		st.Op = OpAdd
 	case p.tok.kind == tokOpEq && p.tok.text == "-=":
 		st.Op = OpSub
+	case p.tok.kind == tokOpEq && p.tok.text == "*=":
+		st.Op = OpMul
+	case p.tok.kind == tokIdent && (p.tok.text == "min" || p.tok.text == "max"):
+		// `min=` / `max=` fold assignments lex as an identifier followed
+		// by '='.
+		opName := p.tok.text
+		if opName == "min" {
+			st.Op = OpMin
+		} else {
+			st.Op = OpMax
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.atPunct("=") {
+			return nil, p.errorf("expected '=' after %q, found %s", opName, p.tok)
+		}
 	case p.atPunct("="):
 		st.Op = OpSet
 	default:
-		return nil, p.errorf("expected '=', '+=' or '-=', found %s", p.tok)
+		return nil, p.errorf("expected '=', '+=', '-=', '*=', 'min=' or 'max=', found %s", p.tok)
 	}
 	if err := p.advance(); err != nil {
 		return nil, err

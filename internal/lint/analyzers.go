@@ -75,6 +75,23 @@ func containsRef(e lang.Expr) bool {
 	return found
 }
 
+// readsOwnTarget reports whether the right-hand side reads the exact
+// element the statement writes — the accumulator access of a general
+// self-update reduction like x[ia[i]] = x[ia[i]] * w[i] + x[ia[i]].
+func readsOwnTarget(st *lang.Assign) bool {
+	if st.Target == nil {
+		return false
+	}
+	want := st.Target.String()
+	found := false
+	eachRef(st.RHS, 0, func(ix *lang.IndexExpr, depth int) {
+		if depth == 0 && ix.String() == want {
+			found = true
+		}
+	})
+	return found
+}
+
 // reducedArrays collects the arrays written irregularly by the loop.
 func reducedArrays(l *lang.Loop) map[string]bool {
 	out := map[string]bool{}
@@ -89,12 +106,12 @@ func reducedArrays(l *lang.Loop) map[string]bool {
 func init() {
 	register(&Analyzer{
 		Name: "reduction-op", Code: "IRL001", Severity: Error,
-		Doc: "irregular write must be an associative/commutative reduction (+= or -=)",
+		Doc: "irregular write must be a reduction (+=, -=, *=, min=, max=) or a self-update",
 		Run: func(p *Pass) {
 			for _, l := range p.Prog.Loops {
 				for _, st := range l.Body {
-					if irregularTarget(st) && st.Op == lang.OpSet {
-						p.Reportf(st.Pos, "irregular write to %q uses '='; only associative and commutative reductions (+=, -=) execute race-free under phase rotation (Section 4)", st.Target.Array)
+					if irregularTarget(st) && st.Op == lang.OpSet && !readsOwnTarget(st) {
+						p.Reportf(st.Pos, "irregular write to %q uses '=' and never reads the target element; only reductions (+=, -=, *=, min=, max= or a self-update) execute race-free under phase rotation (Section 4)", st.Target.Array)
 					}
 				}
 			}
@@ -145,9 +162,15 @@ func init() {
 			for _, l := range p.Prog.Loops {
 				reduced := reducedArrays(l)
 				eachLoopRef(l, func(st *lang.Assign, ix *lang.IndexExpr, depth int, inTarget bool) {
-					if depth == 0 && !inTarget && reduced[ix.Array] {
-						p.Reportf(ix.Pos, "reduction array %q is read in the loop that updates it; the loop-carried flow dependence breaks fission and phase-rotation legality", ix.Array)
+					if depth != 0 || inTarget || !reduced[ix.Array] {
+						return
 					}
+					// A self-update's read of its own target element is the
+					// accumulator of a general reduction, not a dependence.
+					if st.Op == lang.OpSet && st.Target != nil && ix.String() == st.Target.String() {
+						return
+					}
+					p.Reportf(ix.Pos, "reduction array %q is read in the loop that updates it; the loop-carried flow dependence breaks fission and phase-rotation legality", ix.Array)
 				})
 			}
 		},
@@ -229,7 +252,9 @@ func init() {
 						}
 						continue
 					}
-					if !irregularTarget(st) || st.Op == lang.OpSet {
+					// Only additive reductions are dead at 0: zero is not the
+					// identity of *=, min= or max=.
+					if !irregularTarget(st) || (st.Op != lang.OpAdd && st.Op != lang.OpSub) {
 						continue
 					}
 					if v, ok := constFold(st.RHS, consts); ok && v == 0 {

@@ -59,7 +59,7 @@ func init() {
 				for _, idx := range lf.ZeroRed {
 					zero[idx] = true // IRL007's domain
 				}
-				used := scalarsUsed(l)
+				used := dataflow.ScalarReads(l)
 				for _, idx := range lf.Dead {
 					st := l.Body[idx]
 					if zero[idx] {
@@ -101,26 +101,4 @@ func init() {
 			}
 		},
 	})
-}
-
-// scalarsUsed collects the scalars read anywhere in the loop body (the
-// complement is IRL009's never-used set).
-func scalarsUsed(l *lang.Loop) map[string]bool {
-	used := map[string]bool{}
-	note := func(e lang.Expr) {
-		lang.Walk(e, func(x lang.Expr) {
-			if id, ok := x.(*lang.Ident); ok {
-				used[id.Name] = true
-			}
-		})
-	}
-	for _, st := range l.Body {
-		note(st.RHS)
-		if st.Target != nil {
-			for _, sub := range st.Target.Index {
-				note(sub)
-			}
-		}
-	}
-	return used
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -19,7 +20,7 @@ type want struct {
 // corpus maps every testdata program to its expected findings, in the
 // sorted order Run produces.
 var corpus = map[string][]want{
-	"set_update.irl":           {{"IRL001", 8, 5, Error}},
+	"set_update.irl":           {{"IRL001", 8, 5, Error}, {"IRL018", 8, 5, Error}},
 	"nested_indirection.irl":   {{"IRL002", 9, 10, Error}},
 	"multidim_indirection.irl": {{"IRL003", 9, 5, Error}},
 	"reduction_read.irl":       {{"IRL004", 8, 24, Error}},
@@ -33,6 +34,9 @@ var corpus = map[string][]want{
 	"provable_oob.irl":         {{"IRL013", 8, 21, Error}},
 	"stale_read.irl":           {{"IRL015", 13, 17, Warn}},
 	"invariant.irl":            {{"IRL016", 9, 29, Info}},
+	"nonassoc.irl":             {{"IRL017", 10, 5, Error}},
+	"ident_seed.irl":           {{"IRL019", 10, 5, Warn}, {"IRL020", 10, 5, Info}},
+	"idempotent.irl":           {{"IRL020", 12, 5, Info}},
 	"clean.irl":                nil,
 }
 
@@ -110,6 +114,45 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(diags, back) {
 		t.Fatalf("round trip changed diagnostics:\nbefore %v\nafter  %v", diags, back)
+	}
+}
+
+// updateGolden rewrites the golden files instead of comparing:
+//
+//	go test ./internal/lint -run TestJSONGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// TestJSONGolden pins the exact bytes of the machine-readable output the
+// way `irredlint -format json <files>` produces them: File stamped on
+// each finding, files concatenated in argument order, stable field
+// layout. Tooling parses this; any drift must be a deliberate edit to
+// the golden file.
+func TestJSONGolden(t *testing.T) {
+	var all Diagnostics
+	for _, name := range []string{"nonassoc.irl", "ident_seed.irl"} {
+		ds := lintFile(t, name)
+		for i := range ds {
+			ds[i].File = filepath.Join("testdata", name)
+		}
+		all = append(all, ds...)
+	}
+	var buf bytes.Buffer
+	if err := all.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "findings.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSON output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
 	}
 }
 

@@ -30,7 +30,8 @@ type Pass struct {
 
 	cur   *Analyzer
 	diags Diagnostics
-	df    *dataflow.Result // lazily computed by Dataflow()
+	df    *dataflow.Result    // lazily computed by Dataflow()
+	lic   []*dataflow.License // lazily computed by Legality()
 }
 
 // Reportf records a finding for the running analyzer at pos.

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"irred/internal/algebra"
 	"irred/internal/fault"
 	"irred/internal/inspector"
 	"irred/internal/obs"
@@ -177,6 +178,12 @@ func NewDistributed(l *Loop) (*Distributed, error) {
 func NewDistributedFrom(l *Loop, scheds []*inspector.Schedule) (*Distributed, error) {
 	if l.Mode != Reduce {
 		return nil, fmt.Errorf("rts: distributed engine supports reduce loops")
+	}
+	if l.Combine.Kind != algebra.Add {
+		// Portion images merge with a flat += during recovery rotation;
+		// generalizing that path is future work, so refuse loudly rather
+		// than silently mis-folding.
+		return nil, fmt.Errorf("rts: distributed engine folds with += only; combine %s is not supported", l.Combine)
 	}
 	if err := l.Validate(); err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"irred/internal/algebra"
 	"irred/internal/inspector"
 	"irred/internal/obs"
 )
@@ -124,11 +125,24 @@ func NewNativeFrom(l *Loop, scheds []*inspector.Schedule) (*Native, error) {
 		bufs:         make([][]float64, l.Cfg.P),
 		chans:        make([]chan token, l.Cfg.P),
 	}
+	ident, _ := l.Combine.Identity()
 	for p := 0; p < l.Cfg.P; p++ {
 		n.bufs[p] = make([]float64, scheds[p].BufLen*comp)
+		fillIdent(n.bufs[p], ident)
 		n.chans[p] = make(chan token, l.Cfg.NumPhases()+1)
 	}
 	return n, nil
+}
+
+// fillIdent seeds an accumulation buffer with the combine's identity.
+// The zero value (float add) needs no work: make() already zeroed it.
+func fillIdent(buf []float64, ident float64) {
+	if ident == 0 {
+		return
+	}
+	for i := range buf {
+		buf[i] = ident
+	}
 }
 
 // verifyFail records the first ownership violation seen by processor p.
@@ -267,6 +281,13 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 	chk := n.CheckTargets
 	localLen := s.LocalLen()
 
+	// The fold operator. Float addition (the zero value) keeps the tight
+	// `+=` path; licensed non-Add combines fold through op.Fold with
+	// identity-seeded buffer slots.
+	op := l.Combine
+	add := op.Kind == algebra.Add
+	ident, _ := op.Identity()
+
 	scratch := make([]float64, len(l.Ind)*comp)
 	for ph := 0; ph < kp; ph++ {
 		if done != nil {
@@ -318,8 +339,13 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 			eb := int(cp.Elem) * comp
 			bb := (int(cp.Buf) - cfg.NumElems) * comp
 			for c := 0; c < comp; c++ {
-				n.X[eb+c] += buf[bb+c]
-				buf[bb+c] = 0
+				if add {
+					n.X[eb+c] += buf[bb+c]
+					buf[bb+c] = 0
+				} else {
+					n.X[eb+c] = op.Fold(n.X[eb+c], buf[bb+c])
+					buf[bb+c] = ident
+				}
 			}
 		}
 		tr.End(obs.SpanCopy, p, ph, step, portion, cs)
@@ -343,7 +369,11 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 							}
 						}
 						for c := 0; c < comp; c++ {
-							n.X[tgt*comp+c] += scratch[r*comp+c]
+							if add {
+								n.X[tgt*comp+c] += scratch[r*comp+c]
+							} else {
+								n.X[tgt*comp+c] = op.Fold(n.X[tgt*comp+c], scratch[r*comp+c])
+							}
 						}
 					} else {
 						if n.Verify && tgt >= localLen {
@@ -352,7 +382,11 @@ func (n *Native) sweep(p, step int, done <-chan struct{}) bool {
 						}
 						bb := (tgt - cfg.NumElems) * comp
 						for c := 0; c < comp; c++ {
-							buf[bb+c] += scratch[r*comp+c]
+							if add {
+								buf[bb+c] += scratch[r*comp+c]
+							} else {
+								buf[bb+c] = op.Fold(buf[bb+c], scratch[r*comp+c])
+							}
 						}
 					}
 				}

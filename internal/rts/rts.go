@@ -22,6 +22,7 @@ package rts
 import (
 	"fmt"
 
+	"irred/internal/algebra"
 	"irred/internal/dataflow"
 	"irred/internal/inspector"
 	"irred/internal/obs"
@@ -109,6 +110,15 @@ type Loop struct {
 	// range-checked and violations are reported after the run instead of
 	// panicking. A nil proof always means checked execution.
 	Proof *dataflow.Facts
+	// Combine is the fold operator applied at every accumulation site:
+	// owned-element writes, remote-buffer slots and the copy-loop drain.
+	// The zero value is float addition, so existing callers are
+	// unchanged. Non-Add combines must carry an identity (buffers and
+	// partial accumulators are seeded with it) — Validate enforces that.
+	// Whether a non-Add combine may legally replace the sequential fold
+	// is the schedule license's decision, made at compile time; the
+	// runtime only demands the algebraic ingredients it needs.
+	Combine algebra.Op
 }
 
 // Validate checks loop well-formedness beyond Config.Validate.
@@ -126,6 +136,12 @@ func (l *Loop) Validate() error {
 		if len(a) != l.Cfg.NumIters {
 			return fmt.Errorf("rts: indirection %d has length %d, want %d", r, len(a), l.Cfg.NumIters)
 		}
+	}
+	if l.Mode == Gather && l.Combine.Kind != algebra.Add {
+		return fmt.Errorf("rts: gather loops accumulate iteration-aligned outputs with +=; combine %s is not supported", l.Combine)
+	}
+	if _, ok := l.Combine.Identity(); !ok {
+		return fmt.Errorf("rts: combine %s has no known identity; remote buffers and partial accumulators cannot be seeded", l.Combine)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package rts
 import (
 	"fmt"
 
+	"irred/internal/algebra"
 	"irred/internal/inspector"
 )
 
@@ -55,10 +56,12 @@ func (ex *SimExec) prepare(l *Loop, scheds []*inspector.Schedule) {
 	if ex.X == nil {
 		ex.X = make([]float64, l.Cfg.NumElems*comp)
 	}
+	ident, _ := l.Combine.Identity()
 	ex.bufs = make([][]float64, l.Cfg.P)
 	ex.scratch = make([][]float64, l.Cfg.P)
 	for p := range ex.bufs {
 		ex.bufs[p] = make([]float64, scheds[p].BufLen*comp)
+		fillIdent(ex.bufs[p], ident)
 		ex.scratch[p] = make([]float64, len(l.Ind)*comp)
 	}
 }
@@ -68,6 +71,9 @@ func (ex *SimExec) runPhase(l *Loop, s *inspector.Schedule, p, ph int) {
 	comp := l.Cost.comp()
 	buf := ex.bufs[p]
 	prog := &s.Phases[ph]
+	op := l.Combine
+	add := op.Kind == algebra.Add
+	ident, _ := op.Identity()
 	for _, cp := range prog.Copies {
 		if ex.Verify {
 			if int(cp.Buf) < l.Cfg.NumElems || int(cp.Buf) >= s.LocalLen() {
@@ -81,8 +87,13 @@ func (ex *SimExec) runPhase(l *Loop, s *inspector.Schedule, p, ph int) {
 		eb := int(cp.Elem) * comp
 		bb := (int(cp.Buf) - l.Cfg.NumElems) * comp
 		for c := 0; c < comp; c++ {
-			ex.X[eb+c] += buf[bb+c]
-			buf[bb+c] = 0
+			if add {
+				ex.X[eb+c] += buf[bb+c]
+				buf[bb+c] = 0
+			} else {
+				ex.X[eb+c] = op.Fold(ex.X[eb+c], buf[bb+c])
+				buf[bb+c] = ident
+			}
 		}
 	}
 	switch l.Mode {
@@ -102,7 +113,11 @@ func (ex *SimExec) runPhase(l *Loop, s *inspector.Schedule, p, ph int) {
 						}
 					}
 					for c := 0; c < comp; c++ {
-						ex.X[tgt*comp+c] += scratch[r*comp+c]
+						if add {
+							ex.X[tgt*comp+c] += scratch[r*comp+c]
+						} else {
+							ex.X[tgt*comp+c] = op.Fold(ex.X[tgt*comp+c], scratch[r*comp+c])
+						}
 					}
 				} else {
 					if ex.Verify && tgt >= s.LocalLen() {
@@ -111,7 +126,11 @@ func (ex *SimExec) runPhase(l *Loop, s *inspector.Schedule, p, ph int) {
 					}
 					bb := (tgt - l.Cfg.NumElems) * comp
 					for c := 0; c < comp; c++ {
-						buf[bb+c] += scratch[r*comp+c]
+						if add {
+							buf[bb+c] += scratch[r*comp+c]
+						} else {
+							buf[bb+c] = op.Fold(buf[bb+c], scratch[r*comp+c])
+						}
 					}
 				}
 			}
