@@ -11,6 +11,12 @@
 //
 //	irredd -addr :8321 -workers 4 -queue 64 -cache-entries 128 -cache-dir /var/cache/irredd
 //
+// With -bench <dir> the daemon loads the latest BENCH_*.json trajectory
+// (written by irredsweep) and jobs submitted with "auto":true get their
+// (engine, P, k, dist) from the measured-fastest cell for their workload
+// instead of choosing blindly; the backing cell ID is reported as
+// tuned_from in the job status.
+//
 // Robustness controls: -chaos opts the daemon into accepting jobs that
 // carry fault-injection specs (off by default), -checkpoint-every N makes
 // raw multi-sweep jobs checkpoint their reduction array to -cache-dir so a
@@ -43,6 +49,8 @@ import (
 	"syscall"
 	"time"
 
+	"irred/internal/buildinfo"
+	"irred/internal/rts"
 	"irred/internal/service"
 )
 
@@ -57,7 +65,30 @@ func main() {
 	chaos := flag.Bool("chaos", false, "accept jobs carrying chaos (fault-injection) specs; off by default — chaos is a test instrument")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint raw multi-sweep jobs every N sweeps (0 = only when the job asks; needs -cache-dir)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM, keep serving with /readyz=503 this long before closing the listener")
+	benchDir := flag.String("bench", "", `BENCH trajectory directory: jobs submitted with "auto":true are tuned from the latest BENCH_*.json here`)
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("irredd " + buildinfo.Get().String())
+		return
+	}
+
+	// The serving path executes native and distributed only, so the tuner
+	// is built with that allowlist: picks measured on tree-fold or the
+	// interpreter never reach the pool.
+	var tuner *rts.Tuner
+	if *benchDir != "" {
+		tn, path, err := rts.NewTunerFromDir(*benchDir, rts.TunerOptions{
+			Engines: []string{"native", "distributed"},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredd: -bench %s: %v\n", *benchDir, err)
+			os.Exit(1)
+		}
+		tuner = tn
+		log.Printf("irredd: auto-tuning from %s (%d measured workloads)", path, len(tn.Workloads()))
+	}
 
 	svc, err := service.New(service.Options{
 		Workers:         *workers,
@@ -67,6 +98,7 @@ func main() {
 		TraceSpans:      *traceSpans,
 		AllowChaos:      *chaos,
 		CheckpointEvery: *checkpointEvery,
+		Tuner:           tuner,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)

@@ -34,13 +34,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"irred/internal/fault"
+	"irred/internal/obs"
 	"irred/internal/service"
 	"irred/internal/service/client"
 )
@@ -144,54 +144,6 @@ func pick(mix []mixEntry, rng *rand.Rand) string {
 	return mix[len(mix)-1].kernel
 }
 
-// histogram is a fixed-bucket log-spaced latency histogram. Percentiles
-// are computed from the raw samples (bounded by -max-samples, reservoir
-// beyond that) so small runs stay exact.
-type histogram struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	seen    int64
-	max     int
-	rng     *rand.Rand
-}
-
-func newHistogram(maxSamples int) *histogram {
-	return &histogram{max: maxSamples, rng: rand.New(rand.NewSource(1))}
-}
-
-func (h *histogram) add(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.seen++
-	if len(h.samples) < h.max {
-		h.samples = append(h.samples, d)
-		return
-	}
-	// Reservoir sampling keeps the percentile estimate unbiased on long
-	// soaks without unbounded memory.
-	if i := h.rng.Int63n(h.seen); int(i) < h.max {
-		h.samples[i] = d
-	}
-}
-
-// quantiles returns the requested quantiles in ms (sorted copy).
-func (h *histogram) quantiles(qs ...float64) []float64 {
-	h.mu.Lock()
-	s := make([]time.Duration, len(h.samples))
-	copy(s, h.samples)
-	h.mu.Unlock()
-	out := make([]float64, len(qs))
-	if len(s) == 0 {
-		return out
-	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	for i, q := range qs {
-		idx := int(q * float64(len(s)-1))
-		out[i] = float64(s[idx]) / float64(time.Millisecond)
-	}
-	return out
-}
-
 // report is the machine-readable run summary (-json).
 type report struct {
 	Duration    string  `json:"duration"`
@@ -277,7 +229,10 @@ func main() {
 	}
 
 	var (
-		hist      = newHistogram(*maxSamples)
+		// Latency percentiles come from the shared reservoir estimator
+		// (internal/obs), the same one irredsweep uses per cell: exact
+		// order statistics up to -max-samples, unbiased sampling beyond.
+		hist      = obs.NewReservoir(*maxSamples)
 		mu        sync.Mutex
 		firstSHA  = map[jobKey]string{}
 		jobs      int64
@@ -386,7 +341,7 @@ func main() {
 					mu.Unlock()
 					continue
 				}
-				hist.add(lat)
+				hist.Add(float64(lat) / float64(time.Millisecond))
 				mu.Lock()
 				jobs++
 				if st.State != service.StateDone || st.ResultSHA256 == "" {
@@ -422,7 +377,7 @@ func main() {
 	hits := after.Cache.Hits - before.Cache.Hits
 	misses := after.Cache.Misses - before.Cache.Misses
 
-	qs := hist.quantiles(0.5, 0.9, 0.99, 1.0)
+	qs := hist.Quantiles(0.5, 0.9, 0.99, 1.0)
 	rep := report{
 		Duration:    elapsed.Round(time.Millisecond).String(),
 		Concurrency: *concurrency,

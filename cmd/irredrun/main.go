@@ -11,6 +11,12 @@
 //	irredrun -kernel moldyn -dataset 10k -p 8 -k 4 -engine native -steps 10
 //	irredrun -kernel mvm -dataset S -p 4 -k 2 -steps 5 -engine native -json
 //	irredrun -kernel mvm -dataset S -p 4 -k 2 -steps 5 -server http://127.0.0.1:8321
+//	irredrun -kernel mvm -dataset S -steps 5 -auto -bench bench
+//
+// -auto ignores the strategy flags: it loads the latest BENCH_*.json
+// trajectory from -bench (written by irredsweep), picks the
+// measured-fastest (engine, P, k, dist) for the workload under the
+// kernel's compiled schedule license, and executes that cell.
 //
 // -json emits one machine-readable object on stdout (timings, result hash)
 // so tooling can diff local vs server runs.
@@ -26,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"irred/internal/buildinfo"
 	"irred/internal/earth"
 	"irred/internal/inspector"
 	"irred/internal/kernels"
@@ -37,6 +44,7 @@ import (
 	"irred/internal/service/client"
 	"irred/internal/sim"
 	"irred/internal/sparse"
+	"irred/internal/sweep"
 )
 
 func fail(format string, args ...any) {
@@ -56,7 +64,19 @@ func main() {
 	trace := flag.Bool("trace", false, "print a Gantt chart of EU occupancy (sim engine)")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON object instead of prose")
 	server := flag.String("server", "", "irredd base URL: submit the job there (native semantics) instead of running locally")
+	auto := flag.Bool("auto", false, "pick (engine, P, k, dist) from the persisted BENCH trajectory instead of the flags")
+	benchDir := flag.String("bench", "bench", "BENCH trajectory directory consulted by -auto")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("irredrun " + buildinfo.Get().String())
+		return
+	}
+	if *auto {
+		runAuto(*kernel, *dataset, *benchDir, *steps, *seed, *jsonOut)
+		return
+	}
 
 	var dist inspector.Dist
 	switch strings.ToLower(*distName) {
@@ -112,6 +132,10 @@ type runReport struct {
 	SimSeqSeconds float64 `json:"sim_seq_seconds,omitempty"`
 	MsgsPerStep   float64 `json:"msgs_per_step,omitempty"`
 	BytesPerStep  float64 `json:"bytes_per_step,omitempty"`
+
+	// Auto runs.
+	TunedFrom string `json:"tuned_from,omitempty"` // BENCH cell ID or "heuristic"
+	BenchPath string `json:"bench_path,omitempty"` // trajectory file consulted
 }
 
 func emitJSON(rep runReport) {
@@ -365,6 +389,51 @@ func runServer(base, kernel, dataset string, p, k int, distName string, steps in
 	fmt.Printf("server run on %s: job %s, P=%d k=%d %s, %d timesteps\n", base, st.ID, p, k, distName, steps)
 	fmt.Printf("queued: %.1fms   run: %.1fms   schedule cache hit: %v\n", st.QueuedMS, st.RunMS, st.CacheHit)
 	fmt.Printf("result: %d values, sha256 %s\n", st.ResultLen, st.ResultSHA256)
+}
+
+// runAuto loads the latest BENCH trajectory, asks the tuner for the
+// measured-fastest strategy for this workload under the kernel's compiled
+// schedule license, and executes the picked cell through the sweep
+// harness — which can run every engine the trajectory may name (native,
+// distributed, tree-fold, interpreter), not just the flag-selectable ones.
+func runAuto(kernel, dataset, benchDir string, steps int, seed int64, jsonOut bool) {
+	// Proof-elided picks are allowed: the sweep harness only elides checks
+	// on loops carrying dataflow bounds proofs, so an unchecked cell is as
+	// safe here as it was when it was measured.
+	tn, path, err := rts.NewTunerFromDir(benchDir, rts.TunerOptions{AllowUnchecked: true})
+	if err != nil {
+		fail("-auto: %v (run irredsweep first to persist a trajectory)", err)
+	}
+	class := strings.ToLower(dataset)
+	if kernel == "mvm" {
+		class = strings.ToUpper(dataset)
+	}
+	pick := tn.Pick(kernel, class, sweep.KernelLicense(kernel))
+	cell := sweep.Cell{
+		Kernel: kernel, Class: class, Engine: pick.Engine,
+		P: pick.P, K: pick.K, Dist: pick.Dist, Checked: pick.Checked,
+	}
+	bc := sweep.RunCell(cell, sweep.Options{Steps: steps, Warmup: 1, Repeats: 3, Seed: seed})
+	if bc.Error != "" {
+		fail("auto cell %s: %s", bc.ID, bc.Error)
+	}
+	if jsonOut {
+		emitJSON(runReport{
+			Engine: pick.Engine, Kernel: kernel, Dataset: class,
+			P: pick.P, K: pick.K, Dist: pick.Dist, Steps: steps, Seed: seed,
+			ParMS:     bc.Wall.Score(),
+			TunedFrom: pick.Source,
+			BenchPath: path,
+		})
+		return
+	}
+	fmt.Printf("auto-tuned from %s\n", path)
+	fmt.Printf("pick for %s/%s: %s\n", kernel, class, pick)
+	if pick.Source != "heuristic" {
+		fmt.Printf("measured there:  %.3fms trimmed mean\n", pick.ScoreMS)
+	}
+	fmt.Printf("measured now:    %.3fms trimmed mean over %d runs of %d steps\n",
+		bc.Wall.Score(), bc.Repeats, steps)
 }
 
 func maxRelDiff(a, b []float64) float64 {

@@ -1,0 +1,92 @@
+// Package buildinfo resolves the identity of the running binary — module
+// version, VCS revision, dirty-tree marker, Go toolchain — from the build
+// metadata the Go linker already embeds (debug.ReadBuildInfo).
+//
+// Every perf artifact the sweep harness writes (BENCH summaries, JSONL
+// cell records) and every daemon's -version output is stamped with this
+// identity, so a trajectory point is attributable to an exact commit: a
+// regression found by the CI gate names the revision that introduced it
+// instead of "sometime between two prose updates of EXPERIMENTS.md".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary. Fields are "unknown"
+// (never empty) when the metadata is absent — e.g. `go run` of a
+// non-module directory or a stripped test binary — so downstream records
+// always carry a parseable value.
+type Info struct {
+	Module     string `json:"module"`      // module path (e.g. "irred")
+	Version    string `json:"version"`     // module version, "(devel)" for local builds
+	Revision   string `json:"revision"`    // full VCS commit hash
+	CommitTime string `json:"commit_time"` // RFC3339 commit timestamp
+	Modified   bool   `json:"modified"`    // tree was dirty at build time
+	GoVersion  string `json:"go_version"`  // toolchain that built the binary
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+const unknown = "unknown"
+
+// read is swappable for tests (debug.ReadBuildInfo is empty under `go test`).
+var read = debug.ReadBuildInfo
+
+// Get resolves the build identity. It never fails: absent metadata
+// degrades to "unknown" fields, and the runtime facts (Go version, OS,
+// arch, CPU count) are always present.
+func Get() Info {
+	info := Info{
+		Module:     unknown,
+		Version:    unknown,
+		Revision:   unknown,
+		CommitTime: unknown,
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+	}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.CommitTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// ShortRevision is the 12-character commit prefix, or "unknown".
+func (i Info) ShortRevision() string {
+	if i.Revision == unknown || len(i.Revision) < 12 {
+		return i.Revision
+	}
+	return i.Revision[:12]
+}
+
+// String renders the one-line -version output shared by the commands.
+func (i Info) String() string {
+	dirty := ""
+	if i.Modified {
+		dirty = "+dirty"
+	}
+	return fmt.Sprintf("%s %s (commit %s%s, %s, %s/%s)",
+		i.Module, i.Version, i.ShortRevision(), dirty, i.GoVersion, i.OS, i.Arch)
+}

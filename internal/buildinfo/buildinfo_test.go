@@ -1,0 +1,62 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// withBuildInfo swaps the metadata source for the duration of a test.
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	old := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = old })
+}
+
+func TestGetAbsentMetadata(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	i := Get()
+	if i.Module != "unknown" || i.Revision != "unknown" || i.Version != "unknown" {
+		t.Fatalf("absent metadata must degrade to unknown, got %+v", i)
+	}
+	if i.GoVersion == "" || i.OS == "" || i.Arch == "" || i.NumCPU < 1 {
+		t.Fatalf("runtime facts must always be present, got %+v", i)
+	}
+}
+
+func TestGetVCSStamp(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		Main: debug.Module{Path: "irred", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.time", Value: "2026-08-08T00:00:00Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	i := Get()
+	if i.Module != "irred" || i.Version != "(devel)" {
+		t.Fatalf("module identity: %+v", i)
+	}
+	if i.Revision != "0123456789abcdef0123456789abcdef01234567" || !i.Modified {
+		t.Fatalf("vcs stamp: %+v", i)
+	}
+	if got := i.ShortRevision(); got != "0123456789ab" {
+		t.Fatalf("ShortRevision = %q", got)
+	}
+	s := i.String()
+	if !strings.Contains(s, "0123456789ab") || !strings.Contains(s, "+dirty") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestShortRevisionUnknown(t *testing.T) {
+	i := Info{Revision: "unknown"}
+	if i.ShortRevision() != "unknown" {
+		t.Fatalf("ShortRevision on unknown = %q", i.ShortRevision())
+	}
+	i = Info{Revision: "abc"}
+	if i.ShortRevision() != "abc" {
+		t.Fatalf("short hashes pass through, got %q", i.ShortRevision())
+	}
+}

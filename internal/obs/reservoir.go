@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Reservoir is a bounded-memory quantile estimator: it keeps every sample
+// up to its capacity, then switches to uniform reservoir sampling, so
+// short runs report exact order statistics and long soaks report an
+// unbiased estimate without unbounded memory. It is the shared estimator
+// behind irredload's latency percentiles and irredsweep's per-cell
+// repeat statistics.
+//
+// The replacement RNG is seeded deterministically at construction, so a
+// run over a fixed sample stream is reproducible.
+type Reservoir struct {
+	mu      sync.Mutex
+	samples []float64
+	seen    int64
+	max     int
+	rng     *rand.Rand
+}
+
+// DefaultReservoirCap bounds a reservoir built with a non-positive
+// capacity: 64k float64 samples, ~512 KiB.
+const DefaultReservoirCap = 1 << 16
+
+// NewReservoir builds a reservoir retaining at most max samples
+// (DefaultReservoirCap when max <= 0).
+func NewReservoir(max int) *Reservoir {
+	if max <= 0 {
+		max = DefaultReservoirCap
+	}
+	return &Reservoir{max: max, rng: rand.New(rand.NewSource(1))}
+}
+
+// Add records one sample.
+func (r *Reservoir) Add(v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.samples) < r.max {
+		r.samples = append(r.samples, v)
+		return
+	}
+	// Uniform replacement keeps every seen sample equally likely to be
+	// retained, so percentiles stay unbiased on long streams.
+	if i := r.rng.Int63n(r.seen); int(i) < r.max {
+		r.samples[i] = v
+	}
+}
+
+// Count reports the total samples ever offered (retained or not).
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Quantiles reads the requested quantiles (0..1) from a sorted copy of
+// the retained samples; q=0 is the minimum, q=1 the maximum. An empty
+// reservoir reports zeros.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	s := make([]float64, len(r.samples))
+	copy(s, r.samples)
+	r.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(s) == 0 {
+		return out
+	}
+	sort.Float64s(s)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		out[i] = s[int(q*float64(len(s)-1))]
+	}
+	return out
+}

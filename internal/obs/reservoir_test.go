@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Small streams are retained whole, so quantiles are exact order stats.
+func TestReservoirExactSmallSample(t *testing.T) {
+	r := NewReservoir(100)
+	// 1..100 shuffled: p50 -> 50, p95 -> 95, p99 -> 99 under the
+	// idx = q*(n-1) convention (0-indexed sorted positions 49, 94, 98).
+	perm := rand.New(rand.NewSource(7)).Perm(100)
+	for _, v := range perm {
+		r.Add(float64(v + 1))
+	}
+	qs := r.Quantiles(0, 0.50, 0.95, 0.99, 1)
+	want := []float64{1, 50, 95, 99, 100}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("quantile %d = %v, want %v (all %v)", i, qs[i], want[i], qs)
+		}
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+// A long uniform stream through a small reservoir must still estimate
+// quantiles near their true values: sampling is unbiased.
+func TestReservoirUniformStream(t *testing.T) {
+	r := NewReservoir(2048)
+	rng := rand.New(rand.NewSource(42))
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		r.Add(rng.Float64())
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	qs := r.Quantiles(0.50, 0.95, 0.99)
+	for i, want := range []float64{0.50, 0.95, 0.99} {
+		if math.Abs(qs[i]-want) > 0.05 {
+			t.Fatalf("p%v = %v, want ~%v", want*100, qs[i], want)
+		}
+	}
+}
+
+// A heavily skewed (exponential-ish) distribution: the tail quantiles
+// must order correctly and sit far above the median.
+func TestReservoirSkewedDistribution(t *testing.T) {
+	r := NewReservoir(4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		r.Add(rng.ExpFloat64())
+	}
+	qs := r.Quantiles(0.50, 0.95, 0.99)
+	p50, p95, p99 := qs[0], qs[1], qs[2]
+	if !(p50 < p95 && p95 < p99) {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// True values: ln2 ~= 0.693, 3.0, 4.6.
+	if math.Abs(p50-math.Ln2) > 0.1 || math.Abs(p95-3.0) > 0.4 || math.Abs(p99-4.6) > 0.8 {
+		t.Fatalf("exponential quantiles off: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+}
+
+func TestReservoirEmptyAndClamping(t *testing.T) {
+	r := NewReservoir(8)
+	qs := r.Quantiles(0.5)
+	if qs[0] != 0 {
+		t.Fatalf("empty reservoir quantile = %v", qs[0])
+	}
+	r.Add(5)
+	qs = r.Quantiles(-1, 2)
+	if qs[0] != 5 || qs[1] != 5 {
+		t.Fatalf("clamped quantiles = %v", qs)
+	}
+}
+
+func TestReservoirDefaultCap(t *testing.T) {
+	r := NewReservoir(0)
+	if r.max != DefaultReservoirCap {
+		t.Fatalf("default cap = %d", r.max)
+	}
+}

@@ -1,0 +1,204 @@
+package rts
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"irred/internal/benchfmt"
+	"irred/internal/dataflow"
+)
+
+// Pick is the tuner's strategy choice for one workload: which engine to
+// run, at what machine shape, under which schedule strategy.
+type Pick struct {
+	Engine  string `json:"engine"`
+	P       int    `json:"p"`
+	K       int    `json:"k"`
+	Dist    string `json:"dist"`
+	Checked bool   `json:"checked"`
+
+	// Source is the BENCH cell ID the pick was measured from, or
+	// "heuristic" when the trajectory had no usable cell and the paper's
+	// defaults were applied instead.
+	Source string `json:"source"`
+	// ScoreMS is the trimmed-mean wall time of the source cell (zero for
+	// heuristic picks).
+	ScoreMS float64 `json:"score_ms"`
+}
+
+func (p Pick) String() string {
+	chk := "unchecked"
+	if p.Checked {
+		chk = "checked"
+	}
+	return fmt.Sprintf("%s P=%d k=%d %s %s (%s)", p.Engine, p.P, p.K, p.Dist, chk, p.Source)
+}
+
+// TunerOptions narrows which measured cells a consumer may act on.
+type TunerOptions struct {
+	// MaxP caps the picked processor count (a trajectory measured on a
+	// bigger machine must not oversubscribe this one). Zero caps at the
+	// host's NumCPU.
+	MaxP int
+	// Engines, when non-empty, restricts picks to engines the consumer
+	// can execute (the irredd serving path runs native and distributed
+	// only; irredrun -auto can execute any engine).
+	Engines []string
+	// AllowUnchecked permits proof-elided cells. Consumers that cannot
+	// guarantee the bounds proof at execution time leave it false and
+	// only checked cells are picked.
+	AllowUnchecked bool
+}
+
+// Tuner picks execution strategies from a persisted BENCH trajectory —
+// the measured complement to the paper's analytic engine selection. It
+// never consults modeled (sim) or fault-injected (chaos) cells: picks
+// come from clean wall-clock measurements or from the fallback
+// heuristic, nothing in between.
+type Tuner struct {
+	summary *benchfmt.Summary
+	opt     TunerOptions
+}
+
+// NewTuner builds a tuner over a loaded trajectory. A nil summary is
+// legal: every pick falls back to the heuristic.
+func NewTuner(s *benchfmt.Summary, opt TunerOptions) *Tuner {
+	if opt.MaxP <= 0 {
+		opt.MaxP = runtime.NumCPU()
+	}
+	return &Tuner{summary: s, opt: opt}
+}
+
+// NewTunerFromDir loads the lexically newest BENCH_*.json in dir and
+// returns the tuner plus the path it loaded.
+func NewTunerFromDir(dir string, opt TunerOptions) (*Tuner, string, error) {
+	path, err := benchfmt.Latest(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := benchfmt.Read(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return NewTuner(s, opt), path, nil
+}
+
+// Summary exposes the loaded trajectory (nil for a heuristic-only tuner).
+func (t *Tuner) Summary() *benchfmt.Summary { return t.summary }
+
+// usable reports whether a measured cell may back a pick for this
+// consumer and license.
+func (t *Tuner) usable(c *benchfmt.Cell, lic *dataflow.License) bool {
+	if c.Error != "" || c.Chaos != "" {
+		return false
+	}
+	// Sim cells time the simulator, not the workload; their wall stats
+	// must never compete with real executions.
+	if c.Engine == "sim" {
+		return false
+	}
+	if c.Wall.Score() <= 0 {
+		return false
+	}
+	if c.P > t.opt.MaxP {
+		return false
+	}
+	if !c.Checked && !t.opt.AllowUnchecked {
+		return false
+	}
+	if c.Engine == "treefold" && (lic == nil || !lic.TreeFold) {
+		return false
+	}
+	if len(t.opt.Engines) > 0 {
+		ok := false
+		for _, e := range t.opt.Engines {
+			if e == c.Engine {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Pick returns the measured-fastest usable strategy for (kernel, class)
+// under the loop's schedule license, falling back to the paper's
+// heuristic defaults when the trajectory holds no usable cell. Ties in
+// score break toward the cell ID's lexical order, so picks are
+// deterministic across runs.
+func (t *Tuner) Pick(kernel, class string, lic *dataflow.License) Pick {
+	var best *benchfmt.Cell
+	if t.summary != nil {
+		for i := range t.summary.Cells {
+			c := &t.summary.Cells[i]
+			if c.Kernel != kernel || c.Class != class || !t.usable(c, lic) {
+				continue
+			}
+			if best == nil || c.Wall.Score() < best.Wall.Score() ||
+				(c.Wall.Score() == best.Wall.Score() && c.ID < best.ID) {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		return t.heuristic()
+	}
+	return Pick{
+		Engine: best.Engine, P: best.P, K: best.K, Dist: best.Dist,
+		Checked: best.Checked, Source: best.ID, ScoreMS: best.Wall.Score(),
+	}
+}
+
+// heuristic is the untuned default: the native rotation engine at the
+// host's parallelism (capped at the paper's 4-processor sweet spot), one
+// extra portion of slack (k=2) so rotation overlaps compute when P > 1,
+// block distribution, checked execution unless the consumer allows
+// proof-elision.
+func (t *Tuner) heuristic() Pick {
+	p := t.opt.MaxP
+	if p > 4 {
+		p = 4
+	}
+	if p < 1 {
+		p = 1
+	}
+	k := 1
+	if p > 1 {
+		k = 2
+	}
+	return Pick{
+		Engine: "native", P: p, K: k, Dist: "block",
+		Checked: !t.opt.AllowUnchecked, Source: "heuristic",
+	}
+}
+
+// Workloads lists the (kernel, class) pairs the trajectory holds clean
+// measured cells for, sorted, so consumers can report what the tuner can
+// actually tune.
+func (t *Tuner) Workloads() [][2]string {
+	if t.summary == nil {
+		return nil
+	}
+	seen := map[[2]string]bool{}
+	for i := range t.summary.Cells {
+		c := &t.summary.Cells[i]
+		if c.Error == "" && c.Chaos == "" && c.Engine != "sim" && c.Wall.Score() > 0 {
+			seen[[2]string{c.Kernel, c.Class}] = true
+		}
+	}
+	out := make([][2]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,201 @@
+package rts
+
+import (
+	"path/filepath"
+	"testing"
+
+	"irred/internal/benchfmt"
+	"irred/internal/dataflow"
+)
+
+// cell builds a clean measured cell with the given trimmed-mean score.
+func tunerCell(kernel, class, engine string, p, k int, dist string, checked bool, ms float64) benchfmt.Cell {
+	c := benchfmt.Cell{
+		Kernel: kernel, Class: class, Engine: engine,
+		P: p, K: k, Dist: dist, Checked: checked,
+		Wall: benchfmt.Stats{Count: 5, MeanMS: ms, TrimmedMS: ms},
+	}
+	chk := "unchecked"
+	if checked {
+		chk = "checked"
+	}
+	c.ID = kernel + "/" + class + "/" + engine + "/" + dist + "/" + chk
+	return c
+}
+
+// tunerTrajectory is a synthetic BENCH summary in which different
+// workload classes are measured fastest on different strategies.
+func tunerTrajectory() *benchfmt.Summary {
+	s := &benchfmt.Summary{Stamp: benchfmt.Stamp{Schema: benchfmt.Schema, Date: "2026-08-08"}}
+	s.Cells = []benchfmt.Cell{
+		// mvm/S: native P=4 k=2 cyclic wins.
+		tunerCell("mvm", "S", "native", 4, 2, "cyclic", false, 2.0),
+		tunerCell("mvm", "S", "native", 2, 1, "block", false, 5.0),
+		tunerCell("mvm", "S", "treefold", 4, 1, "block", false, 3.0),
+		tunerCell("mvm", "S", "interp", 1, 1, "block", true, 40.0),
+		// euler/2k: treefold P=2 wins over every rotation cell.
+		tunerCell("euler", "2k", "treefold", 2, 1, "block", false, 1.5),
+		tunerCell("euler", "2k", "native", 4, 2, "cyclic", false, 4.0),
+		tunerCell("euler", "2k", "native", 1, 1, "block", true, 9.0),
+		// raw/small: distributed P=2 k=1 wins.
+		tunerCell("raw", "small", "distributed", 2, 1, "cyclic", true, 0.8),
+		tunerCell("raw", "small", "native", 2, 2, "cyclic", true, 1.1),
+	}
+	// Decoys that must never win: a modeled sim cell faster than
+	// everything, a faster-still errored cell, and a chaos cell.
+	sim := tunerCell("mvm", "S", "sim", 4, 2, "cyclic", true, 0.001)
+	sim.SimSeconds = 0.5
+	s.Cells = append(s.Cells, sim)
+	bad := tunerCell("euler", "2k", "native", 4, 1, "block", false, 0.001)
+	bad.Error = "boom"
+	s.Cells = append(s.Cells, bad)
+	chaos := tunerCell("raw", "small", "distributed", 2, 2, "cyclic", true, 0.001)
+	chaos.Chaos = "drop=0.1"
+	chaos.ID += "/chaos=drop=0.1"
+	s.Cells = append(s.Cells, chaos)
+	return s
+}
+
+var treeFoldLic = &dataflow.License{Rotation: true, Tile: true, TreeFold: true}
+
+// The headline property: the tuner picks demonstrably different
+// (engine, P, k) for different workload classes, from measurement.
+func TestTunerPicksDifferPerClass(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 8, AllowUnchecked: true})
+
+	mvm := tn.Pick("mvm", "S", treeFoldLic)
+	if mvm.Engine != "native" || mvm.P != 4 || mvm.K != 2 || mvm.Dist != "cyclic" {
+		t.Fatalf("mvm/S pick = %+v", mvm)
+	}
+	euler := tn.Pick("euler", "2k", treeFoldLic)
+	if euler.Engine != "treefold" || euler.P != 2 {
+		t.Fatalf("euler/2k pick = %+v", euler)
+	}
+	raw := tn.Pick("raw", "small", nil)
+	if raw.Engine != "distributed" || raw.P != 2 || raw.K != 1 {
+		t.Fatalf("raw/small pick = %+v", raw)
+	}
+	if mvm.Engine == euler.Engine && mvm.P == euler.P && mvm.K == euler.K {
+		t.Fatal("picks do not differ across classes")
+	}
+	for _, p := range []Pick{mvm, euler, raw} {
+		if p.Source == "heuristic" || p.ScoreMS <= 0 {
+			t.Fatalf("pick not backed by a measured cell: %+v", p)
+		}
+	}
+}
+
+// Sim, errored and chaos cells must never back a pick even when fastest.
+func TestTunerExcludesDecoys(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 8, AllowUnchecked: true})
+	if p := tn.Pick("mvm", "S", treeFoldLic); p.Engine == "sim" {
+		t.Fatalf("sim cell won: %+v", p)
+	}
+	if p := tn.Pick("euler", "2k", treeFoldLic); p.ScoreMS < 1 {
+		t.Fatalf("errored cell won: %+v", p)
+	}
+	if p := tn.Pick("raw", "small", nil); p.K == 2 {
+		t.Fatalf("chaos cell won: %+v", p)
+	}
+}
+
+// Without a TreeFoldLegal license the treefold winner is ineligible and
+// the best rotation cell is picked instead.
+func TestTunerRespectsLicense(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 8, AllowUnchecked: true})
+	p := tn.Pick("euler", "2k", &dataflow.License{Rotation: true})
+	if p.Engine != "native" || p.P != 4 {
+		t.Fatalf("unlicensed pick = %+v", p)
+	}
+	if p := tn.Pick("euler", "2k", nil); p.Engine == "treefold" {
+		t.Fatalf("nil license granted tree-fold: %+v", p)
+	}
+}
+
+// MaxP excludes cells measured at higher parallelism than the host has.
+func TestTunerRespectsMaxP(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 2, AllowUnchecked: true})
+	p := tn.Pick("mvm", "S", treeFoldLic)
+	if p.P > 2 {
+		t.Fatalf("pick oversubscribes MaxP=2: %+v", p)
+	}
+	if p.Engine != "native" || p.P != 2 {
+		t.Fatalf("expected the P=2 native cell, got %+v", p)
+	}
+}
+
+// The engine allowlist models consumers that can only execute a subset
+// (the irredd serving path: native + distributed).
+func TestTunerEngineAllowlist(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{
+		MaxP: 8, AllowUnchecked: true, Engines: []string{"native", "distributed"},
+	})
+	p := tn.Pick("euler", "2k", treeFoldLic)
+	if p.Engine != "native" {
+		t.Fatalf("allowlist ignored: %+v", p)
+	}
+}
+
+// Checked-only consumers never receive proof-elided picks.
+func TestTunerCheckedOnly(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 8})
+	p := tn.Pick("euler", "2k", treeFoldLic)
+	if !p.Checked {
+		t.Fatalf("unchecked cell picked by a checked-only consumer: %+v", p)
+	}
+	if p.Source == "heuristic" {
+		t.Fatalf("a checked cell exists and must back the pick: %+v", p)
+	}
+}
+
+// Unknown workloads and nil trajectories fall back to the heuristic.
+func TestTunerFallbackHeuristic(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{MaxP: 8})
+	p := tn.Pick("moldyn", "10k", nil)
+	if p.Source != "heuristic" || p.Engine != "native" || p.P < 1 || p.K < 1 {
+		t.Fatalf("fallback pick = %+v", p)
+	}
+	empty := NewTuner(nil, TunerOptions{MaxP: 2, AllowUnchecked: true})
+	p = empty.Pick("mvm", "S", nil)
+	if p.Source != "heuristic" || p.P != 2 || p.K != 2 || p.Checked {
+		t.Fatalf("nil-trajectory pick = %+v", p)
+	}
+}
+
+func TestTunerWorkloads(t *testing.T) {
+	tn := NewTuner(tunerTrajectory(), TunerOptions{})
+	got := tn.Workloads()
+	want := [][2]string{{"euler", "2k"}, {"mvm", "S"}, {"raw", "small"}}
+	if len(got) != len(want) {
+		t.Fatalf("workloads = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workloads = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewTunerFromDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := NewTunerFromDir(dir, TunerOptions{}); err == nil {
+		t.Fatal("empty dir must error")
+	}
+	s := tunerTrajectory()
+	if err := benchfmt.Write(filepath.Join(dir, "BENCH_2026-08-01.json"), s); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.Write(filepath.Join(dir, "BENCH_2026-08-08.json"), s); err != nil {
+		t.Fatal(err)
+	}
+	tn, path, err := NewTunerFromDir(dir, TunerOptions{MaxP: 8, AllowUnchecked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-08-08.json" {
+		t.Fatalf("loaded %s, want the newest trajectory", path)
+	}
+	if p := tn.Pick("mvm", "S", treeFoldLic); p.Source == "heuristic" {
+		t.Fatalf("trajectory not loaded: %+v", p)
+	}
+}

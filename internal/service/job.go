@@ -83,6 +83,35 @@ type JobSpec struct {
 	// service has a disk directory). A restarted daemon resumes the job
 	// from its last checkpoint instead of recomputing from sweep 0.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// Auto asks the service to pick the execution strategy from its BENCH
+	// trajectory tuner: (engine, P, k, dist) are overwritten by the
+	// measured-fastest usable cell for this workload (or the paper's
+	// heuristic defaults when the daemon has no trajectory). The spec's own
+	// P/K/Dist/Engine values are ignored and may be zero.
+	Auto bool `json:"auto,omitempty"`
+}
+
+// workload maps a spec onto the BENCH trajectory's (kernel, class)
+// vocabulary. Named kernels map directly (with the dataset name's
+// canonical case); raw jobs bucket by iteration count onto the sweep
+// harness's raw classes, so a raw job is tuned from the measurements of
+// the nearest-sized synthetic workload.
+func (sp *JobSpec) workload() (kernel, class string) {
+	if !sp.IsRaw() {
+		if sp.Kernel == "mvm" {
+			return sp.Kernel, strings.ToUpper(sp.Dataset)
+		}
+		return sp.Kernel, strings.ToLower(sp.Dataset)
+	}
+	switch {
+	case sp.NumIters <= 1024:
+		return "raw", "tiny"
+	case sp.NumIters <= 8192:
+		return "raw", "small"
+	default:
+		return "raw", "large"
+	}
 }
 
 // IsRaw reports whether the spec is a raw reduction (no named kernel).
@@ -307,6 +336,10 @@ type JobStatus struct {
 	CheckpointSweep int `json:"checkpoint_sweep,omitempty"`
 	// Resumed marks a job reconstructed from a checkpoint at daemon start.
 	Resumed bool `json:"resumed,omitempty"`
+	// TunedFrom is the BENCH cell ID that backed an auto-tuned job's
+	// strategy ("heuristic" when the tuner fell back); empty for jobs that
+	// chose their own strategy.
+	TunedFrom string `json:"tuned_from,omitempty"`
 	// Result is the final reduction/state vector: x for mvm, the node state
 	// q for euler, positions for moldyn, the reduction array for raw jobs.
 	Result []float64 `json:"result,omitempty"`
@@ -328,6 +361,7 @@ type Job struct {
 	stack     []byte // recovered panic stack, failed jobs only
 	cacheHit  bool
 	key       string
+	tuned     string // BENCH cell ID behind an auto-tuned strategy
 	result    []float64
 	resultSum string
 	ckSweep   int  // last checkpointed sweep
@@ -370,6 +404,7 @@ func (j *Job) Status(includeResult bool) JobStatus {
 		Stack:           string(j.stack),
 		CheckpointSweep: j.ckSweep,
 		Resumed:         j.resumed,
+		TunedFrom:       j.tuned,
 	}
 	if !j.started.IsZero() {
 		st.QueuedMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)

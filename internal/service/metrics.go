@@ -72,14 +72,25 @@ type LatencySummary struct {
 
 // Snapshot is the /metrics payload: expvar-style JSON counters.
 type Snapshot struct {
-	UptimeSec     float64          `json:"uptime_sec"`
-	Jobs          map[string]int64 `json:"jobs"` // by state, plus submitted/shed totals
-	Cache         CacheStats       `json:"cache"`
-	CacheHitRatio float64          `json:"cache_hit_ratio"`
-	QueueDepth    int              `json:"queue_depth"`
-	Workers       int              `json:"workers"`
-	WorkersBusy   int64            `json:"workers_busy"`
-	Latency       LatencySummary   `json:"latency"`
+	UptimeSec float64          `json:"uptime_sec"`
+	Jobs      map[string]int64 `json:"jobs"` // by state, plus submitted/shed totals
+	Cache     CacheStats       `json:"cache"`
+	// CacheHitsTotal / CacheMissesTotal mirror Cache.Hits / Cache.Misses at
+	// the top level so flat scrapers (expvar consumers, the sweep harness's
+	// delta accounting) read the cumulative schedule-cache traffic without
+	// descending into the nested block.
+	CacheHitsTotal   int64   `json:"cache_hits_total"`
+	CacheMissesTotal int64   `json:"cache_misses_total"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	QueueDepth       int     `json:"queue_depth"`
+	// QueuePeak is the admission queue's high-water mark since start;
+	// QueueEnqueued counts every submission the queue accepted. Together
+	// with Jobs["shed"] they describe how close the pool runs to capacity.
+	QueuePeak     int            `json:"queue_peak"`
+	QueueEnqueued int64          `json:"queue_enqueued"`
+	Workers       int            `json:"workers"`
+	WorkersBusy   int64          `json:"workers_busy"`
+	Latency       LatencySummary `json:"latency"`
 }
 
 // snapshot assembles the jobs map and latency percentiles.

@@ -27,9 +27,11 @@ type pool struct {
 	run     func(*Job)
 	onPanic func(j *Job, v any, stack []byte)
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	enqueued int64 // cumulative accepted submissions
+	peak     int   // high-water mark of the queue depth
+	wg       sync.WaitGroup
 }
 
 func newPool(workers, queueLen int, run func(*Job), onPanic func(j *Job, v any, stack []byte)) *pool {
@@ -74,6 +76,10 @@ func (p *pool) submit(j *Job) error {
 	}
 	select {
 	case p.queue <- j:
+		p.enqueued++
+		if d := len(p.queue); d > p.peak {
+			p.peak = d
+		}
 		return nil
 	default:
 		return ErrQueueFull
@@ -82,6 +88,16 @@ func (p *pool) submit(j *Job) error {
 
 // depth reports the number of queued-but-not-yet-running jobs.
 func (p *pool) depth() int { return len(p.queue) }
+
+// queueStats reports the instantaneous depth plus the cumulative counters:
+// the high-water mark of the queue and the total accepted submissions.
+// Peak is sampled at submit time, so it reflects the depth the moment each
+// job landed (a worker may already be draining it).
+func (p *pool) queueStats() (depth, peak int, enqueued int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.peak, p.enqueued
+}
 
 // close stops admissions, lets workers drain the queue (cancelled jobs
 // complete immediately), and waits for them to exit.

@@ -80,6 +80,37 @@ func TestPoolPanicWithNilCallback(t *testing.T) {
 	waitDone(t, &wg)
 }
 
+// TestPoolQueueCounters pins the cumulative admission counters: with the
+// single worker blocked, every later submission must sit in the queue, so
+// the high-water mark is deterministic.
+func TestPoolQueueCounters(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	p := newPool(1, 4, func(*Job) {
+		started <- struct{}{}
+		<-block
+	}, nil)
+	defer p.close()
+	defer close(block) // runs before p.close: unblocks the worker first
+
+	for i := 0; i < 4; i++ {
+		if err := p.submit(poolJob("q")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // the worker holds one job; at most one ever left the queue
+	depth, peak, enqueued := p.queueStats()
+	if enqueued != 4 {
+		t.Fatalf("enqueued = %d, want 4", enqueued)
+	}
+	if peak < 3 || peak > 4 {
+		t.Fatalf("peak = %d, want 3 or 4 with a blocked single worker", peak)
+	}
+	if depth != 3 {
+		t.Fatalf("depth = %d, want 3 (one held by the worker)", depth)
+	}
+}
+
 func waitDone(t *testing.T, wg *sync.WaitGroup) {
 	t.Helper()
 	done := make(chan struct{})

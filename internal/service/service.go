@@ -74,6 +74,12 @@ type Options struct {
 	// multi-sweep jobs that do not set their own; 0 disables checkpointing
 	// for jobs that do not ask for it. Checkpoints need CacheDir.
 	CheckpointEvery int
+	// Tuner resolves jobs submitted with Auto: their (engine, P, k, dist)
+	// come from the measured-fastest usable cell of a persisted BENCH
+	// trajectory. Build it with an engine allowlist matching what this
+	// serving path can execute (native + distributed). Nil still accepts
+	// Auto jobs — they get the paper's heuristic defaults.
+	Tuner *rts.Tuner
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +188,10 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 
 // submitJob admits a job, optionally seeded from a checkpoint (resume).
 func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
+	var tunedFrom string
+	if spec.Auto {
+		spec, tunedFrom = s.applyAuto(spec)
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("service: invalid job: %w", err)
 	}
@@ -211,6 +221,7 @@ func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	j.tuned = tunedFrom
 	if ck != nil {
 		j.resumed = true
 		j.resumeAt = ck.Sweep
@@ -237,6 +248,31 @@ func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 	}
 	s.met.submittedJob()
 	return j, nil
+}
+
+// applyAuto resolves an Auto spec against the configured tuner: the
+// measured-fastest usable strategy for the job's workload overwrites the
+// spec's (engine, P, k, dist). The service path has no schedule-license
+// information at submission time, so the tuner is consulted with a nil
+// license (tree-fold cells never back service picks — the pool cannot run
+// them anyway) and any pick the pool cannot execute falls back to its
+// native shape.
+func (s *Service) applyAuto(spec JobSpec) (JobSpec, string) {
+	tn := s.opt.Tuner
+	if tn == nil {
+		tn = rts.NewTuner(nil, rts.TunerOptions{})
+	}
+	kernel, class := spec.workload()
+	pick := tn.Pick(kernel, class, nil)
+	if pick.Engine != "native" && !(pick.Engine == "distributed" && spec.IsRaw()) {
+		pick.Engine = "native"
+	}
+	spec.P, spec.K, spec.Dist = pick.P, pick.K, pick.Dist
+	spec.Engine = ""
+	if pick.Engine == "distributed" {
+		spec.Engine = "distributed"
+	}
+	return spec, pick.Source
 }
 
 // Job looks up a job by id.
@@ -314,15 +350,20 @@ func (s *Service) Close() {
 func (s *Service) Metrics() Snapshot {
 	jobs, busy, lat := s.met.snapshot()
 	cs := s.cache.Stats()
+	depth, peak, enqueued := s.pool.queueStats()
 	return Snapshot{
-		UptimeSec:     time.Since(s.start).Seconds(),
-		Jobs:          jobs,
-		Cache:         cs,
-		CacheHitRatio: cs.HitRatio(),
-		QueueDepth:    s.pool.depth(),
-		Workers:       s.opt.Workers,
-		WorkersBusy:   busy,
-		Latency:       lat,
+		UptimeSec:        time.Since(s.start).Seconds(),
+		Jobs:             jobs,
+		Cache:            cs,
+		CacheHitsTotal:   cs.Hits,
+		CacheMissesTotal: cs.Misses,
+		CacheHitRatio:    cs.HitRatio(),
+		QueueDepth:       depth,
+		QueuePeak:        peak,
+		QueueEnqueued:    enqueued,
+		Workers:          s.opt.Workers,
+		WorkersBusy:      busy,
+		Latency:          lat,
 	}
 }
 

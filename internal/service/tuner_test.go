@@ -1,0 +1,172 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"irred/internal/benchfmt"
+	"irred/internal/rts"
+)
+
+// trajectoryCell builds a clean measured BENCH cell.
+func trajectoryCell(kernel, class, engine string, p, k int, dist string, ms float64) benchfmt.Cell {
+	return benchfmt.Cell{
+		ID:     kernel + "/" + class + "/" + engine + "/p" + string(rune('0'+p)) + "/k" + string(rune('0'+k)) + "/" + dist + "/checked",
+		Kernel: kernel, Class: class, Engine: engine,
+		P: p, K: k, Dist: dist, Checked: true,
+		Wall: benchfmt.Stats{Count: 5, MeanMS: ms, TrimmedMS: ms},
+	}
+}
+
+// serviceTrajectory measures raw/tiny fastest on the distributed engine
+// and mvm/S fastest at native P=2 k=2 cyclic.
+func serviceTrajectory() *benchfmt.Summary {
+	return &benchfmt.Summary{
+		Stamp: benchfmt.Stamp{Schema: benchfmt.Schema, Date: "2026-08-08"},
+		Cells: []benchfmt.Cell{
+			trajectoryCell("raw", "tiny", "distributed", 2, 1, "cyclic", 0.4),
+			trajectoryCell("raw", "tiny", "native", 4, 2, "block", 0.9),
+			trajectoryCell("mvm", "S", "native", 2, 2, "cyclic", 1.2),
+			trajectoryCell("mvm", "S", "native", 1, 1, "block", 3.0),
+		},
+	}
+}
+
+func serviceTuner() *rts.Tuner {
+	return rts.NewTuner(serviceTrajectory(), rts.TunerOptions{
+		MaxP: 8, Engines: []string{"native", "distributed"},
+	})
+}
+
+// An Auto job's strategy comes from the trajectory: the raw job lands on
+// the measured-fastest distributed cell, the named kernel on its native
+// winner — and both still produce correct results.
+func TestAutoJobPicksFromTrajectory(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2, Tuner: serviceTuner()})
+
+	raw := rawSpec(3, 0, 0, 800, 97, 2) // 800 iters buckets onto raw/tiny
+	raw.Auto = true
+	want, err := (&JobSpec{
+		NumIters: raw.NumIters, NumElems: raw.NumElems, Ind: raw.Ind,
+		Contrib: raw.Contrib, P: 1, K: 1, Steps: raw.Steps,
+	}).SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("raw auto job: %s: %s", st.State, st.Error)
+	}
+	if j.Spec.P != 2 || j.Spec.K != 1 || j.Spec.Engine != "distributed" || j.Spec.Dist != "cyclic" {
+		t.Fatalf("raw auto strategy = engine %q P=%d k=%d %s", j.Spec.Engine, j.Spec.P, j.Spec.K, j.Spec.Dist)
+	}
+	if !strings.HasPrefix(st.TunedFrom, "raw/tiny/distributed") {
+		t.Fatalf("tuned_from = %q", st.TunedFrom)
+	}
+	if st.ResultSHA256 != HashResult(want) {
+		t.Fatal("auto-tuned raw result does not match the sequential reference")
+	}
+
+	named := JobSpec{Kernel: "mvm", Dataset: "s", Seed: 1, Steps: 2, Auto: true}
+	nj, err := s.Submit(named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nst := waitJob(t, nj)
+	if nst.State != StateDone {
+		t.Fatalf("named auto job: %s: %s", nst.State, nst.Error)
+	}
+	if nj.Spec.P != 2 || nj.Spec.K != 2 || nj.Spec.Dist != "cyclic" || nj.Spec.Engine != "" {
+		t.Fatalf("named auto strategy = engine %q P=%d k=%d %s", nj.Spec.Engine, nj.Spec.P, nj.Spec.K, nj.Spec.Dist)
+	}
+	if !strings.HasPrefix(nst.TunedFrom, "mvm/S/native") {
+		t.Fatalf("tuned_from = %q", nst.TunedFrom)
+	}
+
+	// The two workloads were tuned to demonstrably different strategies.
+	if j.Spec.Engine == nj.Spec.Engine && j.Spec.K == nj.Spec.K {
+		t.Fatal("auto picks do not differ across workload classes")
+	}
+}
+
+// Without a tuner, Auto jobs get the paper's heuristic defaults and a
+// "heuristic" provenance marker — never a rejection.
+func TestAutoJobHeuristicWithoutTuner(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	spec := rawSpec(4, 0, 0, 500, 64, 1)
+	spec.Auto = true
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	if st.TunedFrom != "heuristic" {
+		t.Fatalf("tuned_from = %q, want heuristic", st.TunedFrom)
+	}
+	if j.Spec.P < 1 || j.Spec.K < 1 {
+		t.Fatalf("heuristic left an invalid strategy: P=%d k=%d", j.Spec.P, j.Spec.K)
+	}
+}
+
+// A trajectory whose best cell the pool cannot execute for this job shape
+// (distributed never runs named kernels) falls back to the pick's native
+// shape instead of admitting an unrunnable job.
+func TestAutoNamedNeverDistributed(t *testing.T) {
+	s := &benchfmt.Summary{
+		Stamp: benchfmt.Stamp{Schema: benchfmt.Schema, Date: "2026-08-08"},
+		Cells: []benchfmt.Cell{
+			trajectoryCell("mvm", "S", "distributed", 2, 1, "cyclic", 0.1),
+		},
+	}
+	tn := rts.NewTuner(s, rts.TunerOptions{MaxP: 8, Engines: []string{"native", "distributed"}})
+	svc := newTestService(t, Options{Workers: 1, Tuner: tn})
+	j, err := svc.Submit(JobSpec{Kernel: "mvm", Dataset: "S", Seed: 1, Steps: 1, Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	if j.Spec.Engine == "distributed" {
+		t.Fatal("named kernel admitted on the distributed engine")
+	}
+}
+
+// The metrics snapshot exports the cumulative queue and schedule-cache
+// counters alongside the nested cache block.
+func TestMetricsQueueAndCacheCounters(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	spec := rawSpec(5, 2, 1, 600, 64, 1)
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitJob(t, j); st.State != StateDone {
+			t.Fatalf("job %s: %s", st.State, st.Error)
+		}
+	}
+	m := s.Metrics()
+	if m.QueueEnqueued != 2 {
+		t.Fatalf("queue_enqueued = %d, want 2", m.QueueEnqueued)
+	}
+	if m.QueuePeak < 0 || m.QueuePeak > 2 {
+		t.Fatalf("queue_peak = %d outside [0,2]", m.QueuePeak)
+	}
+	if m.CacheHitsTotal != m.Cache.Hits || m.CacheMissesTotal != m.Cache.Misses {
+		t.Fatalf("top-level cache counters (%d/%d) diverge from nested (%d/%d)",
+			m.CacheHitsTotal, m.CacheMissesTotal, m.Cache.Hits, m.Cache.Misses)
+	}
+	// Two identical jobs: the first misses the schedule cache, the second hits.
+	if m.CacheMissesTotal < 1 || m.CacheHitsTotal < 1 {
+		t.Fatalf("cache traffic hits=%d misses=%d, want at least one of each", m.CacheHitsTotal, m.CacheMissesTotal)
+	}
+}

@@ -1,0 +1,315 @@
+package sweep
+
+import (
+	"fmt"
+
+	"irred/internal/benchfmt"
+	"irred/internal/codegen"
+	"irred/internal/dataflow"
+	"irred/internal/fault"
+	"irred/internal/kernels"
+)
+
+// kernelDef describes one workload family to the expansion: its legal
+// classes, the engines that can execute it, and (for named kernels) the
+// IRL source behind the tree-fold and interp paths.
+type kernelDef struct {
+	classes []string
+	engines map[string]bool
+	irl     string
+}
+
+// kernelRegistry is the harness's workload catalogue. The distributed
+// engine appears only under raw: it executes bare pair reductions (the
+// service's raw job shape) and has no hook for the named kernels'
+// between-sweep state updates.
+var kernelRegistry = map[string]*kernelDef{
+	"mvm": {
+		classes: []string{"S", "W", "A", "B"},
+		engines: set(EngineNative, EngineTreeFold, EngineInterp, EngineSim),
+		irl:     kernels.MVMIRL,
+	},
+	"euler": {
+		classes: []string{"2k", "10k"},
+		engines: set(EngineNative, EngineTreeFold, EngineInterp, EngineSim),
+		irl:     kernels.EulerIRL,
+	},
+	"moldyn": {
+		classes: []string{"2k", "10k"},
+		engines: set(EngineNative, EngineTreeFold, EngineInterp, EngineSim),
+		irl:     kernels.MoldynIRL,
+	},
+	"raw": {
+		classes: []string{"tiny", "small", "large"},
+		engines: set(EngineNative, EngineDistributed),
+	},
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// Kernels lists the registered kernel names in canonical order.
+func Kernels() []string { return []string{"mvm", "euler", "moldyn", "raw"} }
+
+// Classes lists the legal classes of a kernel, nil if unknown.
+func Classes(kernel string) []string {
+	if def, ok := kernelRegistry[kernel]; ok {
+		return append([]string(nil), def.classes...)
+	}
+	return nil
+}
+
+// Grid is the sweep's input: the cartesian product of its dimensions is
+// expanded into cells, with illegal combinations recorded as skips.
+type Grid struct {
+	// Kernels to sweep. Classes optionally narrows the classes per kernel;
+	// a kernel with no entry sweeps every registered class.
+	Kernels []string
+	Classes map[string][]string
+
+	Ps    []int
+	Ks    []int
+	Dists []string
+
+	Engines []string
+
+	// Checked lists the bounds-check modes to sweep: true = per-write
+	// target validation forced on, false = proof-elided execution.
+	Checked []bool
+
+	// Chaos lists fault-injection specs (fault.ParseSpec syntax); the
+	// empty string means no injection. Non-empty specs only apply to the
+	// distributed engine — everywhere else they are recorded as skips.
+	Chaos []string
+}
+
+// DefaultGrid is the documented full sweep: every engine over the paper's
+// small-to-medium workloads, P up to 4, k up to 2, both distributions,
+// both check modes, no fault injection.
+func DefaultGrid() Grid {
+	return Grid{
+		Kernels: Kernels(),
+		Classes: map[string][]string{
+			"mvm":    {"S"},
+			"euler":  {"2k"},
+			"moldyn": {"2k"},
+			"raw":    {"small", "large"},
+		},
+		Ps:      []int{1, 2, 4},
+		Ks:      []int{1, 2},
+		Dists:   []string{"block", "cyclic"},
+		Engines: Engines,
+		Checked: []bool{true, false},
+		Chaos:   []string{""},
+	}
+}
+
+// SmallGrid is the CI short sweep: two workload families and P up to 2 —
+// small enough for 1–2 repeats inside a CI job while still crossing every
+// engine.
+func SmallGrid() Grid {
+	return Grid{
+		Kernels: []string{"mvm", "raw"},
+		Classes: map[string][]string{
+			"mvm": {"S"},
+			"raw": {"tiny"},
+		},
+		Ps:      []int{1, 2},
+		Ks:      []int{1, 2},
+		Dists:   []string{"block", "cyclic"},
+		Engines: Engines,
+		Checked: []bool{true, false},
+		Chaos:   []string{""},
+	}
+}
+
+// Expand produces the runnable cells of the grid's cartesian product, in
+// deterministic order, plus a skip record for every grid point an engine
+// cannot legally execute. Malformed dimensions (unknown kernel, engine,
+// class, distribution, unparsable chaos spec, out-of-range P or k) are
+// configuration errors, not skips.
+func (g Grid) Expand() ([]Cell, []benchfmt.Skip, error) {
+	if len(g.Kernels) == 0 || len(g.Ps) == 0 || len(g.Ks) == 0 ||
+		len(g.Dists) == 0 || len(g.Engines) == 0 || len(g.Checked) == 0 {
+		return nil, nil, fmt.Errorf("sweep: grid has an empty dimension")
+	}
+	chaos := g.Chaos
+	if len(chaos) == 0 {
+		chaos = []string{""}
+	}
+	for _, spec := range chaos {
+		if spec == "" {
+			continue
+		}
+		if _, err := fault.ParseSpec(spec); err != nil {
+			return nil, nil, fmt.Errorf("sweep: chaos spec %q: %w", spec, err)
+		}
+	}
+	for _, e := range g.Engines {
+		if !knownEngine(e) {
+			return nil, nil, fmt.Errorf("sweep: unknown engine %q", e)
+		}
+	}
+	for _, p := range g.Ps {
+		if p < 1 || p > 64 {
+			return nil, nil, fmt.Errorf("sweep: P = %d outside [1,64]", p)
+		}
+	}
+	for _, k := range g.Ks {
+		if k < 1 || k > 64 {
+			return nil, nil, fmt.Errorf("sweep: k = %d outside [1,64]", k)
+		}
+	}
+	for _, d := range g.Dists {
+		if d != "block" && d != "cyclic" {
+			return nil, nil, fmt.Errorf("sweep: unknown distribution %q (block | cyclic)", d)
+		}
+	}
+
+	var cells []Cell
+	var skipped []benchfmt.Skip
+	for _, kernel := range g.Kernels {
+		def, ok := kernelRegistry[kernel]
+		if !ok {
+			return nil, nil, fmt.Errorf("sweep: unknown kernel %q", kernel)
+		}
+		classes := g.Classes[kernel]
+		if len(classes) == 0 {
+			classes = def.classes
+		}
+		for _, class := range classes {
+			if !contains(def.classes, class) {
+				return nil, nil, fmt.Errorf("sweep: kernel %s has no class %q (have %v)", kernel, class, def.classes)
+			}
+			for _, engine := range g.Engines {
+				for _, p := range g.Ps {
+					for _, k := range g.Ks {
+						for _, dist := range g.Dists {
+							for _, checked := range g.Checked {
+								for _, spec := range chaos {
+									c := Cell{
+										Kernel: kernel, Class: class, Engine: engine,
+										P: p, K: k, Dist: dist, Checked: checked, Chaos: spec,
+									}
+									if reason := skipReason(c, def); reason != "" {
+										skipped = append(skipped, benchfmt.Skip{ID: c.ID(), Reason: reason})
+										continue
+									}
+									cells = append(cells, c)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, skipped, nil
+}
+
+func knownEngine(e string) bool {
+	for _, n := range Engines {
+		if n == e {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// skipReason implements the legality rules: a non-empty return is the
+// reason the grid point is recorded as skipped. First match wins, so a
+// cell that is illegal several ways reports its most fundamental problem.
+func skipReason(c Cell, def *kernelDef) string {
+	if !def.engines[c.Engine] {
+		return fmt.Sprintf("kernel %s does not support engine %s", c.Kernel, c.Engine)
+	}
+	if c.Chaos != "" && c.Engine != EngineDistributed {
+		return "fault injection requires the distributed engine"
+	}
+	switch c.Engine {
+	case EngineDistributed:
+		if c.P < 2 {
+			return "distributed rotation needs P >= 2"
+		}
+		if !c.Checked {
+			return "engine distributed has no proof-elided (unchecked) mode"
+		}
+	case EngineTreeFold:
+		if c.K != 1 || c.Dist != "block" {
+			return "tree-fold has no k/dist dimension; its canonical cell is k=1 block"
+		}
+		if reason := treeFoldUnlicensed(c.Kernel); reason != "" {
+			return reason
+		}
+	case EngineInterp:
+		if c.P != 1 || c.K != 1 || c.Dist != "block" {
+			return "interp is sequential; its canonical cell is P=1 k=1 block"
+		}
+		if !c.Checked {
+			return "engine interp has no proof-elided (unchecked) mode"
+		}
+	case EngineSim:
+		if !c.Checked {
+			return "engine sim models cost; the checked dimension does not apply"
+		}
+	}
+	return ""
+}
+
+// KernelLicense reports the schedule license a named kernel's compiled
+// form actually carries: the conjunction over its irregular plans, so a
+// grant survives only if every irregular reduction in the kernel holds
+// it. Raw workloads and kernels that fail to compile have no license —
+// nil, which tuner consumers treat as "rotation only".
+func KernelLicense(kernel string) *dataflow.License {
+	u, err := unit(kernel)
+	if err != nil {
+		return nil
+	}
+	var lic *dataflow.License
+	for _, p := range u.Plans {
+		if p.Kind != codegen.Irregular || p.License == nil {
+			continue
+		}
+		if lic == nil {
+			cp := *p.License
+			lic = &cp
+			continue
+		}
+		lic.Rotation = lic.Rotation && p.License.Rotation
+		lic.Tile = lic.Tile && p.License.Tile
+		lic.TreeFold = lic.TreeFold && p.License.TreeFold
+	}
+	return lic
+}
+
+// treeFoldUnlicensed compiles the kernel's IRL form (cached) and reports
+// why tree-fold execution is refused — a compile failure or an irregular
+// plan whose schedule license does not carry the TreeFoldLegal grant.
+// Empty means every irregular plan is licensed.
+func treeFoldUnlicensed(kernel string) string {
+	u, err := unit(kernel)
+	if err != nil {
+		return fmt.Sprintf("kernel %s has no tree-fold path: %v", kernel, err)
+	}
+	for _, p := range u.Plans {
+		if p.Kind == codegen.Irregular && !p.License.TreeFold {
+			return fmt.Sprintf("kernel %s plan %s: license %s does not grant tree-fold", kernel, p.Name, p.License.Level())
+		}
+	}
+	return ""
+}

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// A native-only grid over one kernel is a pure cartesian product: every
+// point is legal, so |cells| = |P| * |k| * |dist| * |checked|.
+func TestExpandCartesianProduct(t *testing.T) {
+	g := Grid{
+		Kernels: []string{"mvm"},
+		Classes: map[string][]string{"mvm": {"S"}},
+		Ps:      []int{1, 2},
+		Ks:      []int{1, 2},
+		Dists:   []string{"block", "cyclic"},
+		Engines: []string{EngineNative},
+		Checked: []bool{true, false},
+	}
+	cells, skipped, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 || len(skipped) != 0 {
+		t.Fatalf("cells = %d, skipped = %d, want 16/0", len(cells), len(skipped))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.ID()] {
+			t.Fatalf("duplicate cell %s", c.ID())
+		}
+		seen[c.ID()] = true
+	}
+	if !seen["mvm/S/native/p2/k1/cyclic/unchecked"] {
+		t.Fatalf("expected canonical cell missing; have %v", seen)
+	}
+}
+
+func TestDefaultGridExpands(t *testing.T) {
+	cells, skipped, err := DefaultGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("default grid expanded to no cells")
+	}
+	for _, s := range skipped {
+		if s.Reason == "" {
+			t.Fatalf("skip %s has no reason", s.ID)
+		}
+	}
+	for _, c := range cells {
+		if c.Engine == EngineDistributed && c.Kernel != "raw" {
+			t.Fatalf("distributed cell on named kernel: %s", c.ID())
+		}
+		if c.Engine == EngineInterp && (c.P != 1 || c.K != 1) {
+			t.Fatalf("parallel interp cell: %s", c.ID())
+		}
+		if c.Chaos != "" && c.Engine != EngineDistributed {
+			t.Fatalf("chaos outside distributed: %s", c.ID())
+		}
+	}
+}
+
+func TestSmallGridExpands(t *testing.T) {
+	cells, _, err := SmallGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]bool{}
+	for _, c := range cells {
+		engines[c.Engine] = true
+	}
+	// The CI short sweep must still cross every engine.
+	for _, e := range Engines {
+		if !engines[e] {
+			t.Fatalf("small grid never reaches engine %s (cells: %d)", e, len(cells))
+		}
+	}
+}
+
+// skipOf returns the reason the grid point was skipped, "" if it ran.
+func skipOf(t *testing.T, g Grid, wantCells int) string {
+	t.Helper()
+	cells, skipped, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != wantCells {
+		t.Fatalf("cells = %d, want %d (skips: %v)", len(cells), wantCells, skipped)
+	}
+	if len(skipped) == 0 {
+		return ""
+	}
+	return skipped[0].Reason
+}
+
+func TestExpandSkipRules(t *testing.T) {
+	one := func(kernel, class, engine string, p, k int, dist string, checked bool, chaos string) Grid {
+		return Grid{
+			Kernels: []string{kernel},
+			Classes: map[string][]string{kernel: {class}},
+			Ps:      []int{p}, Ks: []int{k}, Dists: []string{dist},
+			Engines: []string{engine},
+			Checked: []bool{checked},
+			Chaos:   []string{chaos},
+		}
+	}
+	cases := []struct {
+		name string
+		g    Grid
+		want string // substring of the skip reason; "" = cell must run
+	}{
+		{"treefold_needs_k1", one("mvm", "S", EngineTreeFold, 2, 2, "block", false, ""), "tree-fold has no k/dist"},
+		{"treefold_needs_block", one("mvm", "S", EngineTreeFold, 2, 1, "cyclic", false, ""), "tree-fold has no k/dist"},
+		{"treefold_canonical_runs", one("mvm", "S", EngineTreeFold, 2, 1, "block", false, ""), ""},
+		{"raw_has_no_treefold", one("raw", "tiny", EngineTreeFold, 2, 1, "block", false, ""), "does not support engine treefold"},
+		{"interp_is_sequential", one("mvm", "S", EngineInterp, 2, 1, "block", true, ""), "interp is sequential"},
+		{"interp_checked_only", one("mvm", "S", EngineInterp, 1, 1, "block", false, ""), "no proof-elided"},
+		{"distributed_needs_p2", one("raw", "tiny", EngineDistributed, 1, 1, "cyclic", true, ""), "needs P >= 2"},
+		{"distributed_checked_only", one("raw", "tiny", EngineDistributed, 2, 1, "cyclic", false, ""), "no proof-elided"},
+		{"sim_checked_only", one("euler", "2k", EngineSim, 2, 1, "block", false, ""), "checked dimension does not apply"},
+		{"chaos_needs_distributed", one("mvm", "S", EngineNative, 2, 1, "block", true, "drop=0.1"), "fault injection requires the distributed engine"},
+		{"chaos_distributed_runs", one("raw", "tiny", EngineDistributed, 2, 1, "cyclic", true, "drop=0.1"), ""},
+		{"named_kernel_no_distributed", one("euler", "2k", EngineDistributed, 2, 1, "block", true, ""), "does not support engine distributed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCells := 0
+			if tc.want == "" {
+				wantCells = 1
+			}
+			reason := skipOf(t, tc.g, wantCells)
+			if tc.want == "" && reason != "" {
+				t.Fatalf("unexpected skip: %s", reason)
+			}
+			if tc.want != "" && !strings.Contains(reason, tc.want) {
+				t.Fatalf("skip reason %q does not mention %q", reason, tc.want)
+			}
+		})
+	}
+}
+
+// An unlicensed tree-fold request must be refused by the license rule,
+// not fail at run time. A test kernel whose reduction overwrites (=)
+// instead of folding gets no tree-fold grant from the legality pass.
+func TestExpandTreeFoldLicenseRule(t *testing.T) {
+	const src = `
+param num_edges, num_nodes
+array e[num_edges] int
+array w[num_edges]
+array x[num_nodes]
+
+loop i = 0, num_edges {
+    x[e[i]] = w[i]
+}
+`
+	kernelRegistry["overwrite"] = &kernelDef{
+		classes: []string{"tiny"},
+		engines: set(EngineTreeFold),
+		irl:     src,
+	}
+	defer func() {
+		delete(kernelRegistry, "overwrite")
+		dataMu.Lock()
+		delete(unitCache, "overwrite")
+		dataMu.Unlock()
+	}()
+	g := Grid{
+		Kernels: []string{"overwrite"},
+		Ps:      []int{2}, Ks: []int{1}, Dists: []string{"block"},
+		Engines: []string{EngineTreeFold},
+		Checked: []bool{true},
+	}
+	cells, skipped, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 || len(skipped) != 1 {
+		t.Fatalf("cells = %d, skipped = %d, want 0/1", len(cells), len(skipped))
+	}
+	if !strings.Contains(skipped[0].Reason, "tree-fold") {
+		t.Fatalf("skip reason %q does not name the tree-fold license rule", skipped[0].Reason)
+	}
+}
+
+func TestExpandConfigErrors(t *testing.T) {
+	base := func() Grid {
+		return Grid{
+			Kernels: []string{"mvm"},
+			Classes: map[string][]string{"mvm": {"S"}},
+			Ps:      []int{1}, Ks: []int{1}, Dists: []string{"block"},
+			Engines: []string{EngineNative},
+			Checked: []bool{true},
+		}
+	}
+	cases := map[string]func(*Grid){
+		"unknown_kernel": func(g *Grid) { g.Kernels = []string{"fft"} },
+		"unknown_class":  func(g *Grid) { g.Classes = map[string][]string{"mvm": {"XXL"}} },
+		"unknown_engine": func(g *Grid) { g.Engines = []string{"quantum"} },
+		"unknown_dist":   func(g *Grid) { g.Dists = []string{"diagonal"} },
+		"bad_chaos":      func(g *Grid) { g.Chaos = []string{"drop=lots"} },
+		"p_out_of_range": func(g *Grid) { g.Ps = []int{0} },
+		"k_out_of_range": func(g *Grid) { g.Ks = []int{65} },
+		"empty_dim":      func(g *Grid) { g.Engines = nil },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			g := base()
+			mutate(&g)
+			if _, _, err := g.Expand(); err == nil {
+				t.Fatal("malformed grid must be a configuration error, not a skip")
+			}
+		})
+	}
+}
+
+func TestCellID(t *testing.T) {
+	c := Cell{Kernel: "raw", Class: "tiny", Engine: "distributed", P: 3, K: 2, Dist: "block", Checked: true, Chaos: "drop=0.1"}
+	want := "raw/tiny/distributed/p3/k2/block/checked/chaos=drop=0.1"
+	if c.ID() != want {
+		t.Fatalf("ID = %q, want %q", c.ID(), want)
+	}
+	c.Chaos = ""
+	c.Checked = false
+	if c.ID() != "raw/tiny/distributed/p3/k2/block/unchecked" {
+		t.Fatalf("ID = %q", c.ID())
+	}
+}

@@ -1,0 +1,479 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"irred/internal/benchfmt"
+	"irred/internal/buildinfo"
+	"irred/internal/codegen"
+	"irred/internal/fault"
+	"irred/internal/inspector"
+	"irred/internal/kernels"
+	"irred/internal/obs"
+	"irred/internal/rts"
+	"irred/internal/service"
+)
+
+// Options controls the per-cell measurement protocol.
+type Options struct {
+	// Steps is the number of timesteps per measured run; Warmup runs are
+	// executed and discarded before Repeats measured runs.
+	Steps   int
+	Warmup  int
+	Repeats int
+
+	// TrimFrac is the outlier-trim fraction handed to benchfmt.NewStats:
+	// floor(Repeats*TrimFrac) fastest and slowest runs are dropped from
+	// the trimmed mean the comparator scores by.
+	TrimFrac float64
+
+	// Seed makes dataset generation deterministic.
+	Seed int64
+
+	// Cache serves LightInspector schedules to the native and distributed
+	// engines, exactly as the irredd serving path does; the per-cell hit/
+	// miss delta lands in the BENCH cell. Nil runs a private cache.
+	Cache *service.Cache
+
+	// Stamp is the identity block of the emitted summary (see NewStamp).
+	Stamp benchfmt.Stamp
+
+	// Progress, when non-nil, receives one line per cell.
+	Progress func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Steps <= 0 {
+		o.Steps = 3
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 5
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.TrimFrac <= 0 {
+		o.TrimFrac = 0.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o *Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// NewStamp builds the summary identity block from the embedded build
+// info and the harness clock.
+func NewStamp(now time.Time) benchfmt.Stamp {
+	bi := buildinfo.Get()
+	now = now.UTC()
+	return benchfmt.Stamp{
+		Schema:     benchfmt.Schema,
+		Date:       now.Format("2006-01-02"),
+		Time:       now.Format(time.RFC3339),
+		Commit:     bi.Revision,
+		CommitTime: bi.CommitTime,
+		Dirty:      bi.Modified,
+		Module:     bi.Module,
+		Version:    bi.Version,
+		GoVersion:  bi.GoVersion,
+		OS:         bi.OS,
+		Arch:       bi.Arch,
+		NumCPU:     bi.NumCPU,
+	}
+}
+
+// Run expands the grid and measures every legal cell, returning the full
+// BENCH summary (including the skip records). Cells that fail to execute
+// are recorded with their error; only a malformed grid aborts the sweep.
+func Run(g Grid, opt Options) (*benchfmt.Summary, error) {
+	cells, skipped, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	opt.fill()
+	if opt.Cache == nil {
+		if opt.Cache, err = service.NewCache(1024, ""); err != nil {
+			return nil, err
+		}
+	}
+	s := &benchfmt.Summary{Stamp: opt.Stamp, Skipped: skipped}
+	if s.Schema == "" {
+		s.Schema = benchfmt.Schema
+	}
+	for i, c := range cells {
+		bc := RunCell(c, opt)
+		status := fmt.Sprintf("%.3fms", bc.Wall.Score())
+		if bc.Error != "" {
+			status = "ERROR " + bc.Error
+		}
+		opt.progress("cell %d/%d %s: %s", i+1, len(cells), c.ID(), status)
+		s.Cells = append(s.Cells, bc)
+	}
+	return s, nil
+}
+
+// RunCell measures one cell: Warmup discarded runs, then Repeats measured
+// runs of Steps timesteps each, every run through a freshly constructed
+// engine over cached datasets and cache-served schedules. The cell
+// carries outlier-trimmed wall statistics, reservoir percentiles, the
+// per-phase span budget from internal/obs, and the schedule-cache
+// traffic delta it caused.
+func RunCell(c Cell, opt Options) benchfmt.Cell {
+	opt.fill()
+	bc := benchfmt.Cell{
+		ID: c.ID(), Kernel: c.Kernel, Class: c.Class, Engine: c.Engine,
+		P: c.P, K: c.K, Dist: c.Dist, Checked: c.Checked, Chaos: c.Chaos,
+		Steps: opt.Steps, Warmup: opt.Warmup, Repeats: opt.Repeats,
+	}
+	tracer := obs.New(1 << 15)
+	var before service.CacheStats
+	if opt.Cache != nil {
+		before = opt.Cache.Stats()
+	}
+	run, err := newRunner(c, &opt, tracer)
+	if err != nil {
+		bc.Error = err.Error()
+		return bc
+	}
+	samples := make([]float64, 0, opt.Repeats)
+	hist := obs.NewReservoir(0)
+	for r := 0; r < opt.Warmup+opt.Repeats; r++ {
+		ms, simSec, err := safeRun(run)
+		if err != nil {
+			bc.Error = err.Error()
+			return bc
+		}
+		if r < opt.Warmup {
+			continue
+		}
+		samples = append(samples, ms)
+		hist.Add(ms)
+		if simSec > 0 {
+			bc.SimSeconds = simSec
+		}
+	}
+	bc.Wall = benchfmt.NewStats(samples, opt.TrimFrac)
+	q := hist.Quantiles(0.5, 0.95, 0.99)
+	bc.P50MS, bc.P95MS, bc.P99MS = q[0], q[1], q[2]
+	if spans, _ := tracer.Snapshot(); len(spans) > 0 {
+		bc.PhaseMS = map[string]float64{}
+		for _, a := range obs.Aggregate(spans, false) {
+			bc.PhaseMS[a.Name] = float64(a.TotalNS) / 1e6
+		}
+	}
+	if opt.Cache != nil {
+		after := opt.Cache.Stats()
+		bc.CacheHits = after.Hits - before.Hits
+		bc.CacheMisses = after.Misses - before.Misses
+		if total := bc.CacheHits + bc.CacheMisses; total > 0 {
+			bc.CacheHitRatio = float64(bc.CacheHits) / float64(total)
+		}
+	}
+	return bc
+}
+
+// runFunc executes one full run of Steps timesteps — engine construction
+// untimed, execution timed — returning wall milliseconds and, for sim
+// cells, the modeled seconds.
+type runFunc func() (ms, simSeconds float64, err error)
+
+// safeRun converts an engine panic (a corrupted schedule, an overflow in
+// hand-built phase programs) into a recorded cell error so one broken
+// cell cannot abort a multi-hour sweep.
+func safeRun(f runFunc) (ms, simSeconds float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: engine panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+// newRunner builds the engine-specific measurement closure for a cell.
+func newRunner(c Cell, opt *Options, tracer *obs.Tracer) (runFunc, error) {
+	dist, err := c.dist()
+	if err != nil {
+		return nil, err
+	}
+	switch c.Engine {
+	case EngineNative:
+		return nativeRunner(c, opt, dist, tracer)
+	case EngineDistributed:
+		return distributedRunner(c, opt, dist, tracer)
+	case EngineTreeFold:
+		return treeFoldRunner(c, opt)
+	case EngineInterp:
+		return interpRunner(c, opt)
+	case EngineSim:
+		return simRunner(c, opt, dist)
+	default:
+		return nil, fmt.Errorf("sweep: unknown engine %q", c.Engine)
+	}
+}
+
+// schedules serves the loop's LightInspector schedules through the cache,
+// computing and inserting them on a miss — the exact serving-path
+// amortization the paper argues for, measured per cell.
+func schedules(l *rts.Loop, cache *service.Cache) ([]*inspector.Schedule, error) {
+	if cache == nil {
+		return l.Schedules()
+	}
+	key := inspector.ScheduleKey(l.Cfg, l.Ind...)
+	if scheds, ok := cache.Get(key); ok {
+		return scheds, nil
+	}
+	scheds, err := l.Schedules()
+	if err != nil {
+		return nil, err
+	}
+	if err := cache.Put(key, scheds); err != nil {
+		return nil, err
+	}
+	return scheds, nil
+}
+
+// loopFor builds the rts.Loop of a named kernel or raw workload.
+func loopFor(c Cell, opt *Options, dist inspector.Dist) (*rts.Loop, error) {
+	switch c.Kernel {
+	case "mvm":
+		m, err := mvmData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.NewMVM(m).Loop(c.P, c.K, dist), nil
+	case "euler":
+		e, err := eulerData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return e.Loop(c.P, c.K, dist), nil
+	case "moldyn":
+		sys, err := moldynData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.NewMoldyn(sys).Loop(c.P, c.K, dist), nil
+	case "raw":
+		r, err := rawData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.loop(c.P, c.K, dist), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown kernel %q", c.Kernel)
+	}
+}
+
+func nativeRunner(c Cell, opt *Options, dist inspector.Dist, tracer *obs.Tracer) (runFunc, error) {
+	build, err := nativeBuilder(c, opt, dist)
+	if err != nil {
+		return nil, err
+	}
+	steps := opt.Steps
+	cache := opt.Cache
+	return func() (float64, float64, error) {
+		// Schedules come through the cache every run: the first run of the
+		// cell pays the LightInspector, later runs measure the amortized
+		// serving path.
+		l, err := loopFor(c, opt, dist)
+		if err != nil {
+			return 0, 0, err
+		}
+		l.Trace = tracer
+		scheds, err := schedules(l, cache)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := build(scheds)
+		if err != nil {
+			return 0, 0, err
+		}
+		n.Trace = tracer
+		n.CheckTargets = c.Checked
+		start := time.Now()
+		err = n.Run(steps)
+		return float64(time.Since(start)) / 1e6, 0, err
+	}, nil
+}
+
+// nativeBuilder returns the per-run engine constructor of a native cell.
+func nativeBuilder(c Cell, opt *Options, dist inspector.Dist) (func([]*inspector.Schedule) (*rts.Native, error), error) {
+	switch c.Kernel {
+	case "mvm":
+		m, err := mvmData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mv := kernels.NewMVM(m)
+		return func(scheds []*inspector.Schedule) (*rts.Native, error) {
+			return mv.NewNativeFrom(scheds, c.P, c.K, dist)
+		}, nil
+	case "euler":
+		e, err := eulerData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return func(scheds []*inspector.Schedule) (*rts.Native, error) {
+			n, _, err := e.NewNativeFrom(scheds, c.P, c.K, dist)
+			return n, err
+		}, nil
+	case "moldyn":
+		sys, err := moldynData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		md := kernels.NewMoldyn(sys)
+		return func(scheds []*inspector.Schedule) (*rts.Native, error) {
+			n, _, _, err := md.NewNativeFrom(scheds, c.P, c.K, dist)
+			return n, err
+		}, nil
+	case "raw":
+		r, err := rawData(c.Class, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return func(scheds []*inspector.Schedule) (*rts.Native, error) {
+			n, err := rts.NewNativeFrom(r.loop(c.P, c.K, dist), scheds)
+			if err != nil {
+				return nil, err
+			}
+			n.Contribs = r.contribs
+			return n, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("sweep: engine native does not run kernel %q", c.Kernel)
+	}
+}
+
+func distributedRunner(c Cell, opt *Options, dist inspector.Dist, tracer *obs.Tracer) (runFunc, error) {
+	if c.Kernel != "raw" {
+		return nil, fmt.Errorf("sweep: engine distributed runs raw reductions only, not %q", c.Kernel)
+	}
+	r, err := rawData(c.Class, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var spec fault.Spec
+	if c.Chaos != "" {
+		if spec, err = fault.ParseSpec(c.Chaos); err != nil {
+			return nil, err
+		}
+	}
+	steps := opt.Steps
+	cache := opt.Cache
+	return func() (float64, float64, error) {
+		l := r.loop(c.P, c.K, dist)
+		l.Trace = tracer
+		scheds, err := schedules(l, cache)
+		if err != nil {
+			return 0, 0, err
+		}
+		d, err := rts.NewDistributedFrom(l, scheds)
+		if err != nil {
+			return 0, 0, err
+		}
+		d.Contribs = r.contribs
+		d.Trace = tracer
+		if spec.Enabled() {
+			d.Inject = fault.New(spec)
+			// Injected losses should recover in milliseconds, not at the
+			// production watchdog's pace.
+			d.Watchdog = 30 * time.Millisecond
+		}
+		start := time.Now()
+		_, err = d.RunContext(context.Background(), steps)
+		return float64(time.Since(start)) / 1e6, 0, err
+	}, nil
+}
+
+func treeFoldRunner(c Cell, opt *Options) (runFunc, error) {
+	u, err := unit(c.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	steps := opt.Steps
+	return func() (float64, float64, error) {
+		env, err := newEnv(c.Kernel, c.Class, opt.Seed, u)
+		if err != nil {
+			return 0, 0, err
+		}
+		folds := make(map[*codegen.Plan]*rts.TreeFold, len(u.Plans))
+		for _, p := range u.Plans {
+			if p.Kind != codegen.Irregular {
+				continue
+			}
+			tf, err := p.BuildTreeFold(env, c.P)
+			if err != nil {
+				return 0, 0, err
+			}
+			tf.CheckTargets = c.Checked
+			folds[p] = tf
+		}
+		start := time.Now()
+		for step := 0; step < steps; step++ {
+			for _, p := range u.Plans {
+				if p.Kind == codegen.Regular {
+					if err := env.RunLoop(p.Loop); err != nil {
+						return 0, 0, err
+					}
+					continue
+				}
+				tf := folds[p]
+				if err := p.Pack(env, tf.X); err != nil {
+					return 0, 0, err
+				}
+				if err := tf.Run(1); err != nil {
+					return 0, 0, err
+				}
+				if err := p.Scatter(env, tf.X); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		return float64(time.Since(start)) / 1e6, 0, nil
+	}, nil
+}
+
+func interpRunner(c Cell, opt *Options) (runFunc, error) {
+	u, err := unit(c.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	steps := opt.Steps
+	return func() (float64, float64, error) {
+		env, err := newEnv(c.Kernel, c.Class, opt.Seed, u)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		for step := 0; step < steps; step++ {
+			if err := env.Run(); err != nil {
+				return 0, 0, err
+			}
+		}
+		return float64(time.Since(start)) / 1e6, 0, nil
+	}, nil
+}
+
+func simRunner(c Cell, opt *Options, dist inspector.Dist) (runFunc, error) {
+	steps := opt.Steps
+	return func() (float64, float64, error) {
+		l, err := loopFor(c, opt, dist)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		res, err := rts.RunSim(l, rts.SimOptions{Steps: steps})
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(time.Since(start)) / 1e6, res.Seconds, nil
+	}, nil
+}

@@ -1,0 +1,75 @@
+// Package sweep is the auto-tuning benchmark harness: it expands a grid
+// of (kernel, class, engine, P, k, distribution, checked, chaos) points,
+// runs every legal cell through the matching execution engine, and
+// aggregates wall time, per-phase span budgets, schedule-cache traffic
+// and latency percentiles into a benchfmt.Summary — the persisted BENCH
+// trajectory that the CI regression gate (benchfmt.Compare) and the
+// runtime tuner (rts.Tuner) both consume.
+//
+// The harness measures the same code paths production uses: named
+// kernels run through internal/kernels onto the rts engines, schedules
+// are served through the internal/service schedule cache, tree-fold and
+// interpreter cells go through the codegen/interp pipeline, and sim
+// cells run the EARTH machine model. Grid points an engine cannot
+// legally execute (tree-fold without a license grant, chaos outside the
+// distributed engine, ...) are recorded as skips with the rule that
+// refused them, never silently dropped.
+package sweep
+
+import (
+	"fmt"
+
+	"irred/internal/inspector"
+)
+
+// Engine names, matching the benchfmt cell vocabulary.
+const (
+	EngineNative      = "native"      // rts.Native: goroutines + rotation schedule
+	EngineDistributed = "distributed" // rts.Distributed: message passing, chaos-capable
+	EngineTreeFold    = "treefold"    // rts.TreeFold via the codegen license path
+	EngineInterp      = "interp"      // sequential tree-walking interpreter
+	EngineSim         = "sim"         // EARTH machine model (modeled MANNA seconds)
+)
+
+// Engines lists every engine the harness knows, in canonical order.
+var Engines = []string{EngineNative, EngineDistributed, EngineTreeFold, EngineInterp, EngineSim}
+
+// Cell is one grid point: a workload (kernel + class) bound to an
+// execution strategy (engine, P, k, distribution, bounds-check mode,
+// optional fault-injection spec).
+type Cell struct {
+	Kernel  string
+	Class   string
+	Engine  string
+	P       int
+	K       int
+	Dist    string // "block" | "cyclic"
+	Checked bool   // true: per-write target validation on; false: proof-elided
+	Chaos   string // fault.ParseSpec syntax; "" = no injection
+}
+
+// ID renders the canonical cell key used across BENCH files:
+// kernel/class/engine/pN/kN/dist/checked|unchecked[/chaos=spec].
+func (c Cell) ID() string {
+	chk := "unchecked"
+	if c.Checked {
+		chk = "checked"
+	}
+	id := fmt.Sprintf("%s/%s/%s/p%d/k%d/%s/%s", c.Kernel, c.Class, c.Engine, c.P, c.K, c.Dist, chk)
+	if c.Chaos != "" {
+		id += "/chaos=" + c.Chaos
+	}
+	return id
+}
+
+// dist parses the cell's distribution name.
+func (c Cell) dist() (inspector.Dist, error) {
+	switch c.Dist {
+	case "block":
+		return inspector.Block, nil
+	case "cyclic":
+		return inspector.Cyclic, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown distribution %q (block | cyclic)", c.Dist)
+	}
+}
