@@ -17,6 +17,15 @@
 // instead of choosing blindly; the backing cell ID is reported as
 // tuned_from in the job status.
 //
+// Streaming sessions extend the amortization further: a client POSTs its
+// base job to /v1/session once, then streams sparse indirection deltas to
+// /v1/session/{id}/delta. The daemon keeps the session's schedules
+// resident and revises them incrementally (Schedule.Update) instead of
+// re-inspecting; deltas touching more than -session-fallback of the
+// iteration space fall back to a full re-inspection. Sessions are LRU
+// evicted past -max-sessions and fail closed across restarts — a lost
+// session id answers 410 Gone, never a silently stale schedule.
+//
 // Robustness controls: -chaos opts the daemon into accepting jobs that
 // carry fault-injection specs (off by default), -checkpoint-every N makes
 // raw multi-sweep jobs checkpoint their reduction array to -cache-dir so a
@@ -63,6 +72,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar, and /debug/trace on this extra listener (empty = off)")
 	traceSpans := flag.Int("trace-spans", 0, "phase-trace ring capacity in spans (0 = default, <0 = disable tracing)")
 	chaos := flag.Bool("chaos", false, "accept jobs carrying chaos (fault-injection) specs; off by default — chaos is a test instrument")
+	maxSessions := flag.Int("max-sessions", 0, "resident streaming sessions before LRU eviction (0 = default 64)")
+	sessionFallback := flag.Float64("session-fallback", 0, "delta fraction beyond which a session re-inspects instead of updating incrementally (0 = default 0.25)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint raw multi-sweep jobs every N sweeps (0 = only when the job asks; needs -cache-dir)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM, keep serving with /readyz=503 this long before closing the listener")
 	benchDir := flag.String("bench", "", `BENCH trajectory directory: jobs submitted with "auto":true are tuned from the latest BENCH_*.json here`)
@@ -99,6 +110,9 @@ func main() {
 		AllowChaos:      *chaos,
 		CheckpointEvery: *checkpointEvery,
 		Tuner:           tuner,
+
+		MaxSessions:         *maxSessions,
+		SessionFallbackFrac: *sessionFallback,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)

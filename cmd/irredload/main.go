@@ -23,6 +23,14 @@
 // server must recover to the bitwise-exact answer under fire. The daemon
 // must be started with -chaos to accept these jobs.
 //
+// With -deltas it becomes the streaming soak: each worker opens one
+// session, keeps a local mirror of its indirection arrays, and streams
+// sparse deltas rewiring -delta-frac of the iterations per round. After
+// every delta the server's result SHA must match the sequential reduction
+// of the mirror — the resident incrementally-updated schedule is checked
+// against ground truth on every step. A 410 (evicted or restarted daemon)
+// reopens the session from the mirror; mismatches fail the run.
+//
 // Exit status: 0 on a clean run, 1 on result mismatches or job failures,
 // 2 on usage/connection errors.
 package main
@@ -34,6 +42,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -88,6 +97,38 @@ func rawChaosSpec(seed int64) service.JobSpec {
 	return service.JobSpec{
 		NumIters: iters, NumElems: elems, Ind: ind,
 		Contrib: &service.ContribSpec{Kind: "weights", Weights: w},
+	}
+}
+
+// streamDelta draws a sparse delta rewiring n of the spec's iterations to
+// fresh random targets. The delta is NOT yet applied to the spec.
+func streamDelta(rng *rand.Rand, spec *service.JobSpec, frac float64) *service.Delta {
+	n := int(frac * float64(spec.NumIters))
+	if n < 1 {
+		n = 1
+	}
+	perm := rng.Perm(spec.NumIters)[:n]
+	sort.Ints(perm)
+	d := &service.Delta{Changed: make([]int32, n), Values: make([][]int32, len(spec.Ind))}
+	for r := range d.Values {
+		d.Values[r] = make([]int32, n)
+	}
+	for j, it := range perm {
+		d.Changed[j] = int32(it)
+		for r := range d.Values {
+			d.Values[r][j] = int32(rng.Intn(spec.NumElems))
+		}
+	}
+	return d
+}
+
+// applyDeltaLocal commits a delta to the local indirection mirror, the
+// same write the server performs on its resident copy.
+func applyDeltaLocal(spec *service.JobSpec, d *service.Delta) {
+	for j, it := range d.Changed {
+		for r := range d.Values {
+			spec.Ind[r][it] = d.Values[r][j]
+		}
 	}
 }
 
@@ -160,6 +201,13 @@ type report struct {
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	CacheRatio  float64 `json:"cache_hit_ratio"`
+
+	// Streaming (-deltas) counters: deltas applied server-side during the
+	// run, split by maintenance path, plus session reopens after 410s.
+	Deltas      int64 `json:"deltas,omitempty"`
+	Incremental int64 `json:"incremental_updates,omitempty"`
+	Full        int64 `json:"full_reinspects,omitempty"`
+	Reopens     int64 `json:"session_reopens,omitempty"`
 }
 
 func main() {
@@ -176,19 +224,26 @@ func main() {
 	meshDataset := flag.String("mesh-dataset", "2k", "euler/moldyn dataset (2k, 10k)")
 	maxSamples := flag.Int("max-samples", 1<<16, "latency samples retained for percentiles")
 	jsonOut := flag.Bool("json", false, "print the summary as JSON (for CI assertions)")
+	deltasMode := flag.Bool("deltas", false, "drive streaming sessions: one session per worker, sparse indirection deltas verified against the local sequential oracle every round")
+	deltaFrac := flag.Float64("delta-frac", 0.05, "fraction of iterations each -deltas round rewires")
 	chaosMode := flag.Bool("chaos", false, "drive raw chaos jobs on the distributed engine (server must run with -chaos); results are verified against the locally computed sequential SHA")
 	chaosRate := flag.Float64("chaos-rate", 0.05, "per-payload drop/corrupt/delay/dup probability for -chaos jobs")
 	emitChaosJob := flag.Bool("emit-chaos-job", false, "print a long checkpointed chaos job spec as JSON and exit (for the CI TERM/resume check)")
 	emitChaosSHA := flag.Bool("emit-chaos-sha", false, "print the sequential-oracle SHA for the -emit-chaos-job spec and exit")
+	emitSessionJob := flag.Bool("emit-session-job", false, "print a session-openable raw job spec as JSON and exit (for the CI restart/410 check)")
 	flag.Parse()
 
 	// The emit modes are the shell-scriptable half of the TERM/resume check:
 	// the same deterministic long job and its oracle hash, printable without
 	// a server, so CI can submit with curl, kill the daemon mid-run, and
 	// compare the resumed result against ground truth.
-	if *emitChaosJob || *emitChaosSHA {
+	if *emitChaosJob || *emitChaosSHA || *emitSessionJob {
 		spec := rawChaosSpec(0)
 		spec.P, spec.K, spec.Steps = 3, 2, *steps
+		if *emitSessionJob {
+			json.NewEncoder(os.Stdout).Encode(spec)
+			return
+		}
 		if *emitChaosSHA {
 			x, err := spec.SequentialRaw()
 			if err != nil {
@@ -239,6 +294,7 @@ func main() {
 		failures  int64
 		mismatch  int64
 		shedTotal int64
+		reopens   int64
 	)
 
 	// Chaos mode verifies against an oracle, not against "first answer
@@ -269,6 +325,107 @@ func main() {
 		pace = t.C
 	}
 
+	// deltaWorker is the streaming soak loop: one resident session per
+	// worker, a local indirection mirror as the oracle, one sparse delta
+	// per round. The mirror is mutated BEFORE the submit, so after a 410
+	// the reopen ships the already-advanced state and nothing replays.
+	deltaWorker := func(w int, rng *rand.Rand) {
+		spec := rawChaosSpec(int64(w))
+		spec.P = 1 + rng.Intn(*maxP)
+		spec.K = 1 + rng.Intn(*maxK)
+		spec.Steps = *steps
+		var id string
+		open := func() bool {
+			x, err := spec.SequentialRaw()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredload: delta oracle: %v\n", err)
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return false
+			}
+			want := service.HashResult(x)
+			st, err := c.OpenSession(ctx, spec)
+			if err != nil {
+				if ctx.Err() == nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+					fmt.Fprintf(os.Stderr, "irredload: open session: %v\n", err)
+				}
+				return false
+			}
+			id = st.ID
+			mu.Lock()
+			if st.ResultSHA256 != want {
+				mismatch++
+				fmt.Fprintf(os.Stderr, "irredload: SESSION MISMATCH open %s: %s != %s\n", st.ID, st.ResultSHA256, want)
+			}
+			mu.Unlock()
+			return true
+		}
+		if !open() {
+			return
+		}
+		defer c.CloseSession(context.Background(), id)
+		for ctx.Err() == nil {
+			if pace != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-pace:
+				}
+			}
+			d := streamDelta(rng, &spec, *deltaFrac)
+			applyDeltaLocal(&spec, d)
+			x, err := spec.SequentialRaw()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredload: delta oracle: %v\n", err)
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			want := service.HashResult(x)
+			t0 := time.Now()
+			st, busy, err := c.SessionDeltaRetry(ctx, id, d, false)
+			lat := time.Since(t0)
+			mu.Lock()
+			shedTotal += int64(busy)
+			mu.Unlock()
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				if client.IsGone(err) {
+					// Evicted or the daemon restarted: the session is
+					// permanently lost, fail closed and reopen from the
+					// mirror's current state.
+					mu.Lock()
+					reopens++
+					mu.Unlock()
+					if !open() {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				fmt.Fprintf(os.Stderr, "irredload: delta: %v\n", err)
+				continue
+			}
+			hist.Add(float64(lat) / float64(time.Millisecond))
+			mu.Lock()
+			jobs++
+			if st.ResultSHA256 != want {
+				mismatch++
+				fmt.Fprintf(os.Stderr, "irredload: DELTA MISMATCH session %s delta %d: %s != %s\n", id, st.Deltas, st.ResultSHA256, want)
+			}
+			mu.Unlock()
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
@@ -276,6 +433,10 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)*7919 + 17))
+			if *deltasMode {
+				deltaWorker(w, rng)
+				return
+			}
 			for {
 				if pace != nil {
 					select {
@@ -393,6 +554,12 @@ func main() {
 	if hits+misses > 0 {
 		rep.CacheRatio = float64(hits) / float64(hits+misses)
 	}
+	if *deltasMode {
+		rep.Deltas = after.Sessions.DeltasApplied - before.Sessions.DeltasApplied
+		rep.Incremental = after.Sessions.Incremental - before.Sessions.Incremental
+		rep.Full = after.Sessions.FullReinspects - before.Sessions.FullReinspects
+		rep.Reopens = reopens
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -406,6 +573,10 @@ func main() {
 			hits, misses, rep.CacheRatio*100)
 		fmt.Printf("  sheds=%d failures=%d mismatches=%d\n",
 			rep.Sheds, rep.Failures, rep.Mismatches)
+		if *deltasMode {
+			fmt.Printf("  deltas=%d incremental=%d full=%d reopens=%d\n",
+				rep.Deltas, rep.Incremental, rep.Full, rep.Reopens)
+		}
 	}
 
 	if failures > 0 || mismatch > 0 {

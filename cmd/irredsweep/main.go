@@ -41,7 +41,7 @@ func fail(format string, args ...any) {
 }
 
 func main() {
-	gridName := flag.String("grid", "default", "base grid: default | small (CI short sweep)")
+	gridName := flag.String("grid", "default", "base grid: default | small (CI short sweep) | adaptive (streaming amortization)")
 	kernelsFlag := flag.String("kernels", "", "comma-separated kernels to sweep (override grid)")
 	classesFlag := flag.String("classes", "", `per-kernel classes, e.g. "mvm=S,W;raw=tiny" (override grid)`)
 	pFlag := flag.String("p", "", "comma-separated processor counts (override grid)")
@@ -50,6 +50,7 @@ func main() {
 	enginesFlag := flag.String("engines", "", "comma-separated engines: native,distributed,treefold,interp,sim (override grid)")
 	checkedFlag := flag.String("checked", "", "bounds-check modes: both | checked | unchecked (override grid)")
 	chaosFlag := flag.String("chaos", "", `fault spec to add as a chaos dimension, e.g. "seed=7,drop=0.02" (distributed engine only)`)
+	deltaFlag := flag.String("delta-fracs", "", "comma-separated delta fractions for the adaptive kernel, e.g. 0.01,0.05,0.2 (override grid)")
 
 	steps := flag.Int("steps", 3, "timesteps per measured run")
 	warmup := flag.Int("warmup", 1, "discarded runs before measurement")
@@ -81,7 +82,7 @@ func main() {
 		return
 	}
 
-	g, err := buildGrid(*gridName, *kernelsFlag, *classesFlag, *pFlag, *kFlag, *distsFlag, *enginesFlag, *checkedFlag, *chaosFlag)
+	g, err := buildGrid(*gridName, *kernelsFlag, *classesFlag, *pFlag, *kFlag, *distsFlag, *enginesFlag, *checkedFlag, *chaosFlag, *deltaFlag)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -193,15 +194,17 @@ func shortCommit(c string) string {
 
 // buildGrid starts from the named base grid and applies any dimension
 // overrides from flags.
-func buildGrid(name, kernels, classes, ps, ks, dists, engines, checked, chaos string) (sweep.Grid, error) {
+func buildGrid(name, kernels, classes, ps, ks, dists, engines, checked, chaos, deltas string) (sweep.Grid, error) {
 	var g sweep.Grid
 	switch name {
 	case "default":
 		g = sweep.DefaultGrid()
 	case "small":
 		g = sweep.SmallGrid()
+	case "adaptive":
+		g = sweep.AdaptiveGrid()
 	default:
-		return g, fmt.Errorf("unknown grid %q (default | small)", name)
+		return g, fmt.Errorf("unknown grid %q (default | small | adaptive)", name)
 	}
 	if kernels != "" {
 		g.Kernels = splitList(kernels)
@@ -254,6 +257,16 @@ func buildGrid(name, kernels, classes, ps, ks, dists, engines, checked, chaos st
 		if len(g.Chaos) == 1 {
 			// No base entries: keep the clean dimension alongside chaos.
 			g.Chaos = []string{"", chaos}
+		}
+	}
+	if deltas != "" {
+		g.DeltaFracs = g.DeltaFracs[:0]
+		for _, v := range splitList(deltas) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return g, fmt.Errorf("delta-fracs: %q is not a number", v)
+			}
+			g.DeltaFracs = append(g.DeltaFracs, f)
 		}
 	}
 	return g, nil

@@ -12,14 +12,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"irred/internal/bench"
 	"irred/internal/inspector"
 	"irred/internal/kernels"
+	"irred/internal/mesh"
 	"irred/internal/moldyn"
 	"irred/internal/rts"
+	"irred/internal/service"
 )
 
 func main() {
@@ -114,5 +117,72 @@ func main() {
 		r1.BytesPerStep, r2.BytesPerStep)
 	if r1.BytesPerStep == r2.BytesPerStep {
 		fmt.Println("identical — communication is independent of the indirection contents.")
+	}
+
+	streamingSession()
+}
+
+// streamingSession is the service-level version of the same adaptivity:
+// instead of re-submitting the whole workload each time the mesh refines,
+// the client opens one session and streams sparse deltas. The daemon keeps
+// the schedules resident and revises them with Schedule.Update; only a
+// delta past the fallback fraction pays for a full re-inspection.
+func streamingSession() {
+	fmt.Println("\nstreaming session over an adapting mesh (in-process daemon):")
+
+	svc, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	m := mesh.Generate(300, 1400, 7)
+	w := make([]float64, m.NumEdges())
+	for i := range w {
+		w[i] = float64(1 + i%7) // integral weights: results compare bitwise
+	}
+	spec := service.JobSpec{
+		NumIters: m.NumEdges(), NumElems: m.NumNodes,
+		Ind:     [][]int32{m.I1, m.I2},
+		Contrib: &service.ContribSpec{Kind: "weights", Weights: w},
+		P:       4, K: 2, Dist: "cyclic", Steps: 2,
+	}
+	ctx := context.Background()
+	st, err := svc.OpenSession(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  opened %s: %d edges inspected once (%.2fms), result %s\n",
+		st.ID, m.NumEdges(), st.InspectMS, st.ResultSHA256[:12])
+
+	// Refine the mesh for a few steps at 2% per step: each Adapt returns
+	// the changed edge list, which ships as a sparse delta — no
+	// re-inspection, no re-upload of the other 98%.
+	for step := 0; step < 4; step++ {
+		changed := m.Adapt(step, 0.02, 7)
+		d := &service.Delta{Changed: changed, Values: make([][]int32, 2)}
+		for r, col := range [][]int32{m.I1, m.I2} {
+			d.Values[r] = make([]int32, len(changed))
+			for j, it := range changed {
+				d.Values[r][j] = col[it]
+			}
+		}
+		if st, err = svc.ApplyDelta(ctx, st.ID, d, false); err != nil {
+			log.Fatal(err)
+		}
+		path := "full re-inspection"
+		if st.LastIncremental {
+			path = "incremental update"
+		}
+		fmt.Printf("  delta %d: %4d edges rewired (%.1f%%) -> %s in %.2fms, result %s\n",
+			st.Deltas, len(changed), st.LastFrac*100, path, st.InspectMS, st.ResultSHA256[:12])
+	}
+
+	// The same schedules absorbed every delta: the session never paid the
+	// open-time inspection again.
+	fmt.Printf("  session totals: %d deltas, %d incremental, %d full re-inspections\n",
+		st.Deltas, st.Incremental, st.Full)
+	if err := svc.CloseSession(st.ID); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -122,6 +122,14 @@ type Cell struct {
 	Checked bool   `json:"checked"`
 	Chaos   string `json:"chaos,omitempty"`
 
+	// DeltaFrac and Adapt describe adaptive streaming cells: the fraction
+	// of iterations each adaptation step rewires, and the schedule
+	// maintenance path measured — "incr" (Schedule.Update on the resident
+	// schedules) or "full" (LightInspector rebuild). Zero/empty on
+	// ordinary cells.
+	DeltaFrac float64 `json:"delta_frac,omitempty"`
+	Adapt     string  `json:"adapt,omitempty"`
+
 	Steps   int `json:"steps"`
 	Warmup  int `json:"warmup"`
 	Repeats int `json:"repeats"`

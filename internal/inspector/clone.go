@@ -1,0 +1,39 @@
+package inspector
+
+// Clone returns a deep copy of the schedule, safe to mutate with Update
+// while the original keeps serving other runs. The service's schedule
+// cache hands out shared *Schedule pointers and treats entries as
+// immutable after insertion; a session that wants to revise a schedule
+// incrementally must therefore clone it first and never put the mutated
+// copy back. The incremental-update index (BeginIncremental state) is not
+// copied — the clone rebuilds it lazily on its first Update.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Cfg:    s.Cfg,
+		Proc:   s.Proc,
+		NumRef: s.NumRef,
+		BufLen: s.BufLen,
+		Phases: make([]PhaseProgram, len(s.Phases)),
+	}
+	for ph := range s.Phases {
+		p := &s.Phases[ph]
+		q := &out.Phases[ph]
+		q.Iters = append([]int32(nil), p.Iters...)
+		q.Ind = make([][]int32, len(p.Ind))
+		for r := range p.Ind {
+			q.Ind[r] = append([]int32(nil), p.Ind[r]...)
+		}
+		q.Copies = append([]CopyPair(nil), p.Copies...)
+	}
+	return out
+}
+
+// CloneSchedules deep-copies a schedule set (one schedule per processor),
+// the unit the cache stores and a session revises.
+func CloneSchedules(scheds []*Schedule) []*Schedule {
+	out := make([]*Schedule, len(scheds))
+	for i, s := range scheds {
+		out[i] = s.Clone()
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package mesh
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Adapt performs one deterministic adaptation step: a hotspot window of
+// edges — drifting through the mesh as step advances, the way a shock
+// front or refinement region moves through an adaptive computation —
+// is rewired to new nearby second endpoints. Because nodes are numbered
+// in spatial order and edges sorted by first endpoint, an index window is
+// a spatial region, and pulling I2 toward I1 models local refinement
+// (locality preserved, unlike Mutate's neighbourhood-breaking rewiring).
+//
+// It mutates the mesh in place and returns the changed edge indices,
+// sorted and distinct — edge index == loop iteration for the edge-loop
+// kernels, so the return value is exactly the changed-iteration list
+// Schedule.Update and the session delta API consume. The result is a pure
+// function of (mesh state, step, frac, seed): a client and a test oracle
+// replaying the same schedule of Adapt calls see identical meshes.
+func (m *Mesh) Adapt(step int, frac float64, seed int64) []int32 {
+	e := len(m.I1)
+	if e == 0 || frac <= 0 {
+		return nil
+	}
+	n := int(frac * float64(e))
+	if n < 1 {
+		n = 1
+	}
+	if n > e {
+		n = e
+	}
+	rng := rand.New(rand.NewSource(seed ^ (int64(step)+1)*0x5851F42D4C957F2D))
+
+	// Hotspot: a window of 4n consecutive edge indices (wrapping), whose
+	// base drifts by ~e/7 per step plus jitter, so successive steps touch
+	// overlapping-but-moving regions instead of resampling one spot.
+	w := 4 * n
+	if w > e {
+		w = e
+	}
+	lo := int((int64(step)*(int64(e)/7+1) + int64(rng.Intn(e))) % int64(e))
+	picks := rng.Perm(w)[:n]
+	changed := make([]int32, n)
+	for j, off := range picks {
+		changed[j] = int32((lo + off) % e)
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+
+	// Refine: each touched edge gets a new second endpoint within a small
+	// spatial span of its first, never a self-loop.
+	span := m.NumNodes / 16
+	if span < 2 {
+		span = 2
+	}
+	for _, i := range changed {
+		a := int(m.I1[i])
+		b := a + rng.Intn(2*span+1) - span
+		if b < 0 {
+			b += m.NumNodes
+		}
+		if b >= m.NumNodes {
+			b -= m.NumNodes
+		}
+		if b == a {
+			b = (b + 1) % m.NumNodes
+		}
+		m.I2[i] = int32(b)
+	}
+	return changed
+}

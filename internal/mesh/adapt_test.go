@@ -1,0 +1,77 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAdaptDeterministic(t *testing.T) {
+	a := Generate(512, 2200, 3)
+	b := Generate(512, 2200, 3)
+	for step := 0; step < 10; step++ {
+		ca := a.Adapt(step, 0.05, 9)
+		cb := b.Adapt(step, 0.05, 9)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("step %d: changed lists diverge", step)
+		}
+		if !reflect.DeepEqual(a.I2, b.I2) {
+			t.Fatalf("step %d: meshes diverge", step)
+		}
+	}
+}
+
+func TestAdaptChangedListCanonical(t *testing.T) {
+	m := Generate(512, 2200, 1)
+	seen := make(map[int32]int)
+	for step := 0; step < 20; step++ {
+		before := append([]int32(nil), m.I2...)
+		changed := m.Adapt(step, 0.04, 7)
+		want := int(0.04 * float64(m.NumEdges()))
+		if len(changed) != want {
+			t.Fatalf("step %d: %d edges changed, want %d", step, len(changed), want)
+		}
+		for j, i := range changed {
+			if j > 0 && changed[j] <= changed[j-1] {
+				t.Fatalf("step %d: changed list not strictly increasing at %d", step, j)
+			}
+			if int(i) < 0 || int(i) >= m.NumEdges() {
+				t.Fatalf("step %d: changed index %d out of range", step, i)
+			}
+			seen[i]++
+		}
+		// No edge outside the changed list may move.
+		inChanged := make(map[int32]bool, len(changed))
+		for _, i := range changed {
+			inChanged[i] = true
+		}
+		for i := range m.I2 {
+			if m.I2[i] != before[i] && !inChanged[int32(i)] {
+				t.Fatalf("step %d: edge %d changed but was not reported", step, i)
+			}
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// The hotspot drifts: 20 steps at 4% must touch far more than one
+	// window's worth of distinct edges.
+	if len(seen) < 4*int(0.04*float64(m.NumEdges())) {
+		t.Fatalf("20 drifting steps touched only %d distinct edges", len(seen))
+	}
+}
+
+func TestAdaptTinyAndEdgeCases(t *testing.T) {
+	m := Generate(64, 200, 2)
+	if got := m.Adapt(0, 0, 1); got != nil {
+		t.Fatalf("frac 0 changed %d edges", len(got))
+	}
+	if got := m.Adapt(0, 0.0001, 1); len(got) != 1 {
+		t.Fatalf("tiny frac changed %d edges, want 1 (floor)", len(got))
+	}
+	if got := m.Adapt(1, 1.0, 1); len(got) != m.NumEdges() {
+		t.Fatalf("frac 1 changed %d of %d edges", len(got), m.NumEdges())
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,6 +51,10 @@ const (
 	// SpanCheckpoint is one checkpoint write (sweep state persisted so a
 	// restart can resume instead of recompute).
 	SpanCheckpoint = "checkpoint"
+	// SpanDelta is one incremental schedule revision for one processor
+	// (Schedule.Update on a session's resident schedule) — the streaming
+	// counterpart of SpanInspect, which full re-inspection records.
+	SpanDelta = "delta"
 )
 
 // Span is one traced interval. Times are nanoseconds since the tracer's

@@ -80,6 +80,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if err != nil {
 		return err
 	}
+	return decodeResponse(resp, out)
+}
+
+// decodeResponse maps a non-2xx answer to a StatusError and decodes a 2xx
+// JSON body into out (when non-nil). It closes the body either way.
+func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		var ae struct {

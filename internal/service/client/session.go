@@ -1,0 +1,111 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"irred/internal/service"
+)
+
+// Session verbs. A streaming client opens one session, streams binary IRDB
+// deltas at it, and treats the two session-specific refusals distinctly:
+// 409 (busy) means retry — another delta holds the session's gate; 410
+// (gone) means the session is permanently lost (evicted, closed, or the
+// daemon restarted) and must be reopened from the client's current state.
+
+// IsGone reports the service's 410 answer: this session id will never work
+// again on this daemon. Reopen, do not retry.
+func IsGone(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusGone
+}
+
+// IsBusy reports the service's 409 answer: another delta for the same
+// session is in flight. Retry after a short backoff.
+func IsBusy(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusConflict
+}
+
+// OpenSession submits a base job and returns the resident session's status
+// including the base result.
+func (c *Client) OpenSession(ctx context.Context, spec service.JobSpec) (*service.SessionStatus, error) {
+	var st service.SessionStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/session", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SessionDelta applies one sparse indirection delta, shipped as the
+// checksummed binary IRDB frame. includeResult controls whether the updated
+// result vector rides back (its length and SHA-256 always do).
+func (c *Client) SessionDelta(ctx context.Context, id string, d *service.Delta, includeResult bool) (*service.SessionStatus, error) {
+	frame, err := service.EncodeDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/session/" + id + "/delta"
+	if !includeResult {
+		path += "?result=0"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var st service.SessionStatus
+	if err := decodeResponse(resp, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SessionDeltaRetry applies a delta, retrying 409 busy answers with the
+// same jittered backoff schedule the job path uses for load shedding. Any
+// other failure — including 410 — returns immediately.
+func (c *Client) SessionDeltaRetry(ctx context.Context, id string, d *service.Delta, includeResult bool) (st *service.SessionStatus, busy int, err error) {
+	for {
+		st, err = c.SessionDelta(ctx, id, d, includeResult)
+		if err == nil || !IsBusy(err) {
+			return st, busy, err
+		}
+		var se *StatusError
+		errors.As(err, &se)
+		delay := retryDelay(busy, se.RetryAfter, func() float64 { return 0.5 })
+		busy++
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, busy, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// GetSession fetches a session's status; includeResult attaches the
+// current result vector.
+func (c *Client) GetSession(ctx context.Context, id string, includeResult bool) (*service.SessionStatus, error) {
+	path := "/v1/session/" + id
+	if includeResult {
+		path += "?result=1"
+	}
+	var st service.SessionStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// CloseSession releases a session explicitly.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/session/"+id, nil, nil)
+}

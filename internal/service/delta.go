@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Delta is a sparse revision of a session's indirection arrays: the
+// changed iteration list plus, per indirection reference, the new value at
+// each changed iteration. It is the streaming unit of the session API —
+// an adaptive client re-sends only what its mesh refinement touched, not
+// the whole problem.
+//
+// Canonical form: Changed is strictly increasing (sorted, no duplicates).
+// The binary codec rejects anything else, which both keeps the encoding
+// unambiguous (no last-write-wins ordering questions) and turns most bit
+// corruption of the iteration stream into a structural error even before
+// the checksum is consulted.
+type Delta struct {
+	Changed []int32 `json:"changed"`
+	// Values[r][j] is the new value of ind[r][Changed[j]].
+	Values [][]int32 `json:"values"`
+}
+
+// deltaMagic identifies the binary delta frame ("IRredd Delta Binary"),
+// versioned like the IRSC schedule and IRCJ checkpoint codecs.
+const (
+	deltaMagic   = "IRDB"
+	deltaVersion = 1
+	// maxDeltaBody bounds a delta submission; far above any sane sparse
+	// update (a full 16-ref rewrite of a million iterations fits).
+	maxDeltaBody = 64 << 20
+	// deltaPreallocCap caps slice preallocation from wire-supplied counts,
+	// so a corrupt or hostile count cannot balloon memory before decoding
+	// fails (same defense as the schedule codec).
+	deltaPreallocCap = 1 << 16
+)
+
+// validate checks internal shape: canonical ordering and matching value
+// rows. Range checks against a session's config happen at apply time.
+func (d *Delta) validate() error {
+	for j := 1; j < len(d.Changed); j++ {
+		if d.Changed[j] <= d.Changed[j-1] {
+			return fmt.Errorf("service: delta iterations not strictly increasing at %d", j)
+		}
+	}
+	if len(d.Changed) > 0 && d.Changed[0] < 0 {
+		return fmt.Errorf("service: delta iteration %d negative", d.Changed[0])
+	}
+	if len(d.Values) == 0 {
+		return fmt.Errorf("service: delta has no value rows")
+	}
+	for r, row := range d.Values {
+		if len(row) != len(d.Changed) {
+			return fmt.Errorf("service: delta values[%d] has %d entries, want %d", r, len(row), len(d.Changed))
+		}
+	}
+	return nil
+}
+
+// EncodeDelta renders a delta in the versioned binary wire format:
+//
+//	"IRDB" | u8 version | uvarint numRef | uvarint count |
+//	delta-encoded changed iterations | per-ref values | FNV-1a 64 (LE)
+//
+// The trailer hashes everything before it, so truncation and corruption
+// are both detected; the changed list is delta-encoded (gaps, not absolute
+// indices), which keeps dense local refinements small on the wire.
+func EncodeDelta(d *Delta) ([]byte, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 16+5*len(d.Changed)*(1+len(d.Values)))
+	buf = append(buf, deltaMagic...)
+	buf = append(buf, deltaVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(d.Values)))
+	buf = binary.AppendUvarint(buf, uint64(len(d.Changed)))
+	prev := int32(-1)
+	for _, it := range d.Changed {
+		buf = binary.AppendUvarint(buf, uint64(it-prev-1))
+		prev = it
+	}
+	for _, row := range d.Values {
+		for _, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("service: delta value %d negative", v)
+			}
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	sum := fnv.New64a()
+	sum.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, sum.Sum64()), nil
+}
+
+// DecodeDelta parses and verifies a binary delta frame. Any framing
+// defect — bad magic, unknown version, truncation, trailing bytes, a
+// checksum mismatch, counts past the body — is an error; a successful
+// decode always yields a canonical Delta that re-encodes byte-identically.
+func DecodeDelta(b []byte) (*Delta, error) {
+	if len(b) > maxDeltaBody {
+		return nil, fmt.Errorf("service: delta frame %d bytes exceeds limit", len(b))
+	}
+	if len(b) < len(deltaMagic)+1+8 {
+		return nil, fmt.Errorf("service: delta frame truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(deltaMagic)]) != deltaMagic {
+		return nil, fmt.Errorf("service: bad delta magic %q", b[:len(deltaMagic)])
+	}
+	if v := b[len(deltaMagic)]; v != deltaVersion {
+		return nil, fmt.Errorf("service: delta version %d unsupported", v)
+	}
+	body, trailer := b[:len(b)-8], b[len(b)-8:]
+	sum := fnv.New64a()
+	sum.Write(body)
+	if got, want := binary.LittleEndian.Uint64(trailer), sum.Sum64(); got != want {
+		return nil, fmt.Errorf("service: delta checksum mismatch (%016x != %016x)", got, want)
+	}
+	rd := body[len(deltaMagic)+1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, fmt.Errorf("service: delta frame truncated inside varint stream")
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	numRef, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if numRef < 1 || numRef > 16 {
+		return nil, fmt.Errorf("service: delta declares %d indirection references (1..16)", numRef)
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(rd)) { // each entry needs >= 1 byte still unread
+		return nil, fmt.Errorf("service: delta declares %d changed iterations in a %d-byte body", count, len(rd))
+	}
+	prealloc := count
+	if prealloc > deltaPreallocCap {
+		prealloc = deltaPreallocCap
+	}
+	d := &Delta{Changed: make([]int32, 0, prealloc), Values: make([][]int32, numRef)}
+	prev := int64(-1)
+	for j := uint64(0); j < count; j++ {
+		gap, err := next()
+		if err != nil {
+			return nil, err
+		}
+		it := prev + 1 + int64(gap)
+		if it > 1<<31-1 {
+			return nil, fmt.Errorf("service: delta iteration %d overflows int32", it)
+		}
+		d.Changed = append(d.Changed, int32(it))
+		prev = it
+	}
+	for r := range d.Values {
+		d.Values[r] = make([]int32, 0, prealloc)
+		for j := uint64(0); j < count; j++ {
+			v, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if v > 1<<31-1 {
+				return nil, fmt.Errorf("service: delta value %d overflows int32", v)
+			}
+			d.Values[r] = append(d.Values[r], int32(v))
+		}
+	}
+	if len(rd) != 0 {
+		return nil, fmt.Errorf("service: %d trailing bytes after delta frame", len(rd))
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

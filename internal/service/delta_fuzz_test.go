@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func fuzzDeltaBytes(seed int64, numRef, count, iters, elems int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b, err := EncodeDelta(randomDelta(rng, numRef, count, iters, elems))
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FuzzDeltaCodec holds DecodeDelta to the serializer contract the session
+// API depends on: any input either fails cleanly or yields a canonical
+// delta that re-encodes to the exact accepted bytes and survives a second
+// round trip. Mirrors inspector.FuzzSerializeRoundTrip for the IRSC codec.
+func FuzzDeltaCodec(f *testing.F) {
+	f.Add(fuzzDeltaBytes(1, 1, 1, 16, 8))
+	f.Add(fuzzDeltaBytes(2, 2, 30, 1000, 100))
+	f.Add(fuzzDeltaBytes(3, 16, 5, 50, 10))
+	f.Add(fuzzDeltaBytes(4, 3, 0, 10, 10))
+	f.Add([]byte("IRDB"))
+	f.Add([]byte("IRDB\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if err := d.validate(); err != nil {
+			t.Fatalf("accepted delta fails validate: %v", err)
+		}
+		enc, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("accepted delta fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatal("accepted frame is not its own canonical encoding")
+		}
+		d2, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("re-decoding canonical frame: %v", err)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatal("delta not stable across a round trip")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDelta builds a canonical delta: a strictly increasing changed list
+// drawn from [0, iters) with numRef value rows in [0, elems).
+func randomDelta(rng *rand.Rand, numRef, count, iters, elems int) *Delta {
+	perm := rng.Perm(iters)[:count]
+	changed := make([]int32, count)
+	for i, it := range perm {
+		changed[i] = int32(it)
+	}
+	for i := 1; i < len(changed); i++ {
+		for j := i; j > 0 && changed[j] < changed[j-1]; j-- {
+			changed[j], changed[j-1] = changed[j-1], changed[j]
+		}
+	}
+	d := &Delta{Changed: changed, Values: make([][]int32, numRef)}
+	for r := range d.Values {
+		d.Values[r] = make([]int32, count)
+		for j := range d.Values[r] {
+			d.Values[r][j] = int32(rng.Intn(elems))
+		}
+	}
+	return d
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*Delta{
+		{Changed: []int32{}, Values: [][]int32{{}}},
+		{Changed: []int32{0}, Values: [][]int32{{5}}},
+		{Changed: []int32{0, 1, 2}, Values: [][]int32{{5, 6, 7}, {1, 2, 3}}},
+		{Changed: []int32{3, 17, 1000, 1 << 20}, Values: [][]int32{{0, 0, 0, 0}}},
+		randomDelta(rng, 1, 40, 4096, 512),
+		randomDelta(rng, 3, 200, 32768, 4096),
+		randomDelta(rng, 16, 7, 100, 10),
+	}
+	for i, d := range cases {
+		b, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := DecodeDelta(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Changed, d.Changed) {
+			t.Fatalf("case %d: changed %v != %v", i, got.Changed, d.Changed)
+		}
+		for r := range d.Values {
+			if !reflect.DeepEqual(got.Values[r], d.Values[r]) {
+				t.Fatalf("case %d ref %d: values differ", i, r)
+			}
+		}
+		// A successful decode must re-encode byte-identically: the wire
+		// form is canonical, so a frame is its own normal form.
+		b2, err := EncodeDelta(got)
+		if err != nil {
+			t.Fatalf("case %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("case %d: re-encoding differs", i)
+		}
+	}
+}
+
+// TestDeltaRejectsCorruption flips every byte of a valid frame, truncates
+// it at every length, and appends trailing bytes: the decoder must reject
+// every such mutation (the FNV trailer covers the whole body, so no
+// single-byte flip can slip through).
+func TestDeltaRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randomDelta(rng, 2, 25, 1000, 100)
+	b, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0xFF
+		if _, err := DecodeDelta(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(b))
+		}
+	}
+	for n := 0; n < len(b); n++ {
+		if _, err := DecodeDelta(b[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", n, len(b))
+		}
+	}
+	if _, err := DecodeDelta(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+}
+
+func TestDeltaRejectsMalformed(t *testing.T) {
+	bad := []*Delta{
+		{Changed: []int32{5, 5}, Values: [][]int32{{1, 2}}},  // duplicate
+		{Changed: []int32{5, 3}, Values: [][]int32{{1, 2}}},  // unsorted
+		{Changed: []int32{-1, 3}, Values: [][]int32{{1, 2}}}, // negative
+		{Changed: []int32{1, 2}, Values: nil},                // no rows
+		{Changed: []int32{1, 2}, Values: [][]int32{{1}}},     // short row
+		{Changed: []int32{1}, Values: [][]int32{{-4}}},       // negative value
+	}
+	for i, d := range bad {
+		if _, err := EncodeDelta(d); err == nil {
+			t.Fatalf("case %d: malformed delta encoded", i)
+		}
+	}
+	frames := [][]byte{
+		nil,
+		[]byte("IRDB"),
+		[]byte("XXXX\x01aaaaaaaaaaaa"),
+		[]byte("IRDB\x02aaaaaaaaaaaa"), // unknown version
+	}
+	for i, f := range frames {
+		if _, err := DecodeDelta(f); err == nil {
+			t.Fatalf("frame %d: malformed frame decoded", i)
+		}
+	}
+	if _, err := DecodeDelta(make([]byte, maxDeltaBody+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

@@ -20,6 +20,14 @@ const maxJobBody = 256 << 20
 //	GET    /v1/jobs/{id}        job status + result (?result=0 to omit)
 //	POST   /v1/jobs/{id}/cancel request cancellation
 //	DELETE /v1/jobs/{id}        same as cancel
+//	POST   /v1/session          open a streaming session (201 + base result)
+//	GET    /v1/session/{id}     session status (?result=1 attaches the vector)
+//	POST   /v1/session/{id}/delta  apply a sparse indirection delta (200;
+//	                            binary IRDB frame for application/octet-stream
+//	                            bodies, JSON otherwise; 409 while another
+//	                            delta is in flight, 410 once the session is
+//	                            gone)
+//	DELETE /v1/session/{id}     close a session
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining or closed)
 //	GET    /metrics             expvar-style JSON counters
@@ -49,6 +57,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/session", s.handleSessionOpen)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
 }

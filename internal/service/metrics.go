@@ -91,6 +91,9 @@ type Snapshot struct {
 	Workers       int            `json:"workers"`
 	WorkersBusy   int64          `json:"workers_busy"`
 	Latency       LatencySummary `json:"latency"`
+	// Sessions is the streaming-session store: resident sessions, deltas
+	// applied, and the incremental-vs-full re-inspection split.
+	Sessions SessionMetrics `json:"sessions"`
 }
 
 // snapshot assembles the jobs map and latency percentiles.

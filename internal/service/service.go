@@ -80,6 +80,15 @@ type Options struct {
 	// serving path can execute (native + distributed). Nil still accepts
 	// Auto jobs — they get the paper's heuristic defaults.
 	Tuner *rts.Tuner
+	// MaxSessions bounds the resident streaming sessions (each keeps a
+	// cloned schedule set and its indirection arrays in memory). Beyond it
+	// the least recently used session is evicted; its next request answers
+	// 410 Gone. Default 64.
+	MaxSessions int
+	// SessionFallbackFrac is the delta fraction (changed iterations /
+	// total) above which a session re-inspects from scratch instead of
+	// updating incrementally. Default DefaultFallbackFrac.
+	SessionFallbackFrac float64
 }
 
 func (o Options) withDefaults() Options {
@@ -104,13 +113,14 @@ func (o Options) withDefaults() Options {
 // Service accepts reduction jobs, serves schedules from the cache, and
 // executes on the native engine under bounded concurrency.
 type Service struct {
-	opt     Options
-	cache   *Cache
-	pool    *pool
-	met     *metrics
-	trace   *obs.Tracer
-	start   time.Time
-	jobsDir string // job checkpoint directory, "" when persistence is off
+	opt      Options
+	cache    *Cache
+	pool     *pool
+	met      *metrics
+	trace    *obs.Tracer
+	sessions *sessionStore
+	start    time.Time
+	jobsDir  string // job checkpoint directory, "" when persistence is off
 
 	draining atomic.Bool // flips /readyz during graceful shutdown
 
@@ -132,11 +142,12 @@ func New(opt Options) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		opt:   opt,
-		cache: cache,
-		met:   newMetrics(),
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
+		opt:      opt,
+		cache:    cache,
+		met:      newMetrics(),
+		sessions: newSessionStore(opt.MaxSessions, opt.SessionFallbackFrac),
+		start:    time.Now(),
+		jobs:     make(map[string]*Job),
 	}
 	if opt.TraceSpans >= 0 {
 		s.trace = obs.New(opt.TraceSpans)
@@ -343,6 +354,12 @@ func (s *Service) Close() {
 		j.mu.Unlock()
 		j.Cancel()
 	}
+	// Sessions are memory-only and die with the process; marking them
+	// closed makes any racing delta fail with 410 instead of mutating a
+	// schedule nobody will ever serve again.
+	for _, sess := range s.sessions.all() {
+		sess.markClosed()
+	}
 	s.pool.close()
 }
 
@@ -364,6 +381,7 @@ func (s *Service) Metrics() Snapshot {
 		Workers:          s.opt.Workers,
 		WorkersBusy:      busy,
 		Latency:          lat,
+		Sessions:         s.sessions.metrics(),
 	}
 }
 

@@ -1,0 +1,150 @@
+// Session end-to-end tests over the real HTTP stack: the binary delta
+// frame on the wire, the status-code contract (201/200/409/410), and the
+// Go client's session verbs — the same path cmd/irredload -deltas drives.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"sort"
+	"testing"
+
+	"irred/internal/service"
+	"irred/internal/service/client"
+)
+
+func httpDelta(rng *rand.Rand, spec *service.JobSpec, n int) *service.Delta {
+	perm := rng.Perm(spec.NumIters)[:n]
+	sort.Ints(perm)
+	d := &service.Delta{Changed: make([]int32, n), Values: make([][]int32, len(spec.Ind))}
+	for j, it := range perm {
+		d.Changed[j] = int32(it)
+	}
+	for r := range d.Values {
+		d.Values[r] = make([]int32, n)
+		for j := range d.Values[r] {
+			d.Values[r][j] = int32(rng.Intn(spec.NumElems))
+		}
+	}
+	return d
+}
+
+func TestSessionHTTPEndToEnd(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 2})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(88))
+	spec := httpRawSpec(88, 2, 2, 600, 96, 1)
+
+	mirror := spec
+	mirror.Ind = make([][]int32, len(spec.Ind))
+	for r := range spec.Ind {
+		mirror.Ind[r] = append([]int32(nil), spec.Ind[r]...)
+	}
+
+	st, err := c.OpenSession(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mirror.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultSHA256 != service.HashResult(want) {
+		t.Fatal("base result hash does not match the oracle")
+	}
+
+	for round := 0; round < 5; round++ {
+		d := httpDelta(rng, &mirror, 1+rng.Intn(60))
+		for r, row := range d.Values {
+			for j, it := range d.Changed {
+				mirror.Ind[r][it] = row[j]
+			}
+		}
+		st, err = c.SessionDelta(ctx, st.ID, d, round == 4)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !st.LastIncremental {
+			t.Fatalf("round %d: sparse delta took the full path", round)
+		}
+		want, err := mirror.SequentialRaw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ResultSHA256 != service.HashResult(want) {
+			t.Fatalf("round %d: result hash does not match the oracle", round)
+		}
+		if round == 4 {
+			for e := range want {
+				if st.Result[e] != want[e] {
+					t.Fatalf("round %d: result[%d] = %g, want %g", round, e, st.Result[e], want[e])
+				}
+			}
+		}
+	}
+
+	got, err := c.GetSession(ctx, st.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deltas != 5 || got.Incremental != 5 {
+		t.Fatalf("status deltas=%d incr=%d, want 5/5", got.Deltas, got.Incremental)
+	}
+
+	if err := c.CloseSession(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetSession(ctx, st.ID, false); !client.IsGone(err) {
+		t.Fatalf("closed session answered %v, want 410", err)
+	}
+	if _, err := c.SessionDelta(ctx, st.ID, httpDelta(rng, &mirror, 1), false); !client.IsGone(err) {
+		t.Fatalf("delta to closed session answered %v, want 410", err)
+	}
+	if _, err := c.GetSession(ctx, "s999999", false); !client.IsGone(err) {
+		t.Fatalf("unknown session answered %v, want 410", err)
+	}
+}
+
+// TestSessionHTTPBadFrames posts malformed bodies straight at the delta
+// route: a corrupted binary frame and invalid JSON must both bounce with
+// 400, and the session must remain usable afterwards.
+func TestSessionHTTPBadFrames(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 1})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	spec := httpRawSpec(13, 2, 1, 200, 32, 1)
+	st, err := c.OpenSession(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame, err := service.EncodeDelta(httpDelta(rng, &spec, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0xFF
+	url := c.Base + "/v1/session/" + st.ID + "/delta"
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupted frame answered %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(url, "application/json", bytes.NewReader([]byte(`{"changed": [3, 1], "values": [[1, 2]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-canonical JSON delta answered %d, want 400", resp.StatusCode)
+	}
+
+	// The refusals must not have consumed the session.
+	if _, err := c.SessionDelta(ctx, st.ID, httpDelta(rng, &spec, 2), false); err != nil {
+		t.Fatalf("session unusable after refused frames: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSessionConcurrentDeltas hammers one session from several goroutines.
+// The contract under contention: deltas serialize (one holds the gate, the
+// rest bounce with ErrSessionBusy and retry), and the session's state is
+// never corrupted — each worker rewrites its own disjoint slice of the
+// iteration space, so after every submission lands, the indirection arrays
+// and therefore the result are deterministic regardless of arrival order.
+// CI runs this under -race via both the test job and the race-soak job.
+func TestSessionConcurrentDeltas(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 8
+		span    = 150 // iterations owned by each worker
+	)
+	iters := workers * span
+	s := newTestService(t, Options{Workers: 2})
+	spec := rawSpec(77, 2, 2, iters, 128, 1)
+
+	mirror := spec
+	mirror.Ind = make([][]int32, len(spec.Ind))
+	for r := range spec.Ind {
+		mirror.Ind[r] = append([]int32(nil), spec.Ind[r]...)
+	}
+
+	st, err := s.OpenSession(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	// workerDelta is worker w's round-r delta: absolute writes into the
+	// worker's own iteration range, values a pure function of (w, r, j).
+	workerDelta := func(w, r int) *Delta {
+		d := &Delta{Changed: make([]int32, span), Values: make([][]int32, len(spec.Ind))}
+		for j := 0; j < span; j++ {
+			d.Changed[j] = int32(w*span + j)
+		}
+		rng := rand.New(rand.NewSource(int64(1000*w + r)))
+		for ref := range d.Values {
+			d.Values[ref] = make([]int32, span)
+			for j := range d.Values[ref] {
+				d.Values[ref][j] = int32(rng.Intn(spec.NumElems))
+			}
+		}
+		return d
+	}
+
+	var wg sync.WaitGroup
+	var busyN int64
+	var busyMu sync.Mutex
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				d := workerDelta(w, r)
+				for {
+					_, err := s.ApplyDelta(context.Background(), id, d, false)
+					if errors.Is(err, ErrSessionBusy) {
+						busyMu.Lock()
+						busyN++
+						busyMu.Unlock()
+						continue
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Final state: every worker's last round committed, whatever the
+	// interleaving. One more (empty) delta re-runs the reduction on it.
+	for w := 0; w < workers; w++ {
+		applyLocal(&mirror, workerDelta(w, rounds-1))
+	}
+	empty := &Delta{Changed: []int32{}, Values: make([][]int32, len(spec.Ind))}
+	for r := range empty.Values {
+		empty.Values[r] = []int32{}
+	}
+	st, err = s.ApplyDelta(context.Background(), id, empty, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deltas != workers*rounds+1 {
+		t.Fatalf("%d deltas recorded, want %d (busy refusals must not count)", st.Deltas, workers*rounds+1)
+	}
+	want, err := mirror.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range want {
+		if st.Result[e] != want[e] {
+			t.Fatalf("result[%d] = %g, want %g (session corrupted under contention, %d busy refusals)", e, st.Result[e], want[e], busyN)
+		}
+	}
+	if st.ResultSHA256 != HashResult(want) {
+		t.Fatal("result hash does not match the oracle")
+	}
+}

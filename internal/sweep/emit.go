@@ -17,6 +17,7 @@ import (
 // leave them zero.
 var csvHeader = []string{
 	"id", "kernel", "class", "engine", "p", "k", "dist", "checked", "chaos",
+	"delta_frac", "adapt",
 	"steps", "warmup", "repeats",
 	"mean_ms", "trimmed_mean_ms", "min_ms", "max_ms", "stddev_ms",
 	"p50_ms", "p95_ms", "p99_ms",
@@ -47,6 +48,7 @@ func WriteCSV(path string, s *benchfmt.Summary) error {
 			c.ID, c.Kernel, c.Class, c.Engine,
 			strconv.Itoa(c.P), strconv.Itoa(c.K), c.Dist,
 			strconv.FormatBool(c.Checked), c.Chaos,
+			ff(c.DeltaFrac), c.Adapt,
 			strconv.Itoa(c.Steps), strconv.Itoa(c.Warmup), strconv.Itoa(c.Repeats),
 			ff(c.Wall.MeanMS), ff(c.Wall.TrimmedMS), ff(c.Wall.MinMS), ff(c.Wall.MaxMS), ff(c.Wall.StdDevMS),
 			ff(c.P50MS), ff(c.P95MS), ff(c.P99MS),

@@ -43,6 +43,15 @@ var kernelRegistry = map[string]*kernelDef{
 		classes: []string{"tiny", "small", "large"},
 		engines: set(EngineNative, EngineDistributed),
 	},
+	// adaptive is the streaming workload family: an euler-shaped mesh
+	// absorbing deterministic refinement steps. Its cells time schedule
+	// maintenance per adaptation step — Schedule.Update vs LightInspector
+	// rebuild — at each delta fraction, so the incremental-vs-full
+	// crossover (the session fallback threshold) is a measured number.
+	"adaptive": {
+		classes: []string{"2k", "10k"},
+		engines: set(EngineNative),
+	},
 }
 
 func set(names ...string) map[string]bool {
@@ -86,6 +95,12 @@ type Grid struct {
 	// empty string means no injection. Non-empty specs only apply to the
 	// distributed engine — everywhere else they are recorded as skips.
 	Chaos []string
+
+	// DeltaFracs is the delta-fraction axis of the "adaptive" kernel:
+	// each fraction expands into an incr/full cell pair timing the two
+	// schedule-maintenance paths. Other kernels ignore it. Empty defaults
+	// to 0.05 when the adaptive kernel is swept.
+	DeltaFracs []float64
 }
 
 // DefaultGrid is the documented full sweep: every engine over the paper's
@@ -125,6 +140,22 @@ func SmallGrid() Grid {
 		Engines: Engines,
 		Checked: []bool{true, false},
 		Chaos:   []string{""},
+	}
+}
+
+// AdaptiveGrid is the streaming amortization sweep: the adaptive kernel
+// across delta fractions straddling the incremental-vs-full crossover.
+// Its measurements justify service.DefaultFallbackFrac.
+func AdaptiveGrid() Grid {
+	return Grid{
+		Kernels:    []string{"adaptive"},
+		Classes:    map[string][]string{"adaptive": {"2k"}},
+		Ps:         []int{2, 4},
+		Ks:         []int{2},
+		Dists:      []string{"cyclic"},
+		Engines:    []string{EngineNative},
+		Checked:    []bool{true},
+		DeltaFracs: []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5},
 	}
 }
 
@@ -170,6 +201,11 @@ func (g Grid) Expand() ([]Cell, []benchfmt.Skip, error) {
 			return nil, nil, fmt.Errorf("sweep: unknown distribution %q (block | cyclic)", d)
 		}
 	}
+	for _, f := range g.DeltaFracs {
+		if f <= 0 || f > 1 {
+			return nil, nil, fmt.Errorf("sweep: delta fraction %g outside (0,1]", f)
+		}
+	}
 
 	var cells []Cell
 	var skipped []benchfmt.Skip
@@ -182,6 +218,17 @@ func (g Grid) Expand() ([]Cell, []benchfmt.Skip, error) {
 		if len(classes) == 0 {
 			classes = def.classes
 		}
+		// The delta-fraction axis applies to the adaptive kernel only:
+		// each fraction becomes an incr/full cell pair. Other kernels get
+		// one variant with the axis zeroed.
+		fracs, modes := []float64{0}, []string{""}
+		if kernel == "adaptive" {
+			fracs = g.DeltaFracs
+			if len(fracs) == 0 {
+				fracs = []float64{0.05}
+			}
+			modes = []string{AdaptIncr, AdaptFull}
+		}
 		for _, class := range classes {
 			if !contains(def.classes, class) {
 				return nil, nil, fmt.Errorf("sweep: kernel %s has no class %q (have %v)", kernel, class, def.classes)
@@ -192,15 +239,20 @@ func (g Grid) Expand() ([]Cell, []benchfmt.Skip, error) {
 						for _, dist := range g.Dists {
 							for _, checked := range g.Checked {
 								for _, spec := range chaos {
-									c := Cell{
-										Kernel: kernel, Class: class, Engine: engine,
-										P: p, K: k, Dist: dist, Checked: checked, Chaos: spec,
+									for _, frac := range fracs {
+										for _, mode := range modes {
+											c := Cell{
+												Kernel: kernel, Class: class, Engine: engine,
+												P: p, K: k, Dist: dist, Checked: checked, Chaos: spec,
+												DeltaFrac: frac, Adapt: mode,
+											}
+											if reason := skipReason(c, def); reason != "" {
+												skipped = append(skipped, benchfmt.Skip{ID: c.ID(), Reason: reason})
+												continue
+											}
+											cells = append(cells, c)
+										}
 									}
-									if reason := skipReason(c, def); reason != "" {
-										skipped = append(skipped, benchfmt.Skip{ID: c.ID(), Reason: reason})
-										continue
-									}
-									cells = append(cells, c)
 								}
 							}
 						}
@@ -239,6 +291,9 @@ func skipReason(c Cell, def *kernelDef) string {
 	}
 	if c.Chaos != "" && c.Engine != EngineDistributed {
 		return "fault injection requires the distributed engine"
+	}
+	if c.Kernel == "adaptive" && !c.Checked {
+		return "adaptive cells time schedule maintenance; the checked dimension does not apply"
 	}
 	switch c.Engine {
 	case EngineDistributed:

@@ -11,6 +11,7 @@ import (
 	"irred/internal/fault"
 	"irred/internal/inspector"
 	"irred/internal/kernels"
+	"irred/internal/mesh"
 	"irred/internal/obs"
 	"irred/internal/rts"
 	"irred/internal/service"
@@ -130,6 +131,7 @@ func RunCell(c Cell, opt Options) benchfmt.Cell {
 	bc := benchfmt.Cell{
 		ID: c.ID(), Kernel: c.Kernel, Class: c.Class, Engine: c.Engine,
 		P: c.P, K: c.K, Dist: c.Dist, Checked: c.Checked, Chaos: c.Chaos,
+		DeltaFrac: c.DeltaFrac, Adapt: c.Adapt,
 		Steps: opt.Steps, Warmup: opt.Warmup, Repeats: opt.Repeats,
 	}
 	tracer := obs.New(1 << 15)
@@ -201,6 +203,9 @@ func newRunner(c Cell, opt *Options, tracer *obs.Tracer) (runFunc, error) {
 	dist, err := c.dist()
 	if err != nil {
 		return nil, err
+	}
+	if c.Kernel == "adaptive" {
+		return adaptiveRunner(c, opt, dist)
 	}
 	switch c.Engine {
 	case EngineNative:
@@ -350,6 +355,67 @@ func nativeBuilder(c Cell, opt *Options, dist inspector.Dist) (func([]*inspector
 	default:
 		return nil, fmt.Errorf("sweep: engine native does not run kernel %q", c.Kernel)
 	}
+}
+
+// adaptiveRunner measures the streaming amortization claim: an
+// euler-shaped mesh absorbs one deterministic refinement step per timestep
+// (a drifting hotspot rewiring DeltaFrac of the edges), and the cell times
+// only the schedule maintenance that follows — per-processor
+// Schedule.Update for AdaptIncr cells, a LightInspector rebuild for
+// AdaptFull cells. Both arms of a delta-fraction pair replay the identical
+// mesh trajectory, so their wall difference is purely the maintenance
+// path; the reduction run that would follow is the same in either arm and
+// is deliberately excluded.
+func adaptiveRunner(c Cell, opt *Options, dist inspector.Dist) (runFunc, error) {
+	nodes, edges := mesh.Paper2K()
+	if c.Class == "10k" {
+		nodes, edges = mesh.Paper10K()
+	}
+	m := mesh.Generate(nodes, edges, opt.Seed)
+	cfg := inspector.Config{P: c.P, K: c.K, NumIters: m.NumEdges(), NumElems: m.NumNodes, Dist: dist}
+	ind := [][]int32{m.I1, m.I2}
+	incr := c.Adapt == AdaptIncr
+	if !incr && c.Adapt != AdaptFull {
+		return nil, fmt.Errorf("sweep: adaptive cell has unknown maintenance mode %q", c.Adapt)
+	}
+	scheds := make([]*inspector.Schedule, c.P)
+	for p := range scheds {
+		s, err := inspector.Light(cfg, p, ind...)
+		if err != nil {
+			return nil, err
+		}
+		if incr {
+			s.BeginIncremental()
+		}
+		scheds[p] = s
+	}
+	step := 0
+	steps := opt.Steps
+	return func() (float64, float64, error) {
+		var total time.Duration
+		for n := 0; n < steps; n++ {
+			changed := m.Adapt(step, c.DeltaFrac, opt.Seed+1)
+			step++
+			start := time.Now()
+			if incr {
+				for _, s := range scheds {
+					if err := s.Update(changed, ind...); err != nil {
+						return 0, 0, err
+					}
+				}
+			} else {
+				for p := range scheds {
+					s, err := inspector.Light(cfg, p, ind...)
+					if err != nil {
+						return 0, 0, err
+					}
+					scheds[p] = s
+				}
+			}
+			total += time.Since(start)
+		}
+		return float64(total) / 1e6, 0, nil
+	}, nil
 }
 
 func distributedRunner(c Cell, opt *Options, dist inspector.Dist, tracer *obs.Tracer) (runFunc, error) {

@@ -18,6 +18,7 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
 
 	"irred/internal/inspector"
 )
@@ -34,6 +35,13 @@ const (
 // Engines lists every engine the harness knows, in canonical order.
 var Engines = []string{EngineNative, EngineDistributed, EngineTreeFold, EngineInterp, EngineSim}
 
+// Adaptation modes of the "adaptive" kernel: which schedule-maintenance
+// path an adaptive cell measures after each mesh refinement step.
+const (
+	AdaptIncr = "incr" // Schedule.Update on the resident schedules
+	AdaptFull = "full" // LightInspector rebuild from scratch
+)
+
 // Cell is one grid point: a workload (kernel + class) bound to an
 // execution strategy (engine, P, k, distribution, bounds-check mode,
 // optional fault-injection spec).
@@ -46,10 +54,17 @@ type Cell struct {
 	Dist    string // "block" | "cyclic"
 	Checked bool   // true: per-write target validation on; false: proof-elided
 	Chaos   string // fault.ParseSpec syntax; "" = no injection
+
+	// DeltaFrac and Adapt apply to the "adaptive" kernel only: the
+	// fraction of edges each adaptation step rewires, and which
+	// schedule-maintenance path the cell times (AdaptIncr | AdaptFull).
+	DeltaFrac float64
+	Adapt     string
 }
 
 // ID renders the canonical cell key used across BENCH files:
-// kernel/class/engine/pN/kN/dist/checked|unchecked[/chaos=spec].
+// kernel/class/engine/pN/kN/dist/checked|unchecked[/chaos=spec]
+// [/delta=frac/incr|full].
 func (c Cell) ID() string {
 	chk := "unchecked"
 	if c.Checked {
@@ -58,6 +73,9 @@ func (c Cell) ID() string {
 	id := fmt.Sprintf("%s/%s/%s/p%d/k%d/%s/%s", c.Kernel, c.Class, c.Engine, c.P, c.K, c.Dist, chk)
 	if c.Chaos != "" {
 		id += "/chaos=" + c.Chaos
+	}
+	if c.Adapt != "" {
+		id += "/delta=" + strconv.FormatFloat(c.DeltaFrac, 'g', -1, 64) + "/" + c.Adapt
 	}
 	return id
 }
