@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"irred/internal/bench"
+	"irred/internal/buildinfo"
 	"irred/internal/sparse"
 )
 
@@ -27,7 +28,13 @@ func main() {
 	steps := flag.Int("steps", 100, "timesteps per configuration")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("irredbench " + buildinfo.Get().String())
+		return
+	}
 
 	opt := bench.Options{Steps: *steps, Seed: *seed}
 	which := strings.ToLower(*exp)

@@ -8,6 +8,7 @@
 //
 //	irredc [-lint] [-describe] [-fissioned] [-threaded] [-opt-report] [file.irl]
 //	irredc -legality-report [file.irl ...]
+//	irredc -reuse-report [file.irl ...]
 //
 // With no file, source is read from standard input. With no mode flags,
 // everything is printed. -lint runs the static analyzers first and refuses
@@ -23,6 +24,11 @@
 // counterexamples), and which parallel schedules — rotation, tiling,
 // tree-fold — the loop is licensed for. The legality pass is total, so the
 // report covers programs the Section 4 analysis would reject.
+// -reuse-report runs the inter-loop schedule-reuse prover instead: it
+// prints, per program, which loops are licensed to execute against an
+// earlier loop's inspector schedules (with the named-rule justification
+// ledger) and which reuses were refused — exiting nonzero when a license
+// fails its own Verify self-check, i.e. when a grant is unsound.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"io"
 	"os"
 
+	"irred/internal/buildinfo"
 	"irred/internal/codegen"
 	"irred/internal/dataflow"
 	"irred/internal/interp"
@@ -46,10 +53,20 @@ func main() {
 	doLint := flag.Bool("lint", false, "run the static analyzers; refuse codegen on error findings")
 	optReport := flag.Bool("opt-report", false, "print the bounds-proof artifact per irregular loop")
 	legality := flag.Bool("legality-report", false, "print the schedule license and justification ledger per loop")
+	reuse := flag.Bool("reuse-report", false, "print the inter-loop schedule-reuse ledger; exit nonzero on unsound reuse")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println("irredc " + buildinfo.Get().String())
+		return
+	}
 	if *legality {
 		legalityReport(flag.Args())
+		return
+	}
+	if *reuse {
+		reuseReport(flag.Args())
 		return
 	}
 
@@ -170,6 +187,56 @@ func legalityReport(files []string) {
 				failed = true
 			}
 		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// reuseReport runs the inter-loop schedule-reuse prover over each file
+// (or stdin when none are named) and prints the per-program ledger:
+// grants with justifications, refusals with positions. Every license is
+// re-verified before printing; a failed self-check — an unsound grant —
+// exits 1 so CI can gate on reuse soundness. Refusals alone are not
+// failures: refusing is the sound answer for a rewired indirection.
+func reuseReport(files []string) {
+	type input struct {
+		name string
+		src  []byte
+	}
+	var inputs []input
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredc:", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, input{"<stdin>", src})
+	}
+	failed := false
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "irredc:", err)
+			failed = true
+			continue
+		}
+		inputs = append(inputs, input{name, src})
+	}
+	for _, in := range inputs {
+		prog, err := lang.Parse(string(in.src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredc: %s: %v\n", in.name, err)
+			failed = true
+			continue
+		}
+		rl := dataflow.ProveReuse(prog, dataflow.Options{})
+		if err := rl.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "irredc: %s: reuse ledger self-check failed: %v\n", in.name, err)
+			failed = true
+		}
+		fmt.Printf("=== schedule reuse: %s ===\n", in.name)
+		fmt.Print(rl.Report())
 	}
 	if failed {
 		os.Exit(1)

@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"irred/internal/buildinfo"
 	"irred/internal/fault"
 	"irred/internal/obs"
 	"irred/internal/service"
@@ -231,7 +232,13 @@ func main() {
 	emitChaosJob := flag.Bool("emit-chaos-job", false, "print a long checkpointed chaos job spec as JSON and exit (for the CI TERM/resume check)")
 	emitChaosSHA := flag.Bool("emit-chaos-sha", false, "print the sequential-oracle SHA for the -emit-chaos-job spec and exit")
 	emitSessionJob := flag.Bool("emit-session-job", false, "print a session-openable raw job spec as JSON and exit (for the CI restart/410 check)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("irredload " + buildinfo.Get().String())
+		return
+	}
 
 	// The emit modes are the shell-scriptable half of the TERM/resume check:
 	// the same deterministic long job and its oracle hash, printable without

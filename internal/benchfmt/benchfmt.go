@@ -223,18 +223,28 @@ func Read(path string) (*Summary, error) {
 	return &s, nil
 }
 
-// Latest returns the lexically newest BENCH_*.json in dir — the naming
-// convention (BENCH_YYYY-MM-DD[_hhmmss].json) makes lexical order
-// chronological — or an error when none exist.
-func Latest(dir string) (string, error) {
+// All returns every BENCH_*.json in dir in ascending chronological order
+// — the naming convention (BENCH_YYYY-MM-DD[_hhmmss].json) makes lexical
+// order chronological — or an error when none exist.
+func All(dir string) ([]string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
-		return "", fmt.Errorf("benchfmt: %w", err)
+		return nil, fmt.Errorf("benchfmt: %w", err)
 	}
 	if len(matches) == 0 {
-		return "", fmt.Errorf("benchfmt: no BENCH_*.json in %s", dir)
+		return nil, fmt.Errorf("benchfmt: no BENCH_*.json in %s", dir)
 	}
 	sort.Strings(matches)
+	return matches, nil
+}
+
+// Latest returns the lexically newest BENCH_*.json in dir, or an error
+// when none exist.
+func Latest(dir string) (string, error) {
+	matches, err := All(dir)
+	if err != nil {
+		return "", err
+	}
 	return matches[len(matches)-1], nil
 }
 

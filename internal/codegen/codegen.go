@@ -73,6 +73,12 @@ type Unit struct {
 	Fissioned *lang.Program
 	Results   []*transform.FissionResult
 	Plans     []*Plan
+
+	// Reuse is the inter-loop schedule-reuse license proven over the
+	// plans in plan order: grant indices are plan indices, so a Runner
+	// can map Reuse.ReuseOf(i) straight onto Plans[i]. Proven with
+	// unbound parameters — the grants hold for every environment.
+	Reuse *dataflow.ReuseLicense
 }
 
 // Compile runs the whole pipeline on IRL source text.
@@ -143,6 +149,20 @@ func compile(src string, optimize bool) (*Unit, error) {
 			})
 		}
 	}
+
+	// Schedule reuse: prove which plans must receive identical inspector
+	// schedules. The prover runs over the *plan* loop sequence (prologues
+	// included — their writes kill reuse classes), so grant indices line
+	// up with Plans.
+	planLoops := make([]*lang.Loop, len(u.Plans))
+	for i, p := range u.Plans {
+		planLoops[i] = p.Loop
+	}
+	u.Reuse = dataflow.ProveReuse(&lang.Program{
+		Params: fissioned.Params,
+		Arrays: fissioned.Arrays,
+		Loops:  planLoops,
+	}, dataflow.Options{})
 	return u, nil
 }
 

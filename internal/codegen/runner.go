@@ -19,7 +19,9 @@ type Runner struct {
 	Env   *interp.Env
 	procs int
 
-	plans []runnerPlan
+	plans       []runnerPlan
+	inspections int
+	reuses      int
 }
 
 type runnerPlan struct {
@@ -27,22 +29,77 @@ type runnerPlan struct {
 	native *rts.Native
 }
 
+// RunnerOpts controls schedule sharing across the program's plans.
+type RunnerOpts struct {
+	// NoReuse disables the reuse license: every irregular plan runs its
+	// own inspection, PR-6-era behavior. The difftest oracle flips this
+	// to prove reuse-on and reuse-off agree bitwise.
+	NoReuse bool
+	// VerifyReuse hard-errors when a granted plan's content key misses
+	// the shared slot — evidence of a stale or forged grant — instead of
+	// soundly falling back to a fresh inspection.
+	VerifyReuse bool
+}
+
 // NewRunner prepares every plan for repeated execution at the given
-// machine shape. The environment must already have all source arrays
-// bound (Alloc'd).
+// machine shape, sharing inspector schedules across plans the unit's
+// reuse license proves equivalent. The environment must already have
+// all source arrays bound (Alloc'd).
 func (u *Unit) NewRunner(env *interp.Env, procs, k int, dist inspector.Dist) (*Runner, error) {
+	return u.NewRunnerOpts(env, procs, k, dist, RunnerOpts{})
+}
+
+// NewRunnerOpts is NewRunner with explicit reuse control.
+//
+// Reuse is consumed proof-first, applied content-addressed: only plans
+// the verified license grants consult the shared slots, and a slot is
+// keyed by inspector.ScheduleKey over the plan's concrete Config and
+// indirection columns — so even a license that somehow survived Verify
+// while wrong cannot attach a foreign schedule to a loop; the key
+// mismatch surfaces as a fresh inspection (or a hard error under
+// VerifyReuse).
+func (u *Unit) NewRunnerOpts(env *interp.Env, procs, k int, dist inspector.Dist, opts RunnerOpts) (*Runner, error) {
 	if procs <= 0 || k <= 0 {
 		return nil, fmt.Errorf("codegen: runner needs procs >= 1 and k >= 1")
 	}
+	reuse := u.Reuse
+	if opts.NoReuse {
+		reuse = nil
+	}
+	if reuse != nil {
+		if err := reuse.Verify(); err != nil {
+			return nil, fmt.Errorf("codegen: refusing schedule reuse: %w", err)
+		}
+	}
 	r := &Runner{Unit: u, Env: env, procs: procs}
-	for _, p := range u.Plans {
+	slots := map[string][]*inspector.Schedule{}
+	for i, p := range u.Plans {
 		rp := runnerPlan{plan: p}
 		if p.Kind == Irregular {
 			loop, contribs, err := p.BuildLoop(env, procs, k, dist)
 			if err != nil {
 				return nil, err
 			}
-			nat, err := rts.NewNative(loop)
+			key := inspector.ScheduleKey(loop.Cfg, loop.Ind...)
+			var scheds []*inspector.Schedule
+			if reuse != nil && reuse.ReuseOf(i) >= 0 {
+				if shared, ok := slots[key]; ok {
+					scheds = shared
+					r.reuses++
+				} else if opts.VerifyReuse {
+					return nil, fmt.Errorf("codegen: %s: reuse license grants loop %d the schedules of loop %d, but the content key matches no inspected slot — the grant is stale or forged",
+						p.Name, i, reuse.ReuseOf(i))
+				}
+			}
+			if scheds == nil {
+				scheds, err = loop.Schedules()
+				if err != nil {
+					return nil, err
+				}
+				r.inspections++
+			}
+			slots[key] = scheds
+			nat, err := rts.NewNativeFrom(loop, scheds)
 			if err != nil {
 				return nil, err
 			}
@@ -53,6 +110,16 @@ func (u *Unit) NewRunner(env *interp.Env, procs, k int, dist inspector.Dist) (*R
 	}
 	return r, nil
 }
+
+// Inspections reports how many LightInspector passes the runner paid
+// across all irregular plans; Reuses reports how many plans executed
+// against a shared schedule slot instead. Their sum is the number of
+// irregular plans.
+func (r *Runner) Inspections() int { return r.inspections }
+
+// Reuses reports the number of irregular plans served from a shared
+// schedule slot under the unit's reuse license.
+func (r *Runner) Reuses() int { return r.reuses }
 
 // Step executes the whole program once: each plan in order, irregular
 // loops on the phase runtime (accumulating into the environment's

@@ -35,6 +35,8 @@ var corpus = map[string][]want{
 	"stale_read.irl":           {{"IRL015", 13, 17, Warn}},
 	"invariant.irl":            {{"IRL016", 9, 29, Info}},
 	"nonassoc.irl":             {{"IRL017", 10, 5, Error}},
+	"reuse_redundant.irl":      {{"IRL021", 9, 1, Warn}},
+	"reuse_after_write.irl":    {{"IRL022", 9, 5, Error}},
 	"ident_seed.irl":           {{"IRL019", 10, 5, Warn}, {"IRL020", 10, 5, Info}},
 	"idempotent.irl":           {{"IRL020", 12, 5, Info}},
 	"clean.irl":                nil,

@@ -30,8 +30,9 @@ type Pass struct {
 
 	cur   *Analyzer
 	diags Diagnostics
-	df    *dataflow.Result    // lazily computed by Dataflow()
-	lic   []*dataflow.License // lazily computed by Legality()
+	df    *dataflow.Result       // lazily computed by Dataflow()
+	lic   []*dataflow.License    // lazily computed by Legality()
+	reuse *dataflow.ReuseLicense // lazily computed by Reuse()
 }
 
 // Reportf records a finding for the running analyzer at pos.

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"irred/internal/dataflow"
+)
+
+// The schedule-reuse analyzers. Each owns one stable code:
+//
+//	IRL021  redundant re-inspection: a loop pays a fresh inspection the
+//	        reuse license already covers (Warn)
+//	IRL022  reuse-after-write: a matching traversal whose indirection
+//	        was rewritten between the loops — reusing the schedule
+//	        would execute against stale ownership (Error)
+//
+// Both read the proof-carrying ReuseLicense of internal/dataflow — the
+// same artifact codegen's Runner consults to share schedule slots — so
+// the diagnostics and the runtime can never disagree about which loops
+// amortize one inspection.
+
+// Reuse returns the program's inter-loop reuse license, computed on
+// first use. The prover is total, so it is safe on programs the
+// Section 4 analysis rejected.
+func (p *Pass) Reuse() *dataflow.ReuseLicense {
+	if p.reuse == nil {
+		p.reuse = dataflow.ProveReuse(p.Prog, dataflow.Options{})
+	}
+	return p.reuse
+}
+
+func init() {
+	// Both analyzers report only on loop pairs whose endpoints hold a
+	// rotation license: a loop legality already refuses never inspects,
+	// so reuse diagnostics on it would be noise on top of IRL017/IRL018.
+	rotates := func(p *Pass, loop int) bool {
+		lics := p.Legality()
+		return loop >= 0 && loop < len(lics) && lics[loop].Rotation
+	}
+
+	register(&Analyzer{
+		Name: "redundant-re-inspection", Code: "IRL021", Severity: Warn,
+		Doc: "loop re-inspects indirection arrays a live reuse license already covers",
+		Run: func(p *Pass) {
+			for _, g := range p.Reuse().Grants {
+				if !rotates(p, g.From) || !rotates(p, g.To) {
+					continue
+				}
+				p.Reportf(g.Pos, "loop %d re-inspects %s although the schedule inspected for loop %d (at %s) is proven identical: same indirection, same extents, no intervening write — one inspection amortizes across both (irredc shares the slot automatically)",
+					g.To, joinArrays(g.Arrays), g.From, g.FromPos)
+			}
+		},
+	})
+
+	register(&Analyzer{
+		Name: "reuse-after-write", Code: "IRL022", Severity: Error,
+		Doc: "schedule reuse across an intervening indirection write (stale schedule)",
+		Run: func(p *Pass) {
+			for _, r := range p.Reuse().Refusals {
+				if !r.Stale || !rotates(p, r.From) || !rotates(p, r.To) {
+					continue
+				}
+				p.Reportf(r.Pos, "this write to indirection array %q invalidates the schedule inspected for loop %d: loop %d repeats the same traversal but must re-inspect — reusing the stale schedule would scatter contributions under dead ownership", r.Array, r.From, r.To)
+			}
+		},
+	})
+}
+
+func joinArrays(arrays []string) string {
+	s := ""
+	for i, a := range arrays {
+		if i > 0 {
+			s += ", "
+		}
+		s += "\"" + a + "\""
+	}
+	return s
+}

@@ -70,18 +70,42 @@ func NewTuner(s *benchfmt.Summary, opt TunerOptions) *Tuner {
 	return &Tuner{summary: s, opt: opt}
 }
 
-// NewTunerFromDir loads the lexically newest BENCH_*.json in dir and
-// returns the tuner plus the path it loaded.
+// NewTunerFromDir loads every BENCH_*.json in dir and blends them into
+// one trajectory, newest-wins per cell: a cell re-measured in a later
+// file replaces the older measurement, while cells only an older sweep
+// covered survive. The returned path is the newest file — the blend's
+// identity stamp — so callers report the freshest provenance.
 func NewTunerFromDir(dir string, opt TunerOptions) (*Tuner, string, error) {
-	path, err := benchfmt.Latest(dir)
+	paths, err := benchfmt.All(dir)
 	if err != nil {
 		return nil, "", err
 	}
-	s, err := benchfmt.Read(path)
-	if err != nil {
-		return nil, "", err
+	var blended *benchfmt.Summary
+	index := map[string]int{} // cell ID -> position in blended.Cells
+	for _, path := range paths {
+		s, err := benchfmt.Read(path)
+		if err != nil {
+			return nil, "", err
+		}
+		if blended == nil {
+			blended = &benchfmt.Summary{}
+		}
+		// Later files overwrite the stamp and skips wholesale — the blend
+		// is identified by its newest sweep — but cells merge in place:
+		// first-seen order is kept, newer data replaces older per ID.
+		blended.Stamp = s.Stamp
+		blended.Skipped = s.Skipped
+		for i := range s.Cells {
+			c := s.Cells[i]
+			if at, ok := index[c.ID]; ok {
+				blended.Cells[at] = c
+				continue
+			}
+			index[c.ID] = len(blended.Cells)
+			blended.Cells = append(blended.Cells, c)
+		}
 	}
-	return NewTuner(s, opt), path, nil
+	return NewTuner(blended, opt), paths[len(paths)-1], nil
 }
 
 // Summary exposes the loaded trajectory (nil for a heuristic-only tuner).

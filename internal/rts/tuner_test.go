@@ -199,3 +199,56 @@ func TestNewTunerFromDir(t *testing.T) {
 		t.Fatalf("trajectory not loaded: %+v", p)
 	}
 }
+
+// TestNewTunerFromDirBlendsNewestWins: the tuner sees the union of every
+// BENCH file in the directory — a cell only the older sweep measured
+// still backs picks, while a cell both sweeps measured uses the newer
+// measurement even when the older one scored better.
+func TestNewTunerFromDirBlendsNewestWins(t *testing.T) {
+	dir := t.TempDir()
+
+	old := &benchfmt.Summary{Stamp: benchfmt.Stamp{Schema: benchfmt.Schema, Date: "2026-08-01"}}
+	old.Cells = []benchfmt.Cell{
+		// Only the old sweep covered moldyn: the blend must keep it.
+		tunerCell("moldyn", "10k", "distributed", 4, 1, "block", true, 3.0),
+		// Both sweeps cover this mvm cell; old says 1ms — stale.
+		tunerCell("mvm", "S", "native", 4, 2, "cyclic", true, 1.0),
+	}
+	newer := &benchfmt.Summary{Stamp: benchfmt.Stamp{Schema: benchfmt.Schema, Date: "2026-08-08"}}
+	newer.Cells = []benchfmt.Cell{
+		// Re-measured: slower now, but newest wins over the stale 1ms.
+		tunerCell("mvm", "S", "native", 4, 2, "cyclic", true, 6.0),
+		// A competing strategy only the new sweep measured; at 2ms it must
+		// beat the re-measured 6ms cell, which it would lose to if the
+		// stale 1ms measurement survived the blend.
+		tunerCell("mvm", "S", "native", 2, 1, "block", true, 2.0),
+	}
+	if err := benchfmt.Write(filepath.Join(dir, "BENCH_2026-08-01.json"), old); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.Write(filepath.Join(dir, "BENCH_2026-08-08.json"), newer); err != nil {
+		t.Fatal(err)
+	}
+
+	tn, path, err := NewTunerFromDir(dir, TunerOptions{MaxP: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-08-08.json" {
+		t.Fatalf("blend reported %s, want the newest file as provenance", path)
+	}
+	if p := tn.Pick("moldyn", "10k", nil); p.Engine != "distributed" || p.ScoreMS != 3.0 {
+		t.Fatalf("cell unique to the older sweep lost in the blend: %+v", p)
+	}
+	if p := tn.Pick("mvm", "S", nil); p.P != 2 || p.ScoreMS != 2.0 {
+		t.Fatalf("stale measurement survived the blend: %+v", p)
+	}
+	mvmID := "mvm/S/native/cyclic/checked"
+	c, ok := tn.Summary().Cell(mvmID)
+	if !ok || c.Wall.TrimmedMS != 6.0 {
+		t.Fatalf("blended cell %s = %+v, want the 6ms re-measurement", mvmID, c)
+	}
+	if tn.Summary().Date != "2026-08-08" {
+		t.Fatalf("blend stamped %q, want the newest sweep's date", tn.Summary().Date)
+	}
+}

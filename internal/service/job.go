@@ -40,6 +40,19 @@ type ContribSpec struct {
 	Weights []float64 `json:"weights,omitempty"`
 }
 
+// LoopSpec is one loop of a raw multi-loop program. A nil Ind inherits
+// the spec's base indirection arrays — the declarative way to say "this
+// loop traverses the same connectivity as the program's base loop", which
+// is exactly the shape whose inspection the service amortizes: loops with
+// identical indirection contents share one schedule set (content-addressed
+// by inspector.ScheduleKey, the serving-side analogue of the compiler's
+// schedule-reuse license) instead of each paying the LightInspector. A nil
+// Contrib inherits the base contribution spec.
+type LoopSpec struct {
+	Ind     [][]int32    `json:"ind,omitempty"`
+	Contrib *ContribSpec `json:"contrib,omitempty"`
+}
+
 // JobSpec describes one reduction job: either a named kernel over a
 // generated dataset (mvm | euler | moldyn, regenerated deterministically
 // from Dataset+Seed so results are bit-reproducible across processes), or a
@@ -57,6 +70,18 @@ type JobSpec struct {
 	NumElems int          `json:"num_elems,omitempty"`
 	Ind      [][]int32    `json:"ind,omitempty"`
 	Contrib  *ContribSpec `json:"contrib,omitempty"`
+
+	// Loops, when non-empty, turns a raw job into a multi-loop program:
+	// each sweep runs the loops in order against one shared reduction
+	// array (loop l+1 sees loop l's contributions of the same sweep, the
+	// way consecutive fissioned loops chain in a compiled program). All
+	// loops share the spec's iteration/element extents and strategy; each
+	// loop inherits Ind/Contrib unless it carries its own. Loops whose
+	// effective indirection contents coincide execute against one shared
+	// schedule set — inspected once per distinct content, not once per
+	// loop. Multi-loop jobs run native-only, with no chaos and no
+	// checkpointing.
+	Loops []LoopSpec `json:"loops,omitempty"`
 
 	// Strategy and run length.
 	P     int    `json:"p"`
@@ -116,6 +141,33 @@ func (sp *JobSpec) workload() (kernel, class string) {
 
 // IsRaw reports whether the spec is a raw reduction (no named kernel).
 func (sp *JobSpec) IsRaw() bool { return sp.Kernel == "" }
+
+// numLoops returns how many loops a raw job runs per sweep (at least 1:
+// a spec without Loops is the single-loop program it always was).
+func (sp *JobSpec) numLoops() int {
+	if len(sp.Loops) == 0 {
+		return 1
+	}
+	return len(sp.Loops)
+}
+
+// loopInd returns loop l's effective indirection arrays: its own when it
+// carries some, the spec's base arrays otherwise.
+func (sp *JobSpec) loopInd(l int) [][]int32 {
+	if len(sp.Loops) > 0 && sp.Loops[l].Ind != nil {
+		return sp.Loops[l].Ind
+	}
+	return sp.Ind
+}
+
+// loopContrib returns loop l's effective contribution spec (own or
+// inherited).
+func (sp *JobSpec) loopContrib(l int) *ContribSpec {
+	if len(sp.Loops) > 0 && sp.Loops[l].Contrib != nil {
+		return sp.Loops[l].Contrib
+	}
+	return sp.Contrib
+}
 
 // dist parses the distribution name (default cyclic).
 func (sp *JobSpec) dist() (inspector.Dist, error) {
@@ -201,13 +253,43 @@ func (sp *JobSpec) Validate() error {
 	if sp.NumIters < 0 {
 		return fmt.Errorf("num_iters = %d", sp.NumIters)
 	}
-	if len(sp.Ind) == 0 {
+	if len(sp.Loops) == 0 {
+		return sp.validateLoop(sp.Ind, sp.Contrib)
+	}
+	// Multi-loop program: shared extents and strategy, per-loop traversal
+	// and contribution. The executor for chained loops is native-only and
+	// runs in one pass — no wire to inject faults into, no per-loop sweep
+	// counter a checkpoint could name.
+	if len(sp.Loops) > 8 {
+		return fmt.Errorf("multi-loop job has %d loops, max 8", len(sp.Loops))
+	}
+	if sp.distributed() {
+		return fmt.Errorf("multi-loop jobs run on the native engine only")
+	}
+	if sp.Chaos != nil {
+		return fmt.Errorf("multi-loop jobs do not accept chaos specs")
+	}
+	if sp.CheckpointEvery > 0 {
+		return fmt.Errorf("multi-loop jobs do not checkpoint")
+	}
+	for l := range sp.Loops {
+		if err := sp.validateLoop(sp.loopInd(l), sp.loopContrib(l)); err != nil {
+			return fmt.Errorf("loop %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// validateLoop checks one loop's effective indirection arrays and
+// contribution spec against the spec's shared extents.
+func (sp *JobSpec) validateLoop(ind [][]int32, contrib *ContribSpec) error {
+	if len(ind) == 0 {
 		return fmt.Errorf("raw job needs at least one indirection array")
 	}
-	if len(sp.Ind) > 16 {
-		return fmt.Errorf("raw job has %d indirection arrays, max 16", len(sp.Ind))
+	if len(ind) > 16 {
+		return fmt.Errorf("raw job has %d indirection arrays, max 16", len(ind))
 	}
-	for r, a := range sp.Ind {
+	for r, a := range ind {
 		if len(a) != sp.NumIters {
 			return fmt.Errorf("ind[%d] has %d entries, want num_iters = %d", r, len(a), sp.NumIters)
 		}
@@ -217,36 +299,39 @@ func (sp *JobSpec) Validate() error {
 			}
 		}
 	}
-	if sp.Contrib == nil {
+	if contrib == nil {
 		return fmt.Errorf("raw job needs a contribution spec")
 	}
-	switch sp.Contrib.Kind {
+	switch contrib.Kind {
 	case "ones":
-		if len(sp.Contrib.Weights) != 0 {
+		if len(contrib.Weights) != 0 {
 			return fmt.Errorf(`contrib "ones" takes no weights`)
 		}
 	case "weights":
-		if len(sp.Contrib.Weights) != sp.NumIters {
-			return fmt.Errorf("contrib weights has %d entries, want %d", len(sp.Contrib.Weights), sp.NumIters)
+		if len(contrib.Weights) != sp.NumIters {
+			return fmt.Errorf("contrib weights has %d entries, want %d", len(contrib.Weights), sp.NumIters)
 		}
 	case "pair":
-		if len(sp.Ind) != 2 {
-			return fmt.Errorf(`contrib "pair" needs exactly 2 indirection arrays, got %d`, len(sp.Ind))
+		if len(ind) != 2 {
+			return fmt.Errorf(`contrib "pair" needs exactly 2 indirection arrays, got %d`, len(ind))
 		}
-		if len(sp.Contrib.Weights) != sp.NumIters {
-			return fmt.Errorf("contrib weights has %d entries, want %d", len(sp.Contrib.Weights), sp.NumIters)
+		if len(contrib.Weights) != sp.NumIters {
+			return fmt.Errorf("contrib weights has %d entries, want %d", len(contrib.Weights), sp.NumIters)
 		}
 	default:
-		return fmt.Errorf("unknown contrib kind %q (ones | weights | pair)", sp.Contrib.Kind)
+		return fmt.Errorf("unknown contrib kind %q (ones | weights | pair)", contrib.Kind)
 	}
 	return nil
 }
 
-// contrib builds the rts.ContribFunc of a raw job. The returned closure is
+// contrib builds the rts.ContribFunc of a single-loop raw job.
+func (sp *JobSpec) contrib() func(p, i int, out []float64) { return sp.contribFor(0) }
+
+// contribFor builds the rts.ContribFunc of loop l. The returned closure is
 // stateless, so it is safe for every processor goroutine.
-func (sp *JobSpec) contrib() func(p, i int, out []float64) {
-	numRef := len(sp.Ind)
-	c := sp.Contrib
+func (sp *JobSpec) contribFor(l int) func(p, i int, out []float64) {
+	numRef := len(sp.loopInd(l))
+	c := sp.loopContrib(l)
 	switch c.Kind {
 	case "ones":
 		return func(_, _ int, out []float64) {
@@ -283,13 +368,25 @@ func (sp *JobSpec) SequentialRaw() ([]float64, error) {
 		return nil, err
 	}
 	x := make([]float64, sp.NumElems)
-	scratch := make([]float64, len(sp.Ind))
-	fn := sp.contrib()
+	nl := sp.numLoops()
+	inds := make([][][]int32, nl)
+	fns := make([]func(p, i int, out []float64), nl)
+	scratches := make([][]float64, nl)
+	for l := 0; l < nl; l++ {
+		inds[l] = sp.loopInd(l)
+		fns[l] = sp.contribFor(l)
+		scratches[l] = make([]float64, len(inds[l]))
+	}
 	for step := 0; step < sp.steps(); step++ {
-		for i := 0; i < sp.NumIters; i++ {
-			fn(0, i, scratch)
-			for r := range sp.Ind {
-				x[sp.Ind[r][i]] += scratch[r]
+		for l := 0; l < nl; l++ {
+			ind := inds[l]
+			fn := fns[l]
+			scratch := scratches[l]
+			for i := 0; i < sp.NumIters; i++ {
+				fn(0, i, scratch)
+				for r := range ind {
+					x[ind[r][i]] += scratch[r]
+				}
 			}
 		}
 	}

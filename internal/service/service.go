@@ -518,6 +518,9 @@ func (s *Service) execute(j *Job) (result []float64, hit bool, key string, err e
 // instead of recomputing it.
 func (s *Service) executeRaw(j *Job, dist inspector.Dist, steps int) (result []float64, hit bool, key string, err error) {
 	spec := &j.Spec
+	if len(spec.Loops) > 0 {
+		return s.executeRawMulti(j, dist, steps)
+	}
 	l := &rts.Loop{
 		Cfg: inspector.Config{
 			P: spec.P, K: spec.K,
@@ -671,6 +674,66 @@ func (s *Service) executeRaw(j *Job, dist inspector.Dist, steps int) (result []f
 		}
 	}
 	return n.X, hit, key, nil
+}
+
+// executeRawMulti runs a raw multi-loop program: the loops of every sweep
+// execute in order against one shared reduction array, so loop l+1 sees
+// loop l's contributions of the same sweep — the way consecutive
+// fissioned loops chain in a compiled program. Schedule sets are
+// content-addressed: loops whose effective indirection contents coincide
+// share one set (inspected once, found again in the job-local slot map or
+// the service cache), which is the serving-side consumption of the
+// paper's amortization argument — inspection cost is paid per distinct
+// traversal, not per loop. Validation has already pinned this path to the
+// native engine with no chaos and no checkpointing.
+func (s *Service) executeRawMulti(j *Job, dist inspector.Dist, steps int) (result []float64, hit bool, key string, err error) {
+	spec := &j.Spec
+	cfg := inspector.Config{
+		P: spec.P, K: spec.K,
+		NumIters: spec.NumIters,
+		NumElems: spec.NumElems,
+		Dist:     dist,
+	}
+	x := make([]float64, spec.NumElems)
+	slots := make(map[string][]*inspector.Schedule)
+	natives := make([]*rts.Native, len(spec.Loops))
+	for li := range spec.Loops {
+		ind := spec.loopInd(li)
+		l := &rts.Loop{Cfg: cfg, Mode: rts.Reduce, Ind: ind, Trace: s.trace}
+		k := inspector.ScheduleKey(cfg, ind...)
+		scheds, ok := slots[k]
+		if ok {
+			// A previous loop of this job already inspected this exact
+			// traversal; execute against its schedules.
+			s.trace.Event("job/reuse", -1, -1, li, -1)
+		} else {
+			var h bool
+			scheds, h, _, err = s.schedules(l)
+			if err != nil {
+				return nil, hit, key, err
+			}
+			hit = hit || h
+			slots[k] = scheds
+		}
+		if key == "" {
+			key = k
+		}
+		n, err := rts.NewNativeFrom(l, scheds)
+		if err != nil {
+			return nil, hit, key, err
+		}
+		n.Contribs = spec.contribFor(li)
+		n.X = x
+		natives[li] = n
+	}
+	for step := 0; step < steps; step++ {
+		for _, n := range natives {
+			if err := n.RunContext(j.ctx, 1); err != nil {
+				return nil, hit, key, err
+			}
+		}
+	}
+	return x, hit, key, nil
 }
 
 // executeNamed runs a named-kernel job on the native engine.

@@ -292,6 +292,16 @@ func validateSessionSpec(spec *JobSpec) error {
 	if spec.Auto {
 		return fmt.Errorf("service: sessions choose their own strategy (auto is job-only)")
 	}
+	// Multi-loop sessions exist to amortize one resident schedule clone
+	// across every loop of a sweep, so each loop must traverse the
+	// session's base indirection: a loop with private arrays would need
+	// its own resident clone and its own delta stream, which is the
+	// one-shot job path's shape, not a session's.
+	for l, lp := range spec.Loops {
+		if lp.Ind != nil {
+			return fmt.Errorf("service: session loop %d carries its own indirection arrays; session loops inherit the resident arrays (per-loop ind is job-only)", l)
+		}
+	}
 	return spec.Validate()
 }
 
@@ -519,26 +529,53 @@ func (s *Service) runSession(ctx context.Context, sess *Session) error {
 		Trace: s.trace,
 	}
 	scheds := sess.scheds
-	contrib := spec.contrib()
+	nLoops := spec.numLoops()
+	contribs := make([]rts.ContribFunc, nLoops)
+	for li := 0; li < nLoops; li++ {
+		contribs[li] = spec.contribFor(li)
+	}
 	steps := spec.steps()
 	sess.mu.Unlock()
 
-	n, err := rts.NewNativeFrom(l, scheds)
-	if err != nil {
-		return err
+	// Every loop of a multi-loop session traverses the session's base
+	// indirection (validateSessionSpec enforces it), so all of them run
+	// against the one resident schedule clone — each delta pays schedule
+	// maintenance once, and every loop of every later sweep rides on it.
+	// Schedules are read-only during runs; the natives execute in loop
+	// order, sharing one reduction array so loop l+1 sees loop l's
+	// contributions of the same sweep.
+	natives := make([]*rts.Native, nLoops)
+	x := make([]float64, l.Cfg.NumElems)
+	for li := 0; li < nLoops; li++ {
+		n, err := rts.NewNativeFrom(l, scheds)
+		if err != nil {
+			return err
+		}
+		n.Contribs = contribs[li]
+		n.X = x
+		natives[li] = n
 	}
-	n.Contribs = contrib
 	t0 := time.Now()
-	if err := n.RunContext(ctx, steps); err != nil {
-		return err
+	if nLoops == 1 {
+		if err := natives[0].RunContext(ctx, steps); err != nil {
+			return err
+		}
+	} else {
+		for step := 0; step < steps; step++ {
+			for _, n := range natives {
+				if err := n.RunContext(ctx, 1); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	runMS := float64(time.Since(t0)) / 1e6
 
 	sess.mu.Lock()
 	sess.runMS = runMS
-	sess.result = n.X
-	sess.resultLen = len(n.X)
-	sess.resultSHA = HashResult(n.X)
+	sess.result = x
+	sess.resultLen = len(x)
+	sess.resultSHA = HashResult(x)
 	sess.mu.Unlock()
 	return nil
 }

@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -114,5 +116,194 @@ func TestSessionConcurrentDeltas(t *testing.T) {
 	}
 	if st.ResultSHA256 != HashResult(want) {
 		t.Fatal("result hash does not match the oracle")
+	}
+}
+
+// TestSessionEvictionRacesInFlightDelta pins the eviction/apply race: an
+// LRU eviction that lands while a delta is mid-apply must make every later
+// verb on the evicted session answer ErrSessionGone (410) — the in-flight
+// apply may finish on the session-private clone, but nothing stale or
+// half-revised is ever served again. The in-flight apply is simulated by
+// holding the session gate exactly the way ApplyDelta does.
+func TestSessionEvictionRacesInFlightDelta(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, MaxSessions: 1})
+	rng := rand.New(rand.NewSource(61))
+	spec := rawSpec(61, 2, 1, 400, 64, 1)
+
+	st1, err := s.OpenSession(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := s.sessions.get(st1.ID)
+	if !ok {
+		t.Fatal("opened session not resident")
+	}
+
+	// A delta is in flight: it holds the gate.
+	sess.gate <- struct{}{}
+
+	// Concurrent deltas bounce with 409, not 410 — the session is alive,
+	// just busy.
+	if _, err := s.ApplyDelta(context.Background(), st1.ID, mkDelta(rng, &spec, 2), false); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("delta during in-flight apply: %v, want ErrSessionBusy", err)
+	}
+
+	// Opening a second session (MaxSessions = 1) evicts the first while
+	// its apply is still in flight.
+	spec2 := rawSpec(62, 2, 1, 400, 64, 1)
+	st2, err := s.OpenSession(context.Background(), spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The evicted session is gone immediately, even though the apply has
+	// not released the gate yet.
+	if _, err := s.GetSession(st1.ID, false); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("GetSession on evicted session: %v, want ErrSessionGone", err)
+	}
+	sess.mu.Lock()
+	closed := sess.closed
+	sess.mu.Unlock()
+	if !closed {
+		t.Fatal("evicted session not marked closed: a racing pointer holder could serve a stale schedule")
+	}
+
+	// The in-flight apply finishes; the next verb must still be 410,
+	// never a stale or partial schedule.
+	<-sess.gate
+	if _, err := s.ApplyDelta(context.Background(), st1.ID, mkDelta(rng, &spec, 2), false); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("delta after eviction: %v, want ErrSessionGone", err)
+	}
+
+	// The survivor is unaffected.
+	d2 := mkDelta(rng, &spec2, 3)
+	applyLocal(&spec2, d2)
+	st2, err = s.ApplyDelta(context.Background(), st2.ID, d2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec2.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ResultSHA256 != HashResult(want) {
+		t.Fatal("surviving session result does not match the oracle")
+	}
+
+	m := s.Metrics().Sessions
+	if m.Evicted != 1 || m.Live != 1 {
+		t.Fatalf("session metrics = %+v, want 1 evicted, 1 live", m)
+	}
+}
+
+// TestSessionEvictionHammer races deltas against LRU evictions under
+// -race. Every delta rewrites iterations to their existing values, so any
+// successful response must equal the base oracle bitwise: a stale or
+// half-revised schedule surviving an eviction would show up as a wrong
+// result, not just a wrong error code. Per goroutine, once a verb answers
+// ErrSessionGone the session must stay gone — a success after a 410 means
+// the store resurrected evicted state.
+func TestSessionEvictionHammer(t *testing.T) {
+	const (
+		appliers = 3
+		rounds   = 20
+		churn    = 12
+	)
+	s := newTestService(t, Options{Workers: 2, MaxSessions: 2})
+	spec := rawSpec(71, 2, 2, 300, 64, 1)
+	want, err := spec.SequentialRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSHA := HashResult(want)
+
+	st, err := s.OpenSession(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	// identityDelta rewrites n iterations to the values they already hold.
+	identityDelta := func(rng *rand.Rand, n int) *Delta {
+		perm := rng.Perm(spec.NumIters)[:n]
+		sort.Ints(perm)
+		d := &Delta{Changed: make([]int32, n), Values: make([][]int32, len(spec.Ind))}
+		for j, it := range perm {
+			d.Changed[j] = int32(it)
+		}
+		for r := range d.Values {
+			d.Values[r] = make([]int32, n)
+			for j, it := range perm {
+				d.Values[r][j] = spec.Ind[r][it]
+			}
+		}
+		return d
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, appliers+1)
+	for w := 0; w < appliers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			gone := false
+			for r := 0; r < rounds; r++ {
+				st, err := s.ApplyDelta(context.Background(), id, identityDelta(rng, 4), true)
+				switch {
+				case err == nil:
+					if gone {
+						errc <- fmt.Errorf("worker %d: delta succeeded after the session answered 410", w)
+						return
+					}
+					if st.ResultSHA256 != wantSHA {
+						errc <- fmt.Errorf("worker %d round %d: result diverged from the oracle (stale/partial schedule served)", w, r)
+						return
+					}
+				case errors.Is(err, ErrSessionBusy):
+					// Contention, retry next round.
+				case errors.Is(err, ErrSessionGone):
+					gone = true
+				default:
+					errc <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// The evictor churns the LRU with fresh sessions until the hammered
+	// session is evicted.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churn; i++ {
+			if _, err := s.OpenSession(context.Background(), rawSpec(int64(200+i), 2, 1, 200, 48, 1)); err != nil {
+				errc <- fmt.Errorf("evictor open %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// The concurrent churn may or may not have caught the hammered
+	// session (the appliers keep bumping its recency); with the appliers
+	// stopped, two more opens into the 2-session store evict everything
+	// that came before them deterministically. From here every verb on
+	// the hammered id is 410.
+	for i := 0; i < 2; i++ {
+		if _, err := s.OpenSession(context.Background(), rawSpec(int64(300+i), 2, 1, 200, 48, 1)); err != nil {
+			t.Fatalf("post-churn open %d: %v", i, err)
+		}
+	}
+	if _, err := s.GetSession(id, false); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("GetSession after churn: %v, want ErrSessionGone", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	if _, err := s.ApplyDelta(context.Background(), id, identityDelta(rng, 2), false); !errors.Is(err, ErrSessionGone) {
+		t.Fatalf("ApplyDelta after churn: %v, want ErrSessionGone", err)
 	}
 }
