@@ -32,6 +32,23 @@
 // restarted daemon resumes them, and SIGTERM drains gracefully — /readyz
 // flips to 503 for -drain-grace before the listener closes.
 //
+// Cluster mode turns a set of irredds into a coordinator-light fleet:
+//
+//	irredd -addr :8321 -cluster-node n1 \
+//	       -cluster-peers n2=http://host2:8321,n3=http://host3:8321
+//
+// Each node routes job submissions by consistent hashing on the job's
+// schedule-cache key (so the warm cache shards across the fleet), gossips
+// health with its peers every -gossip-every (suspect after
+// -suspect-after consecutive missed probes, dead after -dead-after; dead
+// peers leave the ring), replicates job checkpoints to the key's ring
+// successor, and fails jobs over — with the client seeing only a slower
+// answer — when a peer dies mid-job. -cluster-url overrides the base URL
+// advertised for redirects; -tenant-rate/-tenant-burst add per-tenant
+// token-bucket admission keyed on the X-Irred-Tenant header;
+// -cluster-chaos installs a deterministic network fault spec (net_drop,
+// net_delay, partition=a~b) on inter-node hops for soak testing.
+//
 // With -debug-addr a second loopback listener serves pprof, expvar, and the
 // phase-level span trace:
 //
@@ -58,10 +75,33 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"irred/internal/buildinfo"
+	"irred/internal/cluster"
+	"irred/internal/fault"
 	"irred/internal/rts"
 	"irred/internal/service"
 )
+
+// parsePeers decodes "-cluster-peers n2=http://host2:8321,n3=http://host3:8321".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("entry %q: want name=url", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate peer %q", name)
+		}
+		peers[name] = strings.TrimRight(url, "/")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for a random port)")
@@ -77,6 +117,16 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint raw multi-sweep jobs every N sweeps (0 = only when the job asks; needs -cache-dir)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM, keep serving with /readyz=503 this long before closing the listener")
 	benchDir := flag.String("bench", "", `BENCH trajectory directory: jobs submitted with "auto":true are tuned from the latest BENCH_*.json here`)
+	clusterNode := flag.String("cluster-node", "", "this node's name in a cluster (empty = single-node mode)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated name=url peer list (cluster mode)")
+	clusterURL := flag.String("cluster-url", "", "base URL to advertise for redirects (default http://<resolved addr>)")
+	clusterRedirect := flag.Bool("cluster-redirect", false, "answer 307 redirects to the owner instead of proxying")
+	gossipEvery := flag.Duration("gossip-every", time.Second, "health gossip probe period (cluster mode)")
+	suspectAfter := flag.Int("suspect-after", 2, "consecutive missed probes before a peer is suspect")
+	deadAfter := flag.Int("dead-after", 4, "consecutive missed probes before a peer is dead and leaves the ring")
+	clusterChaos := flag.String("cluster-chaos", "", "deterministic network fault spec for inter-node hops, e.g. 'seed=7,net_drop=0.05,partition=n1~n2'")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission tokens per second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant admission burst")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -101,7 +151,15 @@ func main() {
 		log.Printf("irredd: auto-tuning from %s (%d measured workloads)", path, len(tn.Workloads()))
 	}
 
-	svc, err := service.New(service.Options{
+	// The listener comes first in cluster mode: the advertised URL defaults
+	// to the resolved address, which only exists once the port is bound.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
+		os.Exit(1)
+	}
+
+	opt := service.Options{
 		Workers:         *workers,
 		QueueLen:        *queue,
 		CacheEntries:    *cacheEntries,
@@ -113,18 +171,69 @@ func main() {
 
 		MaxSessions:         *maxSessions,
 		SessionFallbackFrac: *sessionFallback,
-	})
+	}
+
+	// Cluster mode wraps the service handler with the routing/gossip node.
+	// The node is built first because the service takes its replication
+	// hooks at construction time.
+	var node *cluster.Node
+	if *clusterNode != "" {
+		peers, err := parsePeers(*clusterPeers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredd: -cluster-peers: %v\n", err)
+			os.Exit(1)
+		}
+		selfURL := *clusterURL
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		var inj *fault.Injector
+		if *clusterChaos != "" {
+			spec, err := fault.ParseSpec(*clusterChaos)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irredd: -cluster-chaos: %v\n", err)
+				os.Exit(1)
+			}
+			inj = fault.New(spec)
+			log.Printf("irredd: cluster network chaos ENABLED: %s", spec.String())
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:         *clusterNode,
+			SelfURL:      selfURL,
+			Peers:        peers,
+			GossipEvery:  *gossipEvery,
+			SuspectAfter: *suspectAfter,
+			DeadAfter:    *deadAfter,
+			Redirect:     *clusterRedirect,
+			Chaos:        inj,
+			TenantRate:   *tenantRate,
+			TenantBurst:  *tenantBurst,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Replicate = node.Replicate
+		opt.FetchReplica = node.FetchReplica
+	}
+
+	svc, err := service.New(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
 		os.Exit(1)
 	}
 	defer svc.Close()
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "irredd: %v\n", err)
-		os.Exit(1)
+	handler := svc.Handler()
+	if node != nil {
+		node.Attach(svc)
+		node.Start()
+		defer node.Close()
+		handler = node.Handler()
+		log.Printf("irredd: cluster node %q (%d peers, gossip every %s)",
+			*clusterNode, len(node.Peers()), *gossipEvery)
 	}
+
 	// The resolved address line is load-bearing: scripts starting irredd on
 	// :0 parse it to find the port.
 	log.Printf("irredd: listening on http://%s", ln.Addr())
@@ -135,7 +244,7 @@ func main() {
 		log.Printf("irredd: chaos injection ENABLED (jobs may carry fault specs)")
 	}
 
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -16,6 +16,16 @@
 //	irredload -addr http://127.0.0.1:8321 -duration 10s -concurrency 8
 //	irredload -mix mvm=1,euler=2,moldyn=1 -qps 50 -duration 30s -json
 //
+// With -cluster url1,url2,url3 it drives a coordinator-light irredd fleet:
+// submissions round-robin across the listed nodes (any node routes to the
+// key's owner), a node that fails at the transport level is skipped for
+// the next node in the list (client-side failover, counted per node), and
+// the cache-hit ratio is aggregated across every node's /metrics — the
+// number that shows whether consistent-hash sharding is keeping the fleet
+// cache warm. The SHA oracles are unchanged: a cluster that loses or
+// corrupts a job under failover fails the run exactly like a single node
+// would.
+//
 // With -chaos it becomes the chaos soak: workers submit raw reduction jobs
 // on the distributed engine carrying deterministic fault-injection specs
 // (drops, corruptions, delays, duplicates at -chaos-rate), and every result
@@ -38,6 +48,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -186,6 +197,16 @@ func pick(mix []mixEntry, rng *rand.Rand) string {
 	return mix[len(mix)-1].kernel
 }
 
+// nodeReport is the per-node slice of a cluster run.
+type nodeReport struct {
+	URL       string  `json:"url"`
+	Jobs      int64   `json:"jobs"`
+	Sheds     int64   `json:"sheds"`
+	Failovers int64   `json:"failovers"` // submissions that arrived here after a prior node failed
+	P50ms     float64 `json:"p50_ms"`
+	P99ms     float64 `json:"p99_ms"`
+}
+
 // report is the machine-readable run summary (-json).
 type report struct {
 	Duration    string  `json:"duration"`
@@ -209,10 +230,17 @@ type report struct {
 	Incremental int64 `json:"incremental_updates,omitempty"`
 	Full        int64 `json:"full_reinspects,omitempty"`
 	Reopens     int64 `json:"session_reopens,omitempty"`
+
+	// Cluster (-cluster) counters: client-side failovers (a submission
+	// completed on a later node after an earlier one failed at the
+	// transport level) and the per-node breakdown.
+	Failovers int64        `json:"failovers,omitempty"`
+	Nodes     []nodeReport `json:"nodes,omitempty"`
 }
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8321", "irredd base URL")
+	clusterFlag := flag.String("cluster", "", "comma-separated irredd base URLs: round-robin submission across the fleet with client-side failover (overrides -addr)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
 	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
 	qps := flag.Float64("qps", 0, "target aggregate submissions/sec (0 = unpaced, full closed loop)")
@@ -276,15 +304,66 @@ func main() {
 		os.Exit(2)
 	}
 
-	c := client.New(*addr)
+	urls := []string{*addr}
+	if *clusterFlag != "" {
+		urls = urls[:0]
+		for _, u := range strings.Split(*clusterFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintf(os.Stderr, "irredload: -cluster: no URLs\n")
+			os.Exit(2)
+		}
+	}
+	clients := make([]*client.Client, len(urls))
+	for i, u := range urls {
+		clients[i] = client.New(u)
+	}
+	c := clients[0]
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 
-	if err := c.Health(context.Background()); err != nil {
-		fmt.Fprintf(os.Stderr, "irredload: server not reachable at %s: %v\n", *addr, err)
-		os.Exit(2)
+	for i, cl := range clients {
+		if err := cl.Health(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "irredload: server not reachable at %s: %v\n", urls[i], err)
+			os.Exit(2)
+		}
+	}
+	// Cache counters aggregate across the fleet: sharding moves the hits
+	// to the owners, the sum is what the workload actually experienced. In
+	// cluster mode an unreachable node is skipped rather than fatal — a
+	// roll-restart mid-run must not abort the whole report — as long as at
+	// least one node still answers.
+	sumCache := func() (hits, misses int64, err error) {
+		ok := 0
+		var lastErr error
+		for i, cl := range clients {
+			m, err := cl.Metrics(context.Background())
+			if err != nil {
+				if len(clients) == 1 {
+					return 0, 0, err
+				}
+				lastErr = err
+				fmt.Fprintf(os.Stderr, "irredload: metrics from %s skipped: %v\n", urls[i], err)
+				continue
+			}
+			ok++
+			hits += m.Cache.Hits
+			misses += m.Cache.Misses
+		}
+		if ok == 0 {
+			return 0, 0, lastErr
+		}
+		return hits, misses, nil
 	}
 	before, err := c.Metrics(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
+		os.Exit(2)
+	}
+	beforeHits, beforeMisses, err := sumCache()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
 		os.Exit(2)
@@ -302,7 +381,47 @@ func main() {
 		mismatch  int64
 		shedTotal int64
 		reopens   int64
+		failovers int64
 	)
+
+	// Per-node counters for cluster runs (index-aligned with clients).
+	type nodeStats struct {
+		jobs      int64
+		sheds     int64
+		failovers int64
+		hist      *obs.Reservoir
+	}
+	perNode := make([]*nodeStats, len(clients))
+	for i := range perNode {
+		perNode[i] = &nodeStats{hist: obs.NewReservoir(4096)}
+	}
+	var rr int64 // round-robin cursor (under mu)
+
+	// submit runs one submission with client-side failover: start at the
+	// round-robin node, and when a node fails at the transport level (no
+	// HTTP answer at all — a dead or partitioned node) move to the next.
+	// An HTTP-level answer, success or error, is terminal: the fleet's own
+	// router already did its server-side failovers behind it.
+	submit := func(ctx context.Context, spec service.JobSpec) (*service.JobStatus, int, int, int, error) {
+		mu.Lock()
+		start := int(rr % int64(len(clients)))
+		rr++
+		mu.Unlock()
+		var lastErr error
+		for k := 0; k < len(clients); k++ {
+			idx := (start + k) % len(clients)
+			st, sheds, err := clients[idx].SubmitWaitRetry(ctx, spec)
+			if err == nil {
+				return st, sheds, idx, k, nil
+			}
+			lastErr = err
+			var se *client.StatusError
+			if errors.As(err, &se) || ctx.Err() != nil {
+				return nil, sheds, idx, k, err
+			}
+		}
+		return nil, 0, start, len(clients) - 1, lastErr
+	}
 
 	// Chaos mode verifies against an oracle, not against "first answer
 	// seen": the expected SHA per seed is the sequential reduction computed
@@ -337,6 +456,9 @@ func main() {
 	// per round. The mirror is mutated BEFORE the submit, so after a 410
 	// the reopen ships the already-advanced state and nothing replays.
 	deltaWorker := func(w int, rng *rand.Rand) {
+		// Sessions are node-resident: each delta worker pins one node
+		// (spread across the fleet in cluster mode) instead of round-robin.
+		c := clients[w%len(clients)]
 		spec := rawChaosSpec(int64(w))
 		spec.P = 1 + rng.Intn(*maxP)
 		spec.K = 1 + rng.Intn(*maxK)
@@ -495,10 +617,13 @@ func main() {
 					spec = key.spec()
 				}
 				t0 := time.Now()
-				st, sheds, err := c.SubmitWaitRetry(ctx, spec)
+				st, sheds, nodeIdx, hops, err := submit(ctx, spec)
 				lat := time.Since(t0)
 				mu.Lock()
 				shedTotal += int64(sheds)
+				failovers += int64(hops)
+				perNode[nodeIdx].sheds += int64(sheds)
+				perNode[nodeIdx].failovers += int64(hops)
 				mu.Unlock()
 				if err != nil {
 					if ctx.Err() != nil {
@@ -510,8 +635,10 @@ func main() {
 					continue
 				}
 				hist.Add(float64(lat) / float64(time.Millisecond))
+				perNode[nodeIdx].hist.Add(float64(lat) / float64(time.Millisecond))
 				mu.Lock()
 				jobs++
+				perNode[nodeIdx].jobs++
 				if st.State != service.StateDone || st.ResultSHA256 == "" {
 					failures++
 					if st.Error != "" {
@@ -538,12 +665,22 @@ func main() {
 	elapsed := time.Since(start)
 
 	after, err := c.Metrics(context.Background())
+	for i := 1; err != nil && i < len(clients); i++ {
+		// The first node may be mid-roll at scrape time; any live node's
+		// snapshot serves for the session-delta fields.
+		after, err = clients[i].Metrics(context.Background())
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
 		os.Exit(2)
 	}
-	hits := after.Cache.Hits - before.Cache.Hits
-	misses := after.Cache.Misses - before.Cache.Misses
+	afterHits, afterMisses, err := sumCache()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irredload: metrics: %v\n", err)
+		os.Exit(2)
+	}
+	hits := afterHits - beforeHits
+	misses := afterMisses - beforeMisses
 
 	qs := hist.Quantiles(0.5, 0.9, 0.99, 1.0)
 	rep := report{
@@ -567,6 +704,19 @@ func main() {
 		rep.Full = after.Sessions.FullReinspects - before.Sessions.FullReinspects
 		rep.Reopens = reopens
 	}
+	if len(clients) > 1 {
+		rep.Failovers = failovers
+		for i, ns := range perNode {
+			nq := ns.hist.Quantiles(0.5, 0.99)
+			rep.Nodes = append(rep.Nodes, nodeReport{
+				URL:       urls[i],
+				Jobs:      ns.jobs,
+				Sheds:     ns.sheds,
+				Failovers: ns.failovers,
+				P50ms:     nq[0], P99ms: nq[1],
+			})
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -583,6 +733,10 @@ func main() {
 		if *deltasMode {
 			fmt.Printf("  deltas=%d incremental=%d full=%d reopens=%d\n",
 				rep.Deltas, rep.Incremental, rep.Full, rep.Reopens)
+		}
+		for _, nr := range rep.Nodes {
+			fmt.Printf("  node %s: jobs=%d sheds=%d failovers=%d p50=%.2fms p99=%.2fms\n",
+				nr.URL, nr.Jobs, nr.Sheds, nr.Failovers, nr.P50ms, nr.P99ms)
 		}
 	}
 

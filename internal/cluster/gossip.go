@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is the health of one peer as seen by this node. Transitions
+// are driven by direct probe outcomes with hysteresis: a peer is not
+// suspected on the first missed probe, and not declared dead on the first
+// suspicion — transient stalls (GC pauses, a slow disk flush, one dropped
+// packet under chaos) must not reshuffle the ring.
+//
+//	alive --SuspectAfter consecutive misses--> suspect
+//	suspect --DeadAfter consecutive misses--> dead
+//	any --one successful exchange--> alive
+//
+// Dead peers leave the ring (their key range moves to successors) but keep
+// being probed, so a recovered node rejoins without operator action.
+type PeerState int
+
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// PeerWire is the self-description a node attaches to every gossip
+// exchange: readiness, load, and a cheap fingerprint of its schedule
+// cache. The digest lets operators see cache convergence across the fleet
+// from any node's /metrics without shipping key lists.
+type PeerWire struct {
+	Name         string `json:"name"`
+	Ready        bool   `json:"ready"`
+	QueueDepth   int    `json:"queue_depth"`
+	WorkersBusy  int    `json:"workers_busy"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheDigest  uint64 `json:"cache_digest"`
+}
+
+// GossipMsg is one half of a gossip exchange. The prober POSTs its own
+// wire state to /v1/cluster/gossip; the receiver records the sender as
+// alive (an inbound probe is proof of life, which heals one-way probe
+// failures) and answers with its own GossipMsg — every exchange refreshes
+// both directions.
+type GossipMsg struct {
+	From string   `json:"from"`
+	Self PeerWire `json:"self"`
+}
+
+// PeerStatus is one row of the peer table snapshot exposed on /metrics.
+type PeerStatus struct {
+	Name         string `json:"name"`
+	URL          string `json:"url"`
+	State        string `json:"state"`
+	Misses       int    `json:"misses"`
+	Ready        bool   `json:"ready"`
+	QueueDepth   int    `json:"queue_depth"`
+	WorkersBusy  int    `json:"workers_busy"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheDigest  uint64 `json:"cache_digest"`
+	LastSeenMS   int64  `json:"last_seen_ms"` // ms since last success, -1 if never
+}
+
+// peerTable tracks every configured peer's state. All decisions are
+// local: a node trusts only its own probe outcomes (plus inbound probes),
+// so there is nothing to coordinate and no split-brain arbitration — at
+// worst a partitioned node routes to itself, and the ClusterUID dedupe on
+// the owner makes the duplicate submission idempotent.
+type peerTable struct {
+	suspectAfter int
+	deadAfter    int
+
+	mu    sync.Mutex
+	peers map[string]*peerEntry
+}
+
+type peerEntry struct {
+	name     string
+	url      string
+	state    PeerState
+	misses   int
+	wire     PeerWire
+	lastSeen time.Time
+}
+
+func newPeerTable(peers map[string]string, suspectAfter, deadAfter int) *peerTable {
+	if suspectAfter < 1 {
+		suspectAfter = 2
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = suspectAfter + 2
+	}
+	t := &peerTable{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		peers:        make(map[string]*peerEntry, len(peers)),
+	}
+	for name, url := range peers {
+		// Peers start alive: a booting fleet must not treat slow-starting
+		// members as dead before the first probe round completes.
+		t.peers[name] = &peerEntry{name: name, url: url, state: PeerAlive}
+	}
+	return t
+}
+
+// observeSuccess records a completed exchange with peer name and the wire
+// state it reported. Any state resets to alive immediately — recovery
+// needs no hysteresis, only failure does.
+func (t *peerTable) observeSuccess(name string, wire PeerWire) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.peers[name]
+	if !ok {
+		return // not in the static seed set: ignore strangers
+	}
+	e.state = PeerAlive
+	e.misses = 0
+	e.wire = wire
+	e.lastSeen = time.Now()
+}
+
+// observeFailure records a failed probe and applies the hysteresis
+// thresholds. It returns the resulting state so the caller can log
+// transitions.
+func (t *peerTable) observeFailure(name string) PeerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.peers[name]
+	if !ok {
+		return PeerDead
+	}
+	e.misses++
+	switch {
+	case e.misses >= t.deadAfter:
+		e.state = PeerDead
+	case e.misses >= t.suspectAfter:
+		e.state = PeerSuspect
+	}
+	return e.state
+}
+
+// url returns the base URL for peer name ("" if unknown).
+func (t *peerTable) url(name string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.peers[name]; ok {
+		return e.url
+	}
+	return ""
+}
+
+// state returns the current state of peer name (PeerDead if unknown).
+func (t *peerTable) state(name string) PeerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.peers[name]; ok {
+		return e.state
+	}
+	return PeerDead
+}
+
+// notReady reports whether peer name has affirmatively advertised
+// non-readiness (draining). A peer never heard from is NOT not-ready:
+// during boot the fleet must route normally before the first gossip
+// round lands.
+func (t *peerTable) notReady(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.peers[name]; ok {
+		return !e.lastSeen.IsZero() && !e.wire.Ready
+	}
+	return false
+}
+
+// names returns all configured peer names, sorted (stable probe order).
+func (t *peerTable) names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.peers))
+	for name := range t.peers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// liveMembers returns the non-dead peer names plus self — the ring
+// membership. Dead peers fall out, moving their key range to successors;
+// suspect peers stay (hysteresis: reshuffling the ring is the expensive,
+// cache-cold operation, so it waits for the stronger signal).
+func (t *peerTable) liveMembers(self string) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := []string{self}
+	for name, e := range t.peers {
+		if e.state != PeerDead {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot copies the peer table for /metrics, sorted by name.
+func (t *peerTable) snapshot() []PeerStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PeerStatus, 0, len(t.peers))
+	for _, e := range t.peers {
+		ps := PeerStatus{
+			Name:         e.name,
+			URL:          e.url,
+			State:        e.state.String(),
+			Misses:       e.misses,
+			Ready:        e.wire.Ready,
+			QueueDepth:   e.wire.QueueDepth,
+			WorkersBusy:  e.wire.WorkersBusy,
+			CacheEntries: e.wire.CacheEntries,
+			CacheDigest:  e.wire.CacheDigest,
+			LastSeenMS:   -1,
+		}
+		if !e.lastSeen.IsZero() {
+			ps.LastSeenMS = time.Since(e.lastSeen).Milliseconds()
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

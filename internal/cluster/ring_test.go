@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys builds K deterministic keys shaped like real routing keys.
+func ringKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sched:%016x/p4/k%d", i*2654435761, i%7)
+	}
+	return keys
+}
+
+// TestRingMovementBound is the satellite property test: on a single join
+// or leave, ownership moves for at most ceil(K/N) keys, where N is the
+// smaller member count — each member's fair share of the smaller fleet.
+// Consistent hashing's whole point is that a membership change of 1
+// reshuffles one node's share (~K/N keys), not K. The test is fully
+// deterministic (fixed keys, seedless hash), so it cannot flake.
+func TestRingMovementBound(t *testing.T) {
+	keys := ringKeys(4000)
+	for n := 2; n <= 6; n++ {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("node%d", i+1)
+		}
+		base := NewRing(members, 0)
+
+		// Join: n -> n+1 members.
+		joined := base.With(fmt.Sprintf("node%d", n+1))
+		bound := (len(keys) + n - 1) / n // ceil(K/n), n = smaller fleet
+		moved := 0
+		for _, k := range keys {
+			if base.Owner(k) != joined.Owner(k) {
+				moved++
+			}
+		}
+		if moved > bound {
+			t.Errorf("join %d->%d: %d keys moved, bound ceil(K/N) = %d", n, n+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("join %d->%d: no keys moved; new member owns nothing", n, n+1)
+		}
+
+		// Leave: n -> n-1 members. Keys that stay must keep their owner.
+		left := base.Without(members[n-1])
+		bound = (len(keys) + n - 2) / (n - 1) // ceil(K/(n-1)), smaller fleet
+		moved = 0
+		for _, k := range keys {
+			if base.Owner(k) != left.Owner(k) {
+				moved++
+				// Only keys the departed member owned may move.
+				if base.Owner(k) != members[n-1] {
+					t.Fatalf("leave %d->%d: key %q moved from surviving member %s",
+						n, n-1, k, base.Owner(k))
+				}
+			}
+		}
+		if moved > bound {
+			t.Errorf("leave %d->%d: %d keys moved, bound ceil(K/N) = %d", n, n-1, moved, bound)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossViews checks routing is a pure function of
+// the member set: rings built from differently-ordered (and duplicated)
+// member slices agree on Owner and Order for every key — the property that
+// lets any node route for any other without coordination.
+func TestRingDeterministicAcrossViews(t *testing.T) {
+	members := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	a := NewRing(members, 0)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := append([]string{}, members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// A duplicate seed entry must not change the ring.
+		shuffled = append(shuffled, shuffled[0])
+		b := NewRing(shuffled, 0)
+
+		for _, k := range ringKeys(500) {
+			if a.Owner(k) != b.Owner(k) {
+				t.Fatalf("trial %d: Owner(%q) differs: %s vs %s", trial, k, a.Owner(k), b.Owner(k))
+			}
+			ao, bo := a.Order(k), b.Order(k)
+			if len(ao) != len(bo) {
+				t.Fatalf("trial %d: Order(%q) lengths differ", trial, k)
+			}
+			for i := range ao {
+				if ao[i] != bo[i] {
+					t.Fatalf("trial %d: Order(%q)[%d] differs: %s vs %s", trial, k, i, ao[i], bo[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRingOrder checks Order lists every member exactly once, owner first.
+func TestRingOrder(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, k := range ringKeys(100) {
+		order := r.Order(k)
+		if len(order) != 3 {
+			t.Fatalf("Order(%q) = %v, want 3 distinct members", k, order)
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("Order(%q)[0] = %s, Owner = %s", k, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("Order(%q) repeats %s", k, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the vnode count gives a roughly uniform
+// split (no member owns more than 2x its fair share at K=4000, N=4).
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / r.Len()
+	for m, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("member %s owns %d keys, fair share %d", m, c, fair)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate shapes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q", got)
+	}
+	if got := empty.Order("k"); got != nil {
+		t.Fatalf("empty ring Order = %v", got)
+	}
+	single := NewRing([]string{"only"}, 0)
+	if got := single.Owner("k"); got != "only" {
+		t.Fatalf("single ring Owner = %q", got)
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantLimiter is per-tenant token-bucket admission, sitting in front of
+// the service's queue-full 429 shedding. The service protects the node
+// (bounded queue); the limiter protects tenants from each other — one
+// chatty tenant drains only its own bucket, and its 429s carry a
+// Retry-After computed from its own refill rate.
+//
+// Buckets are created on first sight of a tenant and refilled lazily on
+// each Allow call (no background goroutine). An idle tenant's bucket
+// eventually refills to burst and is dropped once full and stale, so the
+// map cannot grow without bound under tenant-id churn.
+type TenantLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+	sheds   map[string]int64 // per-tenant 429 count, for /metrics
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewTenantLimiter builds a limiter refilling rate tokens/second with the
+// given burst capacity per tenant. Nil (unlimited) when rate <= 0.
+func NewTenantLimiter(rate float64, burst int) *TenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*tenantBucket),
+		sheds:   make(map[string]int64),
+	}
+}
+
+// Allow takes one token from tenant's bucket. When the bucket is empty it
+// reports false and the number of whole seconds until a token is
+// available (at least 1) — the Retry-After value. Safe on a nil limiter:
+// everything is admitted.
+func (l *TenantLimiter) Allow(tenant string) (ok bool, retryAfter int) {
+	if l == nil {
+		return true, 0
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &tenantBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.sweepLocked(now)
+		return true, 0
+	}
+	l.sheds[tenant]++
+	need := (1 - b.tokens) / l.rate
+	return false, int(math.Ceil(math.Max(need, 1)))
+}
+
+// sweepLocked drops buckets that have been idle long enough to be full
+// again (they would be recreated identically), keeping the map bounded.
+// Runs opportunistically and only when the map has grown.
+func (l *TenantLimiter) sweepLocked(now time.Time) {
+	if len(l.buckets) < 1024 {
+		return
+	}
+	idle := time.Duration(float64(time.Second) * (l.burst/l.rate + 1))
+	for id, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// Sheds snapshots the per-tenant shed counts.
+func (l *TenantLimiter) Sheds() map[string]int64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.sheds))
+	for id, n := range l.sheds {
+		out[id] = n
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import "testing"
+
+func TestTenantLimiterBurstAndShed(t *testing.T) {
+	// 1 token/s, burst 3: the first three requests pass, the fourth sheds
+	// with a positive Retry-After (the refill is far slower than the test).
+	l := NewTenantLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("request %d shed within burst", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("4th request admitted past burst")
+	}
+	if retry < 1 {
+		t.Fatalf("Retry-After = %d, want >= 1", retry)
+	}
+	// Tenants are isolated: a different tenant still has a full bucket.
+	if ok, _ := l.Allow("other"); !ok {
+		t.Fatal("fresh tenant shed by a different tenant's exhaustion")
+	}
+	sheds := l.Sheds()
+	if sheds["acme"] != 1 || sheds["other"] != 0 {
+		t.Fatalf("sheds = %v, want acme:1", sheds)
+	}
+}
+
+func TestTenantLimiterNilAndDisabled(t *testing.T) {
+	var nilL *TenantLimiter
+	if ok, _ := nilL.Allow("x"); !ok {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if nilL.Sheds() != nil {
+		t.Fatal("nil limiter Sheds must be nil")
+	}
+	if NewTenantLimiter(0, 5) != nil {
+		t.Fatal("rate <= 0 must build an unlimited (nil) limiter")
+	}
+}

@@ -52,12 +52,22 @@ const (
 	Kill
 	// DiskFail makes a cache/checkpoint disk write fail.
 	DiskFail
+	// NetDrop loses an inter-node cluster hop (forward, gossip, replica
+	// push): the HTTP request errors before it is sent, so retry/backoff
+	// on the sender is the only recovery path.
+	NetDrop
+	// NetDelay delivers an inter-node hop late by NetDelayMS.
+	NetDelay
+	// Partition blocks every hop between two named nodes until healed —
+	// the structural network fault; it is configured by pair, not rolled.
+	Partition
 
 	numClasses
 )
 
 var classNames = [numClasses]string{
 	"drop", "delay", "dup", "corrupt", "stall", "panic", "kill", "disk",
+	"net_drop", "net_delay", "partition",
 }
 
 func (c Class) String() string {
@@ -104,15 +114,34 @@ type Spec struct {
 	// DelayMS is how late a delayed payload is delivered (default 20).
 	DelayMS int64 `json:"delay_ms,omitempty"`
 
+	// Per-hop inter-node network fault probabilities (cluster transport).
+	NetDropRate  float64 `json:"net_drop,omitempty"`
+	NetDelayRate float64 `json:"net_delay,omitempty"`
+	// NetDelayMS is how late a delayed hop is delivered (default 10).
+	NetDelayMS int64 `json:"net_delay_ms,omitempty"`
+
+	// Partitions are node pairs whose hops fail in both directions until
+	// healed (Injector.Heal). Pairs may also be installed and removed at
+	// runtime with Injector.Partition/Heal — the deterministic way a test
+	// stages a split-brain and then lets it mend.
+	Partitions []PartitionPair `json:"partitions,omitempty"`
+
 	// Targets are precise one-shot faults (fired at most once each).
 	Targets []Target `json:"targets,omitempty"`
+}
+
+// PartitionPair names two nodes that cannot reach each other.
+type PartitionPair struct {
+	A string `json:"a"`
+	B string `json:"b"`
 }
 
 // Enabled reports whether the spec injects anything at all.
 func (s Spec) Enabled() bool {
 	return s.DropRate > 0 || s.DelayRate > 0 || s.DupRate > 0 ||
 		s.CorruptRate > 0 || s.StallRate > 0 || s.PanicRate > 0 ||
-		s.DiskRate > 0 || len(s.Targets) > 0
+		s.DiskRate > 0 || s.NetDropRate > 0 || s.NetDelayRate > 0 ||
+		len(s.Partitions) > 0 || len(s.Targets) > 0
 }
 
 // Validate rejects out-of-range rates (an injector is a test instrument;
@@ -125,13 +154,19 @@ func (s Spec) Validate() error {
 		{"drop", s.DropRate}, {"delay", s.DelayRate}, {"dup", s.DupRate},
 		{"corrupt", s.CorruptRate}, {"stall", s.StallRate},
 		{"panic", s.PanicRate}, {"disk", s.DiskRate},
+		{"net_drop", s.NetDropRate}, {"net_delay", s.NetDelayRate},
 	} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v)
 		}
 	}
-	if s.StallMS < 0 || s.DelayMS < 0 {
+	if s.StallMS < 0 || s.DelayMS < 0 || s.NetDelayMS < 0 {
 		return fmt.Errorf("fault: negative duration")
+	}
+	for i, p := range s.Partitions {
+		if p.A == "" || p.B == "" {
+			return fmt.Errorf("fault: partition %d names an empty node", i)
+		}
 	}
 	for i, t := range s.Targets {
 		if t.Class < 0 || t.Class >= numClasses {
@@ -157,11 +192,19 @@ func (s Spec) String() string {
 	add("stall", s.StallRate)
 	add("panic", s.PanicRate)
 	add("disk", s.DiskRate)
+	add("net_drop", s.NetDropRate)
+	add("net_delay", s.NetDelayRate)
 	if s.StallMS > 0 {
 		parts = append(parts, fmt.Sprintf("stall_ms=%d", s.StallMS))
 	}
 	if s.DelayMS > 0 {
 		parts = append(parts, fmt.Sprintf("delay_ms=%d", s.DelayMS))
+	}
+	if s.NetDelayMS > 0 {
+		parts = append(parts, fmt.Sprintf("net_delay_ms=%d", s.NetDelayMS))
+	}
+	for _, p := range s.Partitions {
+		parts = append(parts, fmt.Sprintf("partition=%s~%s", p.A, p.B))
 	}
 	return strings.Join(parts, ",")
 }
@@ -187,7 +230,7 @@ func ParseSpec(s string) (Spec, error) {
 			return Spec{}, fmt.Errorf("fault: %q is not key=value", part)
 		}
 		switch key {
-		case "seed", "stall_ms", "delay_ms":
+		case "seed", "stall_ms", "delay_ms", "net_delay_ms":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return Spec{}, fmt.Errorf("fault: bad %s %q", key, val)
@@ -199,7 +242,15 @@ func ParseSpec(s string) (Spec, error) {
 				spec.StallMS = n
 			case "delay_ms":
 				spec.DelayMS = n
+			case "net_delay_ms":
+				spec.NetDelayMS = n
 			}
+		case "partition":
+			a, b, found := strings.Cut(val, "~")
+			if !found || a == "" || b == "" {
+				return Spec{}, fmt.Errorf("fault: partition %q is not a~b", val)
+			}
+			spec.Partitions = append(spec.Partitions, PartitionPair{A: a, B: b})
 		default:
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
@@ -220,6 +271,10 @@ func ParseSpec(s string) (Spec, error) {
 				spec.PanicRate = f
 			case "disk":
 				spec.DiskRate = f
+			case "net_drop":
+				spec.NetDropRate = f
+			case "net_delay":
+				spec.NetDelayRate = f
 			default:
 				return Spec{}, fmt.Errorf("fault: unknown key %q", key)
 			}
@@ -241,26 +296,37 @@ type Counters struct {
 	Panics     int64 `json:"panics"`
 	Kills      int64 `json:"kills"`
 	DiskFails  int64 `json:"disk_fails"`
-	Recoveries int64 `json:"recoveries"` // incremented by the runtime, not the injector
+	NetDrops   int64 `json:"net_drops"`
+	NetDelays  int64 `json:"net_delays"`
+	Partitions int64 `json:"partition_blocks"` // hops blocked by a live partition
+	Recoveries int64 `json:"recoveries"`       // incremented by the runtime, not the injector
 }
 
 // Total sums the injected-fault counters (recoveries excluded).
 func (c Counters) Total() int64 {
 	return c.Drops + c.Delays + c.Dups + c.Corrupts + c.Stalls +
-		c.Panics + c.Kills + c.DiskFails
+		c.Panics + c.Kills + c.DiskFails + c.NetDrops + c.NetDelays +
+		c.Partitions
 }
 
 // Injector makes deterministic fault decisions. All methods are safe on a
 // nil receiver (and inject nothing), so callers hold a possibly-nil
 // *Injector without guards.
+// The zero Injector is valid and injects nothing, but — unlike a nil one
+// — still accepts runtime Partition/Heal calls, so a harness can build an
+// inert injector first and install structural network chaos later.
 type Injector struct {
 	spec Spec
 
 	mu    sync.Mutex
 	fired []bool // one-shot targets already fired
 
+	netMu sync.Mutex
+	parts map[[2]string]bool // live partitions, key = sorted pair
+
 	counts [numClasses]atomic.Int64
 	recov  atomic.Int64
+	hopSeq atomic.Int64 // per-process hop counter, a rolling coordinate
 }
 
 // New builds an injector for the spec; it returns nil when the spec
@@ -269,7 +335,11 @@ func New(spec Spec) *Injector {
 	if !spec.Enabled() {
 		return nil
 	}
-	return &Injector{spec: spec, fired: make([]bool, len(spec.Targets))}
+	in := &Injector{spec: spec, fired: make([]bool, len(spec.Targets))}
+	for _, p := range spec.Partitions {
+		in.Partition(p.A, p.B)
+	}
+	return in
 }
 
 // Spec returns the injector's configuration (zero Spec when nil).
@@ -445,6 +515,98 @@ func (in *Injector) DiskWrite(name string, attempt int) error {
 	return nil
 }
 
+// partKey normalizes a node pair so partitions are bidirectional.
+func partKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition blocks every hop between nodes a and b (both directions)
+// until Heal — the deterministic split-brain a cluster test stages.
+func (in *Injector) Partition(a, b string) {
+	if in == nil {
+		return
+	}
+	in.netMu.Lock()
+	if in.parts == nil {
+		in.parts = make(map[[2]string]bool)
+	}
+	in.parts[partKey(a, b)] = true
+	in.netMu.Unlock()
+}
+
+// Heal removes a partition installed by Partition (or the spec).
+func (in *Injector) Heal(a, b string) {
+	if in == nil {
+		return
+	}
+	in.netMu.Lock()
+	delete(in.parts, partKey(a, b))
+	in.netMu.Unlock()
+}
+
+// Partitioned reports whether a and b currently cannot reach each other.
+func (in *Injector) Partitioned(a, b string) bool {
+	if in == nil {
+		return false
+	}
+	in.netMu.Lock()
+	defer in.netMu.Unlock()
+	return in.parts[partKey(a, b)]
+}
+
+// HopFault describes what happens to one inter-node cluster hop.
+type HopFault struct {
+	Drop  bool // the request errors before it is sent
+	Delay time.Duration
+}
+
+// strHash folds a node name into a coordinate for the deterministic roll.
+func strHash(s string) int {
+	h := uint32(2166136261)
+	for _, b := range []byte(s) {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(int32(h))
+}
+
+// Hop decides the fate of attempt number attempt of a hop from node
+// `from` to node `to`. A live partition between the pair always drops
+// (counted separately from rolled drops); otherwise NetDropRate and
+// NetDelayRate are rolled on (from, to, attempt, seq) coordinates, where
+// seq is a per-process hop counter: unlike the job-level faults, the
+// node-pair coordinates alone are nearly constant in a small fleet, so
+// without seq a 10% drop rate would either always or never fire for a
+// given pair. With seq the rate holds per hop; a run is still
+// reproducible when its hop order is (seed fixed, one client).
+func (in *Injector) Hop(from, to string, attempt int) HopFault {
+	if in == nil {
+		return HopFault{}
+	}
+	if in.Partitioned(from, to) {
+		in.count(Partition)
+		return HopFault{Drop: true}
+	}
+	seq := int(in.hopSeq.Add(1))
+	var f HopFault
+	if in.roll(NetDrop, in.spec.NetDropRate, strHash(from), strHash(to), attempt, seq) {
+		f.Drop = true
+		in.count(NetDrop)
+		return f
+	}
+	if in.roll(NetDelay, in.spec.NetDelayRate, strHash(from), strHash(to), attempt, ^seq) {
+		ms := in.spec.NetDelayMS
+		if ms <= 0 {
+			ms = 10
+		}
+		f.Delay = time.Duration(ms) * time.Millisecond
+		in.count(NetDelay)
+	}
+	return f
+}
+
 // Recovered lets the runtime count a successful recovery against the
 // injector, so a soak can assert faults fired AND were recovered.
 func (in *Injector) Recovered() {
@@ -468,6 +630,9 @@ func (in *Injector) Counters() Counters {
 		Panics:     in.counts[Panic].Load(),
 		Kills:      in.counts[Kill].Load(),
 		DiskFails:  in.counts[DiskFail].Load(),
+		NetDrops:   in.counts[NetDrop].Load(),
+		NetDelays:  in.counts[NetDelay].Load(),
+		Partitions: in.counts[Partition].Load(),
 		Recoveries: in.recov.Load(),
 	}
 }
@@ -478,7 +643,9 @@ func (c Counters) Summary() string {
 	m := map[string]int64{
 		"drop": c.Drops, "delay": c.Delays, "dup": c.Dups,
 		"corrupt": c.Corrupts, "stall": c.Stalls, "panic": c.Panics,
-		"kill": c.Kills, "disk": c.DiskFails, "recovered": c.Recoveries,
+		"kill": c.Kills, "disk": c.DiskFails, "net_drop": c.NetDrops,
+		"net_delay": c.NetDelays, "partition": c.Partitions,
+		"recovered": c.Recoveries,
 	}
 	keys := make([]string, 0, len(m))
 	for k, v := range m {

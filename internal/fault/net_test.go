@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestHopDeterministic: the same (from, to, attempt) coordinates decide
+// identically across injectors built from the same spec — a failing chaos
+// seed on the cluster transport is a replayable bug report.
+func TestHopDeterministic(t *testing.T) {
+	spec := Spec{Seed: 7, NetDropRate: 0.3, NetDelayRate: 0.3, NetDelayMS: 5}
+	a, b := New(spec), New(spec)
+	if a == nil || b == nil {
+		t.Fatal("net rates should enable the injector")
+	}
+	drops, delays := 0, 0
+	for att := 0; att < 200; att++ {
+		fa := a.Hop("n1", "n2", att)
+		fb := b.Hop("n1", "n2", att)
+		if fa != fb {
+			t.Fatalf("attempt %d: %+v != %+v", att, fa, fb)
+		}
+		if fa.Drop {
+			drops++
+		}
+		if fa.Delay > 0 {
+			delays++
+		}
+	}
+	if drops == 0 || delays == 0 {
+		t.Fatalf("expected both drops and delays at rate 0.3 over 200 attempts, got drops=%d delays=%d", drops, delays)
+	}
+	if a.Hop("n1", "n2", 0) == (HopFault{}) && a.Hop("n1", "n3", 0) == (HopFault{}) && a.Hop("n2", "n1", 0) == (HopFault{}) {
+		// Nothing to assert here beyond coverage: distinct pairs draw from
+		// independent streams, exercised above.
+		_ = delays
+	}
+	c := a.Counters()
+	if c.NetDrops == 0 || c.NetDelays == 0 {
+		t.Fatalf("counters not maintained: %+v", c)
+	}
+}
+
+// TestPartitionBlocksAndHeals: a partition drops every hop between the
+// pair, in both directions, until healed; unrelated pairs are untouched.
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	in := New(Spec{Partitions: []PartitionPair{{A: "n1", B: "n2"}}})
+	if in == nil {
+		t.Fatal("a partitioned spec should enable the injector")
+	}
+	if !in.Partitioned("n1", "n2") || !in.Partitioned("n2", "n1") {
+		t.Fatal("spec partition not installed bidirectionally")
+	}
+	if !in.Hop("n1", "n2", 0).Drop || !in.Hop("n2", "n1", 0).Drop {
+		t.Fatal("partitioned hop did not drop")
+	}
+	if in.Hop("n1", "n3", 0).Drop {
+		t.Fatal("unrelated hop dropped with zero rates")
+	}
+	in.Heal("n2", "n1") // order-insensitive
+	if in.Partitioned("n1", "n2") {
+		t.Fatal("heal did not remove the partition")
+	}
+	if in.Hop("n1", "n2", 1).Drop {
+		t.Fatal("healed hop still drops")
+	}
+	if got := in.Counters().Partitions; got != 2 {
+		t.Fatalf("partition block count = %d, want 2", got)
+	}
+
+	// Runtime-installed partitions behave identically.
+	in.Partition("a", "b")
+	if !in.Hop("b", "a", 0).Drop {
+		t.Fatal("runtime partition not effective")
+	}
+}
+
+// TestNilInjectorNetMethods: every network method is nil-safe and inert.
+func TestNilInjectorNetMethods(t *testing.T) {
+	var in *Injector
+	in.Partition("a", "b")
+	in.Heal("a", "b")
+	if in.Partitioned("a", "b") {
+		t.Fatal("nil injector reports a partition")
+	}
+	if f := in.Hop("a", "b", 0); f.Drop || f.Delay != 0 {
+		t.Fatal("nil injector injected a hop fault")
+	}
+}
+
+// TestParseSpecNet: the flag syntax round-trips the network keys.
+func TestParseSpecNet(t *testing.T) {
+	spec, err := ParseSpec("seed=3,net_drop=0.1,net_delay=0.2,net_delay_ms=7,partition=n1~n2,partition=n2~n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NetDropRate != 0.1 || spec.NetDelayRate != 0.2 || spec.NetDelayMS != 7 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if len(spec.Partitions) != 2 || spec.Partitions[0] != (PartitionPair{A: "n1", B: "n2"}) {
+		t.Fatalf("partitions %+v", spec.Partitions)
+	}
+	in := New(spec)
+	if got := in.Hop("n1", "n2", 0); !got.Drop {
+		t.Fatal("parsed partition not effective")
+	}
+	if f := in.Hop("n1", "n3", 0); f.Delay == 0 && f.Drop {
+		_ = f // rolled outcomes vary by seed; the partition check above is the assertion
+	}
+	if _, err := ParseSpec("partition=only-one"); err == nil {
+		t.Fatal("malformed partition accepted")
+	}
+	if _, err := ParseSpec("net_drop=1.5"); err == nil {
+		t.Fatal("out-of-range net_drop accepted")
+	}
+	// String() renders net keys in re-parseable syntax.
+	back, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", spec.String(), err)
+	}
+	if back.NetDropRate != spec.NetDropRate || len(back.Partitions) != len(spec.Partitions) {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

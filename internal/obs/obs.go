@@ -51,6 +51,16 @@ const (
 	// SpanCheckpoint is one checkpoint write (sweep state persisted so a
 	// restart can resume instead of recompute).
 	SpanCheckpoint = "checkpoint"
+	// SpanForward is one inter-node job forward: the routing node's view
+	// of the hop to the owner (retries and failovers included).
+	SpanForward = "forward"
+	// SpanFailover is one failover: a forward abandoned a dead target and
+	// replayed the job on the ring successor.
+	SpanFailover = "failover"
+	// SpanGossip is one health-gossip exchange with one peer.
+	SpanGossip = "gossip"
+	// SpanReplicate is one checkpoint frame shipped to the ring successor.
+	SpanReplicate = "replicate"
 	// SpanDelta is one incremental schedule revision for one processor
 	// (Schedule.Update on a session's resident schedule) — the streaming
 	// counterpart of SpanInspect, which full re-inspection records.

@@ -89,6 +89,22 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 	return c, nil
 }
 
+// KeyDigest folds the resident cache keys into (count, order-independent
+// FNV digest) — the cheap fingerprint a cluster node gossips so peers can
+// tell whether two caches have converged without shipping key lists.
+func (c *Cache) KeyDigest() (count int, digest uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.items {
+		h := uint64(14695981039346656037)
+		for _, b := range []byte(key) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		digest ^= h // XOR keeps the digest independent of iteration order
+	}
+	return len(c.items), digest
+}
+
 // Get returns the schedule set for key and whether it was present. Memory
 // is consulted first, then the persistence directory; a disk hit is
 // promoted into memory.

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"irred/internal/fault"
 )
@@ -123,6 +124,13 @@ func readJobCheckpoint(path string) (*jobCheckpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeJobCheckpoint(raw, path)
+}
+
+// decodeJobCheckpoint verifies and decodes IRCJ bytes, wherever they came
+// from — a local file or a checkpoint frame replicated from a cluster
+// peer. path only labels errors.
+func decodeJobCheckpoint(raw []byte, path string) (*jobCheckpoint, error) {
 	if len(raw) < len(ckFileMagic)+1+8 {
 		return nil, fmt.Errorf("service: checkpoint %s: truncated", path)
 	}
@@ -178,8 +186,13 @@ func readJobCheckpoint(path string) (*jobCheckpoint, error) {
 // scanJobCheckpoints lists the resumable checkpoints under dir, keyed by
 // the job id encoded in the file name. Unreadable or corrupt files are
 // deleted — a bad resume point is worth strictly less than a clean
-// restart.
+// restart — EXCEPT files whose mtime is at or after the scan start: those
+// may be mid-write by a concurrent writer (a cluster peer replicating a
+// checkpoint into a shared directory, or a tool staging a resume file),
+// and a half-written frame must not be garbage-collected out from under
+// it. Such files are skipped this scan and judged by a later one.
 func scanJobCheckpoints(dir string) map[string]*jobCheckpoint {
+	scanStart := time.Now()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil
@@ -193,6 +206,9 @@ func scanJobCheckpoints(dir string) map[string]*jobCheckpoint {
 		path := filepath.Join(dir, name)
 		ck, err := readJobCheckpoint(path)
 		if err != nil {
+			if fi, serr := os.Stat(path); serr == nil && !fi.ModTime().Before(scanStart) {
+				continue // concurrent writer: skip, never delete
+			}
 			os.Remove(path)
 			continue
 		}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCheckpointGCSkipsConcurrentWriter: startup GC deletes corrupt
+// checkpoint files, but a file whose mtime is at or after the scan start
+// may be a concurrent writer mid-write and must survive the scan. (The
+// regression: GC raced a peer staging a checkpoint into a shared jobs
+// directory and deleted the half-written frame.)
+func TestCheckpointGCSkipsConcurrentWriter(t *testing.T) {
+	dir := t.TempDir()
+
+	// A genuinely stale corrupt file: garbage bytes, mtime an hour ago.
+	stale := filepath.Join(dir, "j000001"+ckFileExt)
+	if err := os.WriteFile(stale, []byte("not an IRCJ frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// A concurrent writer's file: same garbage (it is mid-write), but its
+	// mtime is after the scan starts.
+	fresh := filepath.Join(dir, "j000002"+ckFileExt)
+	if err := os.WriteFile(fresh, []byte("half-written IRCJ frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(fresh, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	// A valid checkpoint rides along to prove the scan still resumes work.
+	spec := JobSpec{
+		NumIters: 8, NumElems: 4,
+		Ind:     [][]int32{{0, 1, 2, 3, 0, 1, 2, 3}},
+		Contrib: &ContribSpec{Kind: "ones"},
+		P:       2, K: 1, Steps: 4,
+	}
+	good := filepath.Join(dir, "j000003"+ckFileExt)
+	if err := writeJobCheckpoint(good, &jobCheckpoint{Spec: spec, Sweep: 2, X: make([]float64, 4)}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	got := scanJobCheckpoints(dir)
+	if len(got) != 1 {
+		t.Fatalf("scan returned %d checkpoints, want 1 (the valid one)", len(got))
+	}
+	if _, ok := got["j000003"]; !ok {
+		t.Fatalf("valid checkpoint missing from scan: %v", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale corrupt checkpoint survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("concurrent writer's file was garbage-collected: %v", err)
+	}
+
+	// Once the writer finishes (mtime now in the past), the next scan is
+	// free to judge — and delete — the file if it is still corrupt.
+	if err := os.Chtimes(fresh, old, old); err != nil {
+		t.Fatal(err)
+	}
+	scanJobCheckpoints(dir)
+	if _, err := os.Stat(fresh); !os.IsNotExist(err) {
+		t.Fatal("settled corrupt checkpoint survived the second scan")
+	}
+}

@@ -59,6 +59,15 @@ func IsShed(err error) bool {
 	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
 }
 
+// IsDraining reports whether the error is the service's 503
+// draining/closed answer. Like a 429 it is transient fleet weather — the
+// node is being rolled — so retrying (elsewhere, or here after
+// Retry-After) is the right reaction.
+func IsDraining(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusServiceUnavailable
+}
+
 // do issues a request and decodes the JSON answer into out (when non-nil).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
@@ -162,12 +171,12 @@ func retryDelay(attempt int, retryAfter time.Duration, rnd func() float64) time.
 }
 
 // SubmitWaitRetry enqueues a job with server-side wait, retrying 429
-// load-shed answers with jittered exponential backoff (never sooner than
-// the server's Retry-After), until ctx is cancelled — including mid-sleep.
-// The answer omits the result vector (its length and SHA-256 still come
-// back), making this the load-generator path: cheap on the wire while
-// still verifiable. It reports how many times the job was shed before
-// admission.
+// load-shed and 503 draining answers with jittered exponential backoff
+// (never sooner than the server's Retry-After), until ctx is cancelled —
+// including mid-sleep. The answer omits the result vector (its length and
+// SHA-256 still come back), making this the load-generator path: cheap on
+// the wire while still verifiable. It reports how many times the job was
+// shed before admission (drain answers count as sheds).
 func (c *Client) SubmitWaitRetry(ctx context.Context, spec service.JobSpec) (st *service.JobStatus, sheds int, err error) {
 	for {
 		var s service.JobStatus
@@ -175,7 +184,7 @@ func (c *Client) SubmitWaitRetry(ctx context.Context, spec service.JobSpec) (st 
 		if err == nil {
 			return &s, sheds, nil
 		}
-		if !IsShed(err) {
+		if !IsShed(err) && !IsDraining(err) {
 			return nil, sheds, err
 		}
 		var se *StatusError

@@ -252,3 +252,57 @@ func TestWaitPollsToTerminal(t *testing.T) {
 		t.Fatalf("state %s after %d polls", st.State, calls.Load())
 	}
 }
+
+// TestSubmitWaitRetryOn503 verifies a draining node is treated like a
+// shed: two 503 + Retry-After answers, then success once the roll is
+// done. This is what keeps rolling restarts invisible to single-node
+// clients.
+func TestSubmitWaitRetryOn503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "service closed"})
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("j503"))
+	}))
+	defer ts.Close()
+
+	st, sheds, err := client.New(ts.URL).SubmitWaitRetry(context.Background(), service.JobSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sheds != 2 {
+		t.Fatalf("sheds = %d, want 2", sheds)
+	}
+	if st.State != service.StateDone || st.ID != "j503" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestIsDraining pins the 503 classifier: true only for StatusError 503.
+func TestIsDraining(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "draining"})
+	}))
+	defer ts.Close()
+
+	_, err := client.New(ts.URL).Submit(context.Background(), service.JobSpec{})
+	if !client.IsDraining(err) {
+		t.Fatalf("IsDraining(%v) = false, want true", err)
+	}
+	if client.IsShed(err) {
+		t.Fatal("a 503 must not classify as a 429 shed")
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.RetryAfter != time.Second {
+		t.Fatalf("Retry-After not parsed on 503: %+v", se)
+	}
+	if client.IsDraining(errors.New("plain")) {
+		t.Fatal("IsDraining(plain error) = true")
+	}
+}

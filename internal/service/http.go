@@ -138,6 +138,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
+		// A closing (draining) node is a transient condition in a fleet:
+		// tell the client when to come back, exactly like the 429 path.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:

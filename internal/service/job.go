@@ -115,6 +115,15 @@ type JobSpec struct {
 	// heuristic defaults when the daemon has no trajectory). The spec's own
 	// P/K/Dist/Engine values are ignored and may be zero.
 	Auto bool `json:"auto,omitempty"`
+
+	// ClusterUID identifies one logical job across the fleet: the routing
+	// node stamps it before forwarding, and every replay of the job — on
+	// the same node after a retry, or on the ring successor after the
+	// owner died — carries the same uid. The service dedupes on it (a
+	// resubmitted uid attaches to the live job instead of running twice)
+	// and seeds replayed jobs from the uid's replicated IRCJ checkpoint
+	// when the cluster layer holds one. Empty outside cluster mode.
+	ClusterUID string `json:"cluster_uid,omitempty"`
 }
 
 // workload maps a spec onto the BENCH trajectory's (kernel, class)
@@ -141,6 +150,31 @@ func (sp *JobSpec) workload() (kernel, class string) {
 
 // IsRaw reports whether the spec is a raw reduction (no named kernel).
 func (sp *JobSpec) IsRaw() bool { return sp.Kernel == "" }
+
+// RoutingKey returns the content key the cluster routes this job by. Raw
+// jobs key on inspector.ScheduleKey over the base loop — the exact key of
+// the schedule-cache entry the job will populate or hit — so consistent
+// hashing shards the warm cache naturally: every job with the same
+// traversal and strategy lands on the node already holding its schedules.
+// Named kernels regenerate their dataset deterministically from
+// (dataset, seed), so a cheap literal key stands in for the content hash
+// with the same collision-free sharding property.
+func (sp *JobSpec) RoutingKey() string {
+	if !sp.IsRaw() {
+		return fmt.Sprintf("kernel:%s/%s/%d/p%d/k%d/%s",
+			sp.Kernel, sp.Dataset, sp.Seed, sp.P, sp.K, strings.ToLower(sp.Dist))
+	}
+	dist, err := sp.dist()
+	if err != nil {
+		dist = inspector.Cyclic
+	}
+	return inspector.ScheduleKey(inspector.Config{
+		P: sp.P, K: sp.K,
+		NumIters: sp.NumIters,
+		NumElems: sp.NumElems,
+		Dist:     dist,
+	}, sp.Ind...)
+}
 
 // numLoops returns how many loops a raw job runs per sweep (at least 1:
 // a spec without Loops is the single-loop program it always was).
@@ -226,6 +260,9 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.CheckpointEvery < 0 {
 		return fmt.Errorf("checkpoint_every = %d", sp.CheckpointEvery)
+	}
+	if len(sp.ClusterUID) > 128 {
+		return fmt.Errorf("cluster_uid is %d bytes, max 128", len(sp.ClusterUID))
 	}
 	if !sp.IsRaw() {
 		switch sp.Kernel {

@@ -89,6 +89,19 @@ type Options struct {
 	// total) above which a session re-inspects from scratch instead of
 	// updating incrementally. Default DefaultFallbackFrac.
 	SessionFallbackFrac float64
+
+	// Replicate, when set, receives every IRCJ checkpoint frame written
+	// for a job carrying a ClusterUID, along with the job's routing key.
+	// The cluster layer ships the frame to the key's ring successor so a
+	// failover replay resumes mid-job instead of recomputing from sweep 0.
+	// Called off the job's hot path; best effort.
+	Replicate func(uid, routingKey string, frame []byte)
+
+	// FetchReplica, when set, is consulted for a submitted ClusterUID with
+	// no local checkpoint: a replicated IRCJ frame seeds the job the same
+	// way a local checkpoint file would. Returns nil when the uid is
+	// unknown.
+	FetchReplica func(uid string) []byte
 }
 
 func (o Options) withDefaults() Options {
@@ -126,7 +139,8 @@ type Service struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	finished []string // terminal job ids, oldest first, for pruning
+	byUID    map[string]*Job // live jobs by ClusterUID (dedupe of replayed forwards)
+	finished []string        // terminal job ids, oldest first, for pruning
 	nextID   int64
 	closed   bool
 }
@@ -148,6 +162,7 @@ func New(opt Options) (*Service, error) {
 		sessions: newSessionStore(opt.MaxSessions, opt.SessionFallbackFrac),
 		start:    time.Now(),
 		jobs:     make(map[string]*Job),
+		byUID:    make(map[string]*Job),
 	}
 	if opt.TraceSpans >= 0 {
 		s.trace = obs.New(opt.TraceSpans)
@@ -209,10 +224,37 @@ func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 	if spec.Chaos != nil && !s.opt.AllowChaos {
 		return nil, ErrChaosDisabled
 	}
+	// A replayed cluster job may already hold a replicated mid-run
+	// checkpoint here (pushed by the now-dead owner): seed from it so the
+	// failover resumes at the last replicated sweep instead of sweep 0. A
+	// local checkpoint (restart resume) takes precedence.
+	if ck == nil && spec.ClusterUID != "" && s.opt.FetchReplica != nil && spec.IsRaw() {
+		if raw := s.opt.FetchReplica(spec.ClusterUID); raw != nil {
+			rck, err := decodeJobCheckpoint(raw, "replica:"+spec.ClusterUID)
+			if err == nil && rck.Spec.ClusterUID == spec.ClusterUID &&
+				rck.Spec.RoutingKey() == spec.RoutingKey() {
+				ck = rck
+				s.trace.Event("job/replica-seed", -1, -1, rck.Sweep, -1)
+			}
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	// Cluster dedupe: a retried or failed-over forward of a job already
+	// live (or already finished) here attaches to the existing job rather
+	// than running it twice. A failed or cancelled prior run does not
+	// satisfy the replay — it is replaced.
+	if spec.ClusterUID != "" {
+		if prev := s.byUID[spec.ClusterUID]; prev != nil {
+			switch prev.State() {
+			case StateQueued, StateRunning, StateDone:
+				s.mu.Unlock()
+				return prev, nil
+			}
+		}
 	}
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
@@ -240,6 +282,9 @@ func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 		j.seed = ck.X
 	}
 	s.jobs[id] = j
+	if spec.ClusterUID != "" {
+		s.byUID[spec.ClusterUID] = j
+	}
 	s.mu.Unlock()
 
 	if ck != nil && s.jobsDir != "" {
@@ -252,6 +297,9 @@ func (s *Service) submitJob(spec JobSpec, ck *jobCheckpoint) (*Job, error) {
 	if err := s.pool.submit(j); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, id)
+		if spec.ClusterUID != "" && s.byUID[spec.ClusterUID] == j {
+			delete(s.byUID, spec.ClusterUID)
+		}
 		s.mu.Unlock()
 		cancel()
 		s.met.shedJob()
@@ -467,6 +515,9 @@ func (s *Service) pruneFinished(id string) {
 	for len(s.finished) > s.opt.MaxFinished {
 		old := s.finished[0]
 		s.finished = s.finished[1:]
+		if j := s.jobs[old]; j != nil && j.Spec.ClusterUID != "" && s.byUID[j.Spec.ClusterUID] == j {
+			delete(s.byUID, j.Spec.ClusterUID)
+		}
 		delete(s.jobs, old)
 	}
 }
@@ -554,9 +605,17 @@ func (s *Service) executeRaw(j *Job, dist inspector.Dist, steps int) (result []f
 		done, seed = 0, nil
 	}
 
+	// Cluster jobs replicate every checkpoint frame to the routing key's
+	// ring successor (via the Replicate hook), so the failover target can
+	// resume mid-job even though this node's disk dies with this node.
+	var routeKey string
+	if spec.ClusterUID != "" && s.opt.Replicate != nil {
+		routeKey = spec.RoutingKey()
+	}
 	writeCk := func(sweep int, x []float64) {
 		cs := s.trace.Begin()
-		werr := writeJobCheckpoint(ckPath(s.jobsDir, j.ID), &jobCheckpoint{Spec: *spec, Sweep: sweep, X: x}, inj)
+		path := ckPath(s.jobsDir, j.ID)
+		werr := writeJobCheckpoint(path, &jobCheckpoint{Spec: *spec, Sweep: sweep, X: x}, inj)
 		s.trace.End(obs.SpanCheckpoint, -1, -1, sweep, -1, cs)
 		if werr != nil {
 			// A failed checkpoint write loses a resume point, nothing more:
@@ -567,6 +626,11 @@ func (s *Service) executeRaw(j *Job, dist inspector.Dist, steps int) (result []f
 		j.mu.Lock()
 		j.ckSweep = sweep
 		j.mu.Unlock()
+		if routeKey != "" {
+			if frame, rerr := os.ReadFile(path); rerr == nil {
+				s.opt.Replicate(spec.ClusterUID, routeKey, frame)
+			}
+		}
 	}
 
 	if spec.distributed() {
